@@ -1,0 +1,138 @@
+//! Shared fixtures for the repository-level examples and integration tests.
+//!
+//! The interesting code lives in `examples/` and `tests/` at the repository
+//! root; this small library provides the pieces they share: a weather-service
+//! interface in the spirit of the paper's motivating scenario (§1) and a
+//! pre-wired simulated "national lab" deployment.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use bytes::Bytes;
+use ohpc_migrate::Migratable;
+use ohpc_orb::remote_interface;
+use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
+
+remote_interface! {
+    type_name = "WeatherService";
+    trait WeatherApi;
+    skeleton WeatherSkeleton;
+    client WeatherClient;
+    fn get_map(region: String) -> Vec<f64> = 1;
+    fn feed_data(region: String, samples: Vec<f64>) -> u32 = 2;
+    fn regions() -> Vec<String> = 3;
+}
+
+/// The paper's "large environmental simulation": holds per-region sample
+/// grids; some clients only read maps, others feed data in.
+#[derive(Default)]
+pub struct WeatherService {
+    grids: RwLock<Vec<(String, Vec<f64>)>>,
+}
+
+impl WeatherService {
+    /// A service pre-seeded with a few regions.
+    pub fn seeded() -> Self {
+        let svc = WeatherService::default();
+        for (region, n) in [("midwest", 64), ("atlantic", 128), ("pacific", 96)] {
+            let grid = (0..n).map(|i| (i as f64 * 0.37).sin() * 20.0 + 10.0).collect();
+            svc.grids.write().push((region.to_string(), grid));
+        }
+        svc
+    }
+}
+
+impl WeatherApi for WeatherService {
+    fn get_map(&self, region: String) -> Result<Vec<f64>, String> {
+        self.grids
+            .read()
+            .iter()
+            .find(|(r, _)| *r == region)
+            .map(|(_, g)| g.clone())
+            .ok_or_else(|| format!("unknown region '{region}'"))
+    }
+
+    fn feed_data(&self, region: String, samples: Vec<f64>) -> Result<u32, String> {
+        if samples.is_empty() {
+            return Err("no samples supplied".into());
+        }
+        let mut grids = self.grids.write();
+        match grids.iter_mut().find(|(r, _)| *r == region) {
+            Some((_, g)) => {
+                g.extend_from_slice(&samples);
+                Ok(g.len() as u32)
+            }
+            None => {
+                let n = samples.len() as u32;
+                grids.push((region, samples));
+                Ok(n)
+            }
+        }
+    }
+
+    fn regions(&self) -> Result<Vec<String>, String> {
+        Ok(self.grids.read().iter().map(|(r, _)| r.clone()).collect())
+    }
+}
+
+impl Migratable for WeatherSkeleton<WeatherService> {
+    fn serialize_state(&self) -> Bytes {
+        let grids = self.0.grids.read();
+        let mut w = XdrWriter::new();
+        w.put_array_len(grids.len());
+        for (region, grid) in grids.iter() {
+            region.encode(&mut w);
+            grid.encode(&mut w);
+        }
+        w.finish()
+    }
+}
+
+/// Migration factory for [`WeatherService`].
+pub fn weather_factory(state: &[u8]) -> Result<Arc<dyn Migratable>, String> {
+    let mut r = XdrReader::new(state);
+    let n = r.get_array_len().map_err(|e| e.to_string())?;
+    let svc = WeatherService::default();
+    {
+        let mut grids = svc.grids.write();
+        for _ in 0..n {
+            let region = String::decode(&mut r).map_err(|e| e.to_string())?;
+            let grid = Vec::<f64>::decode(&mut r).map_err(|e| e.to_string())?;
+            grids.push((region, grid));
+        }
+    }
+    Ok(Arc::new(WeatherSkeleton(svc)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_service_reads_and_writes() {
+        let svc = WeatherService::seeded();
+        assert_eq!(svc.regions().unwrap().len(), 3);
+        let map = svc.get_map("midwest".into()).unwrap();
+        assert_eq!(map.len(), 64);
+        let n = svc.feed_data("midwest".into(), vec![1.0, 2.0]).unwrap();
+        assert_eq!(n, 66);
+        assert!(svc.get_map("mars".into()).is_err());
+        assert!(svc.feed_data("midwest".into(), vec![]).is_err());
+    }
+
+    #[test]
+    fn weather_state_migrates() {
+        let skel = WeatherSkeleton(WeatherService::seeded());
+        skel.0.feed_data("new-region".into(), vec![2.72]).unwrap();
+        let state = skel.serialize_state();
+        let restored = weather_factory(&state).unwrap();
+        let state2 = restored.serialize_state();
+        assert_eq!(state, state2);
+    }
+
+    #[test]
+    fn factory_rejects_garbage() {
+        assert!(weather_factory(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Codec costs: RLE vs LZSS on the XDR-int-array workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ohpc_compress::{Codec, Lzss, Rle};
+
+fn payload(n: usize) -> Vec<u8> {
+    // XDR-encoded small ints: 3 zero bytes + 1 value byte per element.
+    (0..n).map(|i| if i % 4 == 3 { (i % 97) as u8 } else { 0 }).collect()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    for (name, codec) in [("rle", &Rle as &dyn Codec), ("lzss", &Lzss as &dyn Codec)] {
+        let mut group = c.benchmark_group(format!("{name}_compress"));
+        for &n in &[4096usize, 262_144] {
+            let data = payload(n);
+            group.throughput(Throughput::Bytes(n as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+                b.iter(|| std::hint::black_box(codec.compress(d)));
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("{name}_decompress"));
+        for &n in &[4096usize, 262_144] {
+            let packed = codec.compress(&payload(n));
+            group.throughput(Throughput::Bytes(n as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(n), &packed, |b, p| {
+                b.iter(|| std::hint::black_box(codec.decompress(p).unwrap()));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Primitive costs: SHA-256, HMAC, ChaCha20 throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ohpc_crypto::{chacha20_xor, hmac_sha256, sha256};
+
+fn bench_crypto(c: &mut Criterion) {
+    let sizes = [1024usize, 65_536, 1 << 20];
+
+    let mut group = c.benchmark_group("sha256");
+    for &n in &sizes {
+        let data = vec![0xA5u8; n];
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| std::hint::black_box(sha256(d)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hmac_sha256");
+    let key = b"benchmark-key";
+    for &n in &sizes {
+        let data = vec![0x5Au8; n];
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| std::hint::black_box(hmac_sha256(key, d)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("chacha20");
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    for &n in &sizes {
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut data = vec![0u8; n];
+            b.iter(|| {
+                chacha20_xor(&key, &nonce, 0, &mut data);
+                std::hint::black_box(&data);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! End-to-end RMI cost over the real in-process fabric (no simulation):
+//! round-trip latency and the incremental cost of a glue chain.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ohpc_bench::workload::{make_array, EchoArray, EchoArrayClient, EchoArraySkeleton};
+use ohpc_caps::TimeoutCap;
+use ohpc_crypto::KeyStore;
+use ohpc_netsim::Location;
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{
+    ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer, GlueProto,
+    ProtoPool, ProtocolId, TransportProto,
+};
+use ohpc_transport::mem::MemFabric;
+
+fn registry() -> Arc<CapabilityRegistry> {
+    let reg = CapabilityRegistry::new();
+    let mut keys = KeyStore::new();
+    keys.add_key("site-key", b"open-hpc++-experiment-psk");
+    ohpc_caps::register_standard(&reg, keys);
+    Arc::new(reg)
+}
+
+fn bench_rmi(c: &mut Criterion) {
+    let fabric = MemFabric::new();
+    let reg = registry();
+    let ctx = Context::new(ContextId(1), Location::new(0, 0), reg.clone());
+    let object = ctx.register(Arc::new(EchoArraySkeleton(EchoArray::default())));
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+
+    let plain_or = ctx.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    let glue_id = ctx.add_glue(vec![TimeoutCap::spec(u64::MAX / 2)]).unwrap();
+    let glue_or =
+        ctx.make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }]).unwrap();
+
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(reg)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(fabric),
+            ))),
+    );
+    let plain =
+        EchoArrayClient::new(GlobalPointer::new(plain_or, pool.clone(), Location::new(1, 1)));
+    let glued = EchoArrayClient::new(GlobalPointer::new(glue_or, pool, Location::new(1, 1)));
+
+    let mut group = c.benchmark_group("rmi_roundtrip");
+    group.bench_function("ping_plain", |b| b.iter(|| plain.ping().unwrap()));
+    group.bench_function("ping_glue_timeout", |b| b.iter(|| glued.ping().unwrap()));
+    group.finish();
+
+    let mut group = c.benchmark_group("rmi_oneway");
+    group.bench_function("oneway_ping_plain", |b| {
+        b.iter(|| {
+            let w = ohpc_xdr::XdrWriter::new();
+            plain.gp().invoke_oneway(2, &w).unwrap()
+        })
+    });
+    group.bench_function("oneway_ping_glue_timeout", |b| {
+        b.iter(|| {
+            let w = ohpc_xdr::XdrWriter::new();
+            glued.gp().invoke_oneway(2, &w).unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("rmi_echo");
+    for &n in &[256usize, 16_384] {
+        let v = make_array(n);
+        group.throughput(Throughput::Bytes((8 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("plain", n), &v, |b, v| {
+            b.iter(|| std::hint::black_box(plain.echo(v.clone()).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("glue_timeout", n), &v, |b, v| {
+            b.iter(|| std::hint::black_box(glued.echo(v.clone()).unwrap()));
+        });
+    }
+    group.finish();
+
+    ctx.shutdown();
+}
+
+criterion_group!(benches, bench_rmi);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Protocol-selection cost: the per-request price of the open ORB's
+//! adaptivity, as a function of OR table size and position of the match.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ohpc_netsim::Location;
+use ohpc_orb::objref::ProtoEntry;
+use ohpc_orb::selection::select;
+use ohpc_orb::{
+    ApplicabilityRule, ObjectId, ObjectReference, OrbError, ProtoObject, ProtoPool, ProtocolId,
+    ReplyMessage, RequestMessage,
+};
+
+struct RuleProto {
+    id: ProtocolId,
+    rule: ApplicabilityRule,
+}
+
+impl ProtoObject for RuleProto {
+    fn protocol_id(&self) -> ProtocolId {
+        self.id
+    }
+    fn applicable(
+        &self,
+        _p: &ProtoPool,
+        c: &Location,
+        s: &Location,
+        _e: &ProtoEntry,
+    ) -> bool {
+        self.rule.allows(c, s)
+    }
+    fn invoke(
+        &self,
+        _p: &ProtoPool,
+        _e: &ProtoEntry,
+        req: &RequestMessage,
+    ) -> Result<ReplyMessage, OrbError> {
+        Ok(ReplyMessage::ok(req.request_id, bytes::Bytes::new()))
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for &table_len in &[2usize, 8, 32] {
+        // Table of same-machine-only entries with one Always entry at the
+        // end: a remote client walks the whole table.
+        let mut pool = ProtoPool::new();
+        let mut protocols = Vec::new();
+        for i in 0..table_len as u16 {
+            let id = ProtocolId(200 + i);
+            let rule = if (i as usize) < table_len - 1 {
+                ApplicabilityRule::SameMachineOnly
+            } else {
+                ApplicabilityRule::Always
+            };
+            pool.push(Arc::new(RuleProto { id, rule }));
+            protocols.push(ProtoEntry::endpoint(id, format!("tcp://h:{i}")));
+        }
+        let or = ObjectReference {
+            object: ObjectId(1),
+            type_name: "T".into(),
+            location: Location::new(0, 0),
+            protocols,
+        };
+        let client = Location::new(9, 9);
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_walk", table_len),
+            &table_len,
+            |b, _| {
+                b.iter(|| std::hint::black_box(select(&or, &pool, &client).unwrap().index));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

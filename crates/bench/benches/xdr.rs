@@ -1,0 +1,39 @@
+//! Marshaling cost: XDR encode/decode of the experiment payloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ohpc_xdr::{decode_from_slice, encode_to_vec, XdrWriter};
+
+fn bench_xdr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xdr_int_array");
+    for &n in &[64usize, 4096, 262_144] {
+        let v: Vec<i32> = (0..n as i32).collect();
+        group.throughput(Throughput::Bytes((4 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("encode", n), &v, |b, v| {
+            b.iter(|| {
+                let mut w = XdrWriter::with_capacity(4 + 4 * v.len());
+                use ohpc_xdr::XdrEncode;
+                v.encode(&mut w);
+                std::hint::black_box(w.finish())
+            });
+        });
+        let buf = encode_to_vec(&v);
+        group.bench_with_input(BenchmarkId::new("decode", n), &buf, |b, buf| {
+            b.iter(|| std::hint::black_box(decode_from_slice::<Vec<i32>>(buf).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("xdr_strings");
+    let s = "weather-map-region-".repeat(50);
+    group.bench_function("encode_1k_string", |b| {
+        b.iter(|| std::hint::black_box(encode_to_vec(&s)));
+    });
+    let buf = encode_to_vec(&s);
+    group.bench_function("decode_1k_string", |b| {
+        b.iter(|| std::hint::black_box(decode_from_slice::<String>(&buf).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xdr);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates the paper's Figure 4 experiment: the S1→S2→S3→S4 migration
+//! walk with per-hop protocol selection and bandwidth.
+//!
+//! ```text
+//! cargo run -p ohpc-bench --release --bin fig4 -- [--network atm|ethernet|fast-ethernet]
+//! ```
+
+use ohpc_bench::fig4::{expected_selections, run};
+use ohpc_bench::fig5::Network;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut network = Network::Atm;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--network" => {
+                i += 1;
+                network = Network::parse(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown network; use atm | ethernet | fast-ethernet");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let probe_sizes = [256usize, 16_384, 262_144];
+    eprintln!("# Figure 4 reproduction — migration walk over {}", network.name());
+    let results = run(network.profile(), &probe_sizes);
+
+    println!("hop,machine,selected_protocol,served_before,elements,bandwidth_mbps");
+    for (hop, r) in results.iter().enumerate() {
+        for (elements, mbps) in &r.bandwidth {
+            println!(
+                "{},{},{},{},{},{:.4}",
+                hop + 1,
+                r.machine_name,
+                r.selected,
+                r.served_before,
+                elements,
+                mbps
+            );
+        }
+    }
+
+    eprintln!();
+    eprintln!("hop  machine  selected protocol              expected");
+    let expected = expected_selections();
+    let mut all_match = true;
+    for (i, r) in results.iter().enumerate() {
+        let ok = r.selected == expected[i];
+        all_match &= ok;
+        eprintln!(
+            "{:>3}  {:<7}  {:<30} {}{}",
+            i + 1,
+            r.machine_name,
+            r.selected,
+            expected[i],
+            if ok { "  ✓" } else { "  ✗ MISMATCH" }
+        );
+    }
+    eprintln!();
+    eprintln!(
+        "VERDICT: selection sequence {} the paper's Figure 4 narrative",
+        if all_match { "MATCHES" } else { "DOES NOT MATCH" }
+    );
+    if let (Some(first), Some(last)) = (results.first(), results.last()) {
+        let f = first.bandwidth.last().map(|b| b.1).unwrap_or(0.0);
+        let l = last.bandwidth.last().map(|b| b.1).unwrap_or(0.0);
+        eprintln!(
+            "VERDICT: final shared-memory hop is {:.1}x the first remote hop \
+             ({l:.1} vs {f:.1} Mbps at the largest probe)",
+            l / f
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates the paper's Figure 5: bandwidth vs array size for the four
+//! protocol configurations.
+//!
+//! ```text
+//! cargo run -p ohpc-bench --release --bin fig5 -- [--network atm|ethernet|fast-ethernet] [--csv]
+//! ```
+
+use ohpc_bench::fig5::{default_sizes, run, verdicts, Config, Network};
+use ohpc_bench::plot::{loglog, Series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut network = Network::Atm;
+    let mut csv_only = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--network" => {
+                i += 1;
+                network = Network::parse(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown network; use atm | ethernet | fast-ethernet");
+                        std::process::exit(2);
+                    });
+            }
+            "--csv" => csv_only = true,
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let sizes = default_sizes();
+    eprintln!(
+        "# Figure 5 reproduction — network={}, sizes 1..{} ints, 4 configurations",
+        network.name(),
+        sizes.last().unwrap()
+    );
+    let measurements = run(network, &sizes);
+
+    println!("network,config,elements,payload_bytes,iterations,bandwidth_mbps");
+    for m in &measurements {
+        println!(
+            "{},{},{},{},{},{:.4}",
+            network.name(),
+            m.config.label(),
+            m.elements,
+            m.payload_bytes,
+            m.iterations,
+            m.bandwidth_mbps
+        );
+    }
+
+    if !csv_only {
+        let series: Vec<Series> = Config::all()
+            .iter()
+            .map(|c| Series {
+                label: c.label().to_string(),
+                glyph: c.glyph(),
+                points: measurements
+                    .iter()
+                    .filter(|m| m.config == *c)
+                    .map(|m| (m.payload_bytes as f64, m.bandwidth_mbps))
+                    .collect(),
+            })
+            .collect();
+        eprintln!();
+        eprintln!(
+            "{}",
+            loglog(&series, 72, 22, "payload size (bytes)", "bandwidth (Mbps)")
+        );
+        for v in verdicts(&measurements) {
+            eprintln!("VERDICT: {v}");
+        }
+    }
+}

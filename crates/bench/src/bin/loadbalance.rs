@@ -1,0 +1,44 @@
+//! Load-balancing payoff timeline (§4.3): response time before/after a load
+//! spike, with and without the high-water-mark balancer.
+//!
+//! ```text
+//! cargo run -p ohpc-bench --release --bin loadbalance
+//! ```
+
+use ohpc_bench::loadbalance::{run, tail_latency, Params};
+
+fn main() {
+    let p = Params::default();
+    eprintln!(
+        "# Load-balancing timeline: spike of {} load units on node0 at window {}",
+        p.spike_load, p.spike_at
+    );
+
+    let with = run(true, p);
+    let without = run(false, p);
+
+    println!("window,t_virtual_s,balanced_host,balanced_ms,unbalanced_host,unbalanced_ms,home_load");
+    for (a, b) in with.iter().zip(without.iter()) {
+        println!(
+            "{},{:.4},{},{:.4},{},{:.4},{:.2}",
+            a.window, a.t_virtual_s, a.host, a.mean_response_ms, b.host, b.mean_response_ms, b.home_load
+        );
+    }
+
+    eprintln!();
+    eprintln!("window  host(balanced)  balanced ms  unbalanced ms   home load");
+    for (a, b) in with.iter().zip(without.iter()) {
+        let marker = if a.host != "node0" { " <- migrated" } else { "" };
+        eprintln!(
+            "{:>6}  {:<14}  {:>11.3}  {:>13.3}  {:>9.2}{}",
+            a.window, a.host, a.mean_response_ms, b.mean_response_ms, b.home_load, marker
+        );
+    }
+    eprintln!();
+    eprintln!(
+        "VERDICT: post-spike tail latency {:.3} ms (balanced) vs {:.3} ms (unbalanced) — {:.1}x better",
+        tail_latency(&with),
+        tail_latency(&without),
+        tail_latency(&without) / tail_latency(&with)
+    );
+}

@@ -1,0 +1,44 @@
+//! Prints the capability-overhead table backing the paper's §5 claim that
+//! "even for fast networks such as ATM, the capabilities based approach adds
+//! only a small amount of overhead".
+//!
+//! ```text
+//! cargo run -p ohpc-bench --release --bin overhead_table
+//! ```
+
+use ohpc_bench::overhead::run;
+
+fn main() {
+    let sizes = [64usize, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024];
+    eprintln!("# Capability CPU cost vs simulated wire time");
+    let rows = run(&sizes, 20);
+
+    println!("chain,payload_bytes,cpu_us,atm_wire_us,ethernet_wire_us,atm_overhead_pct");
+    for r in &rows {
+        println!(
+            "{},{},{:.2},{:.2},{:.2},{:.2}",
+            r.label,
+            r.payload_bytes,
+            r.cpu_us,
+            r.atm_wire_us,
+            r.ethernet_wire_us,
+            r.atm_overhead_pct()
+        );
+    }
+
+    eprintln!();
+    eprintln!(
+        "{:<20} {:>12} {:>12} {:>14} {:>12}",
+        "chain", "payload", "cpu (us)", "ATM wire (us)", "overhead %"
+    );
+    for r in &rows {
+        eprintln!(
+            "{:<20} {:>12} {:>12.1} {:>14.1} {:>12.2}",
+            r.label,
+            r.payload_bytes,
+            r.cpu_us,
+            r.atm_wire_us,
+            r.atm_overhead_pct()
+        );
+    }
+}

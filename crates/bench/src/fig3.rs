@@ -1,0 +1,109 @@
+//! Figure 3: two clients, one GP, asymmetric authentication.
+//!
+//! Server S0 hands the *same* OR to a LAN-local client P1 and a remote
+//! client P2. The OR prefers a glue protocol whose only capability is
+//! authentication (scoped off-LAN), with plain Nexus as the fallback. P1
+//! selects Nexus (no authentication among friends); P2 selects the
+//! authenticated glue. After S0 migrates to P2's LAN the roles swap —
+//! with no client code changing at all.
+
+use std::sync::Arc;
+
+use ohpc_caps::{AuthCap, CapScope};
+use ohpc_migrate::MigrationManager;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{Context, ProtocolId};
+
+use crate::setup::{SimDeployment, EXPERIMENT_KEY};
+use crate::workload::{echo_factory, EchoArray, EchoArrayClient, EchoArraySkeleton};
+
+/// Selections observed for (P1, P2) at one phase of the scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Label ("before migration" / "after migration").
+    pub label: String,
+    /// Protocol P1 (initially LAN-local) used.
+    pub p1_selected: String,
+    /// Protocol P2 (initially remote) used.
+    pub p2_selected: String,
+}
+
+/// Builds the Figure 3 cluster: server machine + P1 on LAN 0, P2 on LAN 1.
+pub fn fig3_cluster(profile: LinkProfile) -> (Cluster, [MachineId; 3]) {
+    let (mut server_m, mut p1_m, mut p2_m) = (MachineId(0), MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), profile)
+        .lan(LanId(1), profile)
+        .machine("S", LanId(0), &mut server_m)
+        .machine("P1", LanId(0), &mut p1_m)
+        .machine("P2", LanId(1), &mut p2_m)
+        .build();
+    (cluster, [server_m, p1_m, p2_m])
+}
+
+fn rows_for(ctx: &Context) -> Vec<OrRow> {
+    let auth_glue = ctx
+        .add_glue(vec![AuthCap::spec(EXPERIMENT_KEY, "fig3-client", CapScope::CrossLan)])
+        .expect("install auth glue");
+    vec![
+        OrRow::Glue { glue_id: auth_glue, inner: ProtocolId::TCP },
+        OrRow::Plain(ProtocolId::NEXUS_TCP),
+    ]
+}
+
+/// Runs the scenario, returning both phases.
+pub fn run(profile: LinkProfile) -> Vec<Phase> {
+    let (cluster, [server_m, p1_m, p2_m]) = fig3_cluster(profile);
+    let dep = SimDeployment::new(cluster);
+
+    let home = dep.server(server_m);
+    let home_rows = rows_for(&home);
+    let manager = MigrationManager::new();
+    manager.register_factory("EchoArray", echo_factory);
+    let object = manager.register(&home, Arc::new(EchoArraySkeleton(EchoArray::default())));
+    let or = home.make_or(object, &home_rows).expect("OR");
+
+    // Both clients get copies of the SAME OR.
+    let p1 = EchoArrayClient::new(dep.client_gp(p1_m, or.clone()));
+    let p2 = EchoArrayClient::new(dep.client_gp(p2_m, or));
+
+    let observe = |label: &str| -> Phase {
+        p1.ping().expect("p1 ping");
+        p2.ping().expect("p2 ping");
+        Phase {
+            label: label.to_string(),
+            p1_selected: p1.gp().last_protocol().unwrap_or_default(),
+            p2_selected: p2.gp().last_protocol().unwrap_or_default(),
+        }
+    };
+
+    let before = observe("before migration");
+
+    // Load spikes on the server machine; the application migrates S0 to a
+    // machine on P2's LAN (the paper reuses P2's own machine).
+    let away = dep.server(p2_m);
+    let away_rows = rows_for(&away);
+    manager.migrate(object, &away, &away_rows).expect("migration");
+
+    let after = observe("after migration");
+
+    home.shutdown();
+    away.shutdown();
+    vec![before, after]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authentication_flips_with_migration() {
+        let phases = run(LinkProfile::fast_ethernet());
+        assert_eq!(phases[0].p1_selected, "nexus(nexus-tcp)", "local client skips auth");
+        assert_eq!(phases[0].p2_selected, "glue[auth]->tcp", "remote client authenticates");
+        // After migration to P2's LAN the roles swap exactly.
+        assert_eq!(phases[1].p1_selected, "glue[auth]->tcp");
+        assert_eq!(phases[1].p2_selected, "nexus(nexus-tcp)");
+    }
+}

@@ -1,0 +1,30 @@
+//! Experiment harness for the Open HPC++ reproduction.
+//!
+//! Each module regenerates one artifact of the paper's evaluation:
+//!
+//! * [`fig5`] — Figure 5: bandwidth vs array size for the four protocol
+//!   configurations over a simulated 155 Mbps ATM (or Ethernet) link;
+//! * [`fig4`] — the Figure 4 migration walk: S1→S2→S3→S4 with protocol
+//!   re-selection and bandwidth at each hop;
+//! * [`fig3`] — the Figure 3 scenario: two clients sharing one GP, one
+//!   authenticating and one not, with roles swapping after migration;
+//! * [`overhead`] — the §5 capability-overhead claim quantified per
+//!   capability and payload size;
+//! * [`workload`] — the echo-array service all experiments call;
+//! * [`setup`] — deployment plumbing (simulated cluster, contexts, pools);
+//! * [`plot`] — ASCII log-log plotting for terminal output.
+//!
+//! Binaries `fig5`, `fig4`, `fig3` and `overhead_table` wrap these with CSV
+//! output; criterion benches under `benches/` cover the substrate costs.
+
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod loadbalance;
+pub mod overhead;
+pub mod plot;
+pub mod setup;
+pub mod workload;

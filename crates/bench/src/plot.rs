@@ -1,0 +1,106 @@
+//! Minimal ASCII log-log plotting for terminal experiment output.
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Glyph used for this series' points.
+    pub glyph: char,
+    /// Data points (x, y), both > 0 for log scaling.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series on a log-log grid of `width` x `height` characters.
+///
+/// The output mirrors the paper's Figure 5 layout: x = message size (bytes),
+/// y = bandwidth (Mbps), both logarithmic.
+pub fn loglog(series: &[Series], width: usize, height: usize, x_label: &str, y_label: &str) -> String {
+    let pts: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).filter(|(x, y)| *x > 0.0 && *y > 0.0).collect();
+    if pts.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+    let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+    for (x, y) in &pts {
+        x0 = x0.min(*x);
+        x1 = x1.max(*x);
+        y0 = y0.min(*y);
+        y1 = y1.max(*y);
+    }
+    // pad the y range a little so extremes are not on the border
+    let (lx0, lx1) = (x0.log10(), x1.log10().max(x0.log10() + 1e-9));
+    let (ly0, ly1) = (y0.log10() - 0.05, y1.log10() + 0.05);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for (x, y) in &s.points {
+            if *x <= 0.0 || *y <= 0.0 {
+                continue;
+            }
+            let cx = ((x.log10() - lx0) / (lx1 - lx0) * (width as f64 - 1.0)).round() as usize;
+            let cy = ((y.log10() - ly0) / (ly1 - ly0) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = s.glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("  {y_label} (log)\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = 10f64.powf(ly1 - (ly1 - ly0) * (i as f64) / (height as f64 - 1.0));
+        out.push_str(&format!("{y_here:>9.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>11}{:<width$}\n",
+        "",
+        format!("{:.0} … {:.0}  {} (log)", x0, x1, x_label),
+        width = width
+    ));
+    for s in series {
+        out.push_str(&format!("   {} = {}\n", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let s = vec![
+            Series {
+                label: "up".into(),
+                glyph: '*',
+                points: vec![(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)],
+            },
+            Series { label: "flat".into(), glyph: 'o', points: vec![(1.0, 50.0), (100.0, 50.0)] },
+        ];
+        let out = loglog(&s, 40, 10, "bytes", "Mbps");
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("* = up"));
+        assert!(out.contains("o = flat"));
+        assert!(out.matches('\n').count() >= 12);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        assert_eq!(loglog(&[], 20, 5, "x", "y"), "(no data)\n");
+        let s = vec![Series { label: "zeros".into(), glyph: 'z', points: vec![(0.0, 0.0)] }];
+        assert_eq!(loglog(&s, 20, 5, "x", "y"), "(no data)\n");
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let s = vec![Series { label: "p".into(), glyph: 'p', points: vec![(5.0, 5.0)] }];
+        let out = loglog(&s, 20, 5, "x", "y");
+        assert!(out.contains('p'));
+    }
+}

@@ -1,0 +1,110 @@
+//! The experiment workload: an echo-array service.
+//!
+//! "The requests exchange an array of integers between the client and the
+//! server, and the average bandwidth over a large number of readings is
+//! computed." (§5)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ohpc_migrate::Migratable;
+use ohpc_orb::remote_interface;
+
+remote_interface! {
+    type_name = "EchoArray";
+    trait EchoArrayApi;
+    skeleton EchoArraySkeleton;
+    client EchoArrayClient;
+    fn echo(v: Vec<i32>) -> Vec<i32> = 1;
+    fn ping() -> u32 = 2;
+    fn served() -> u64 = 3;
+}
+
+/// Echo service that counts how many requests it has served — the counter is
+/// the state that must survive migration.
+#[derive(Default)]
+pub struct EchoArray {
+    served: AtomicU64,
+}
+
+impl EchoArray {
+    /// Fresh instance with `served` pre-set (used by the migration factory).
+    pub fn with_served(n: u64) -> Self {
+        Self { served: AtomicU64::new(n) }
+    }
+}
+
+impl EchoArrayApi for EchoArray {
+    fn echo(&self, v: Vec<i32>) -> Result<Vec<i32>, String> {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Ok(v)
+    }
+    fn ping(&self) -> Result<u32, String> {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Ok(0)
+    }
+    fn served(&self) -> Result<u64, String> {
+        Ok(self.served.load(Ordering::Relaxed))
+    }
+}
+
+impl Migratable for EchoArraySkeleton<EchoArray> {
+    fn serialize_state(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.0.served.load(Ordering::Relaxed).to_be_bytes())
+    }
+}
+
+/// Migration factory for [`EchoArray`].
+pub fn echo_factory(state: &[u8]) -> Result<Arc<dyn Migratable>, String> {
+    let n = u64::from_be_bytes(state.try_into().map_err(|_| "bad EchoArray state".to_string())?);
+    Ok(Arc::new(EchoArraySkeleton(EchoArray::with_served(n))))
+}
+
+/// The integer array for a given element count (cyclic values like a real
+/// data grid, not all-zero, so compression capabilities do honest work).
+pub fn make_array(len: usize) -> Vec<i32> {
+    (0..len).map(|i| (i % 1000) as i32).collect()
+}
+
+/// XDR payload bytes for an echo request (or reply) with `len` elements.
+pub fn body_bytes(len: usize) -> usize {
+    4 + 4 * len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_counter_tracks_requests() {
+        let svc = EchoArray::default();
+        svc.echo(vec![1, 2]).unwrap();
+        svc.ping().unwrap();
+        assert_eq!(svc.served().unwrap(), 2);
+    }
+
+    #[test]
+    fn migration_state_roundtrip() {
+        let skel = EchoArraySkeleton(EchoArray::with_served(17));
+        let state = skel.serialize_state();
+        let restored = echo_factory(&state).unwrap();
+        assert_eq!(restored.type_name(), "EchoArray");
+        let restored_state = restored.serialize_state();
+        assert_eq!(state, restored_state);
+    }
+
+    #[test]
+    fn factory_rejects_bad_state() {
+        assert!(echo_factory(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn array_shape() {
+        let v = make_array(2500);
+        assert_eq!(v.len(), 2500);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[1001], 1);
+        assert_eq!(body_bytes(2500), 4 + 10_000);
+    }
+}

@@ -1,0 +1,144 @@
+//! The `acl` capability: interface subsetting.
+//!
+//! "While some clients may need access to the complete server interface,
+//! others may need access only to a subset of it." An `AclCap` carries an
+//! allow-list of method slots; the server-side instance denies anything
+//! outside it. Because a capability is data in the OR, handing a client a
+//! reference whose glue contains a narrow ACL *is* handing them a narrower
+//! interface.
+
+use bytes::Bytes;
+
+use ohpc_orb::capability::{CallInfo, CapMeta};
+use ohpc_orb::{CapError, Capability, CapabilitySpec, Direction};
+use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
+
+use crate::bad_config;
+
+/// Wire name of this capability.
+pub const NAME: &str = "acl";
+
+/// Method allow-list capability.
+pub struct AclCap {
+    allowed: Vec<u32>,
+}
+
+impl AclCap {
+    /// Builds a spec allowing exactly `methods`.
+    pub fn spec(methods: &[u32]) -> CapabilitySpec {
+        let mut w = XdrWriter::new();
+        methods.to_vec().encode(&mut w);
+        CapabilitySpec::with_config(NAME, w.finish())
+    }
+
+    /// Builds the capability from its spec.
+    pub fn from_spec(spec: &CapabilitySpec) -> Result<Self, CapError> {
+        let mut r = XdrReader::new(&spec.config);
+        let allowed = Vec::<u32>::decode(&mut r).map_err(|e| bad_config(NAME, e))?;
+        Ok(Self { allowed })
+    }
+
+    fn check(&self, call: &CallInfo) -> Result<(), CapError> {
+        if self.allowed.contains(&call.method) {
+            Ok(())
+        } else {
+            Err(CapError::Denied(format!(
+                "method {} not in this client's interface subset",
+                call.method
+            )))
+        }
+    }
+}
+
+impl Capability for AclCap {
+    fn name(&self) -> &str {
+        NAME
+    }
+
+    fn process(
+        &self,
+        dir: Direction,
+        call: &CallInfo,
+        _meta: &mut CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        if dir == Direction::Request {
+            self.check(call)?;
+        }
+        Ok(body)
+    }
+
+    fn unprocess(
+        &self,
+        dir: Direction,
+        call: &CallInfo,
+        _meta: &CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        if dir == Direction::Request {
+            self.check(call)?;
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohpc_orb::{ObjectId, RequestId};
+
+    fn call(method: u32) -> CallInfo {
+        CallInfo { object: ObjectId(1), method, request_id: RequestId(1) }
+    }
+
+    fn cap() -> AclCap {
+        AclCap::from_spec(&AclCap::spec(&[1, 3])).unwrap()
+    }
+
+    #[test]
+    fn allowed_methods_pass() {
+        let c = cap();
+        let mut meta = CapMeta::new();
+        assert!(c.process(Direction::Request, &call(1), &mut meta, Bytes::new()).is_ok());
+        assert!(c.process(Direction::Request, &call(3), &mut meta, Bytes::new()).is_ok());
+        assert!(c.unprocess(Direction::Request, &call(1), &meta, Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn denied_methods_fail_on_both_sides() {
+        let c = cap();
+        let mut meta = CapMeta::new();
+        assert!(matches!(
+            c.process(Direction::Request, &call(2), &mut meta, Bytes::new()).unwrap_err(),
+            CapError::Denied(_)
+        ));
+        assert!(matches!(
+            c.unprocess(Direction::Request, &call(2), &meta, Bytes::new()).unwrap_err(),
+            CapError::Denied(_)
+        ));
+    }
+
+    #[test]
+    fn replies_always_pass() {
+        // The reply to an allowed call decodes even though replies carry the
+        // same method id; only requests are gated.
+        let c = cap();
+        let mut meta = CapMeta::new();
+        assert!(c.process(Direction::Reply, &call(2), &mut meta, Bytes::new()).is_ok());
+        assert!(c.unprocess(Direction::Reply, &call(2), &meta, Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn empty_allow_list_denies_everything() {
+        let c = AclCap::from_spec(&AclCap::spec(&[])).unwrap();
+        let mut meta = CapMeta::new();
+        assert!(c.process(Direction::Request, &call(1), &mut meta, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn spec_roundtrips_method_list() {
+        let spec = AclCap::spec(&[5, 9, 200]);
+        let c = AclCap::from_spec(&spec).unwrap();
+        assert_eq!(c.allowed, vec![5, 9, 200]);
+    }
+}

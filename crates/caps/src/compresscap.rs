@@ -1,0 +1,187 @@
+//! The `compress` capability: transparent body compression.
+
+use bytes::Bytes;
+
+use ohpc_compress::{decompress_any, Codec, CodecKind, Lzss, Rle};
+use ohpc_orb::capability::{CallInfo, CapMeta};
+use ohpc_orb::{CapError, Capability, CapabilitySpec, Direction};
+use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
+
+use crate::bad_config;
+
+/// Wire name of this capability.
+pub const NAME: &str = "compress";
+
+/// Compresses bodies above a size threshold with the configured codec.
+///
+/// Bodies smaller than `min_size` (or ones the codec fails to shrink) travel
+/// raw, flagged in metadata — compression that expands data would be a
+/// net loss on the slow links this capability exists for.
+pub struct CompressionCap {
+    codec: CodecKind,
+    min_size: u32,
+}
+
+impl CompressionCap {
+    /// Builds a spec for `codec`, compressing only bodies ≥ `min_size` bytes.
+    pub fn spec(codec: CodecKind, min_size: u32) -> CapabilitySpec {
+        let mut w = XdrWriter::new();
+        (codec as u8 as u32).encode(&mut w);
+        min_size.encode(&mut w);
+        CapabilitySpec::with_config(NAME, w.finish())
+    }
+
+    /// Builds the capability from its spec.
+    pub fn from_spec(spec: &CapabilitySpec) -> Result<Self, CapError> {
+        let mut r = XdrReader::new(&spec.config);
+        let tag = u32::decode(&mut r).map_err(|e| bad_config(NAME, e))?;
+        let min_size = u32::decode(&mut r).map_err(|e| bad_config(NAME, e))?;
+        let codec = CodecKind::from_tag(tag as u8)
+            .ok_or_else(|| CapError::Failed(format!("unknown codec tag {tag}")))?;
+        Ok(Self { codec, min_size })
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        match self.codec {
+            CodecKind::Rle => Rle.compress(data),
+            CodecKind::Lzss => Lzss.compress(data),
+        }
+    }
+}
+
+impl Capability for CompressionCap {
+    fn name(&self) -> &str {
+        NAME
+    }
+
+    fn process(
+        &self,
+        _dir: Direction,
+        _call: &CallInfo,
+        meta: &mut CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        if body.len() < self.min_size as usize {
+            meta.set("raw", vec![1u8]);
+            return Ok(body);
+        }
+        let packed = self.compress(&body);
+        if packed.len() >= body.len() {
+            meta.set("raw", vec![1u8]);
+            return Ok(body);
+        }
+        meta.set("raw", vec![0u8]);
+        Ok(Bytes::from(packed))
+    }
+
+    fn unprocess(
+        &self,
+        _dir: Direction,
+        _call: &CallInfo,
+        meta: &CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        let raw = meta.require("raw")?;
+        if raw.first() == Some(&1) {
+            return Ok(body);
+        }
+        decompress_any(&body)
+            .map(Bytes::from)
+            .map_err(|e| CapError::Failed(format!("decompression failed: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohpc_orb::{ObjectId, RequestId};
+
+    fn call() -> CallInfo {
+        CallInfo { object: ObjectId(1), method: 1, request_id: RequestId(1) }
+    }
+
+    fn cap(codec: CodecKind, min: u32) -> CompressionCap {
+        CompressionCap::from_spec(&CompressionCap::spec(codec, min)).unwrap()
+    }
+
+    #[test]
+    fn large_compressible_body_shrinks_and_roundtrips() {
+        for codec in [CodecKind::Rle, CodecKind::Lzss] {
+            let c = cap(codec, 64);
+            let body: Bytes = vec![7u8; 10_000].into();
+            let mut meta = CapMeta::new();
+            let packed = c.process(Direction::Request, &call(), &mut meta, body.clone()).unwrap();
+            assert!(packed.len() < body.len() / 4, "{codec:?}: {} bytes", packed.len());
+            let back = c.unprocess(Direction::Request, &call(), &meta, packed).unwrap();
+            assert_eq!(back, body);
+        }
+    }
+
+    #[test]
+    fn small_body_travels_raw() {
+        let c = cap(CodecKind::Lzss, 1024);
+        let body = Bytes::from_static(b"tiny");
+        let mut meta = CapMeta::new();
+        let out = c.process(Direction::Request, &call(), &mut meta, body.clone()).unwrap();
+        assert_eq!(out, body);
+        assert_eq!(meta.get("raw").unwrap().as_ref(), &[1]);
+        let back = c.unprocess(Direction::Request, &call(), &meta, out).unwrap();
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn incompressible_body_travels_raw() {
+        let c = cap(CodecKind::Rle, 0);
+        // xorshift noise defeats RLE
+        let mut x = 0x9E3779B9u32;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        let body = Bytes::from(noise);
+        let mut meta = CapMeta::new();
+        let out = c.process(Direction::Request, &call(), &mut meta, body.clone()).unwrap();
+        assert_eq!(meta.get("raw").unwrap().as_ref(), &[1], "noise must not be 'compressed'");
+        assert_eq!(out, body);
+    }
+
+    #[test]
+    fn xdr_int_array_workload_compresses_well() {
+        // Same shape as the fig5 payload: XDR words with high zero bytes.
+        let c = cap(CodecKind::Lzss, 64);
+        let mut w = XdrWriter::new();
+        (0..4096i32).map(|i| i % 50).collect::<Vec<_>>().encode(&mut w);
+        let body: Bytes = w.finish();
+        let mut meta = CapMeta::new();
+        let packed = c.process(Direction::Request, &call(), &mut meta, body.clone()).unwrap();
+        assert!(packed.len() < body.len() / 2);
+        assert_eq!(c.unprocess(Direction::Request, &call(), &meta, packed).unwrap(), body);
+    }
+
+    #[test]
+    fn corrupt_compressed_body_fails_cleanly() {
+        let c = cap(CodecKind::Lzss, 0);
+        let body: Bytes = vec![5u8; 4096].into();
+        let mut meta = CapMeta::new();
+        let packed = c.process(Direction::Request, &call(), &mut meta, body).unwrap();
+        let mut bad = packed.to_vec();
+        bad[0] = 0xFF; // invalid codec tag
+        let err = c
+            .unprocess(Direction::Request, &call(), &meta, Bytes::from(bad))
+            .unwrap_err();
+        assert!(matches!(err, CapError::Failed(_)));
+    }
+
+    #[test]
+    fn bad_codec_tag_in_spec_rejected() {
+        let mut w = XdrWriter::new();
+        99u32.encode(&mut w);
+        0u32.encode(&mut w);
+        let spec = CapabilitySpec::with_config(NAME, w.finish());
+        assert!(CompressionCap::from_spec(&spec).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! The `lease` capability: time-bounded access.
+//!
+//! "Some clients … may be given access to the weather data only for the time
+//! they have paid for." The lease starts when the capability instance is
+//! built and denies once the paid duration elapses. Time flows through a
+//! [`TimeSource`] so the simulation harness and tests can drive it
+//! deterministically; the default is the process monotonic clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use ohpc_orb::capability::{CallInfo, CapMeta};
+use ohpc_orb::{CapError, Capability, CapabilitySpec, Direction};
+use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
+
+use crate::bad_config;
+
+/// Wire name of this capability.
+pub const NAME: &str = "lease";
+
+/// Where a lease gets its notion of "now" (milliseconds since some epoch).
+pub trait TimeSource: Send + Sync {
+    /// Current time in milliseconds.
+    fn now_ms(&self) -> u64;
+}
+
+/// Monotonic wall-clock time source.
+pub struct MonotonicTime {
+    origin: Instant,
+}
+
+impl Default for MonotonicTime {
+    fn default() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl TimeSource for MonotonicTime {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// Manually driven time source for tests and simulations.
+#[derive(Default)]
+pub struct ManualTime(AtomicU64);
+
+impl ManualTime {
+    /// Advances time by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.0.fetch_add(ms, Ordering::Relaxed);
+    }
+}
+
+impl TimeSource for ManualTime {
+    fn now_ms(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Paid-time lease capability.
+pub struct LeaseCap {
+    duration_ms: u64,
+    started_at_ms: u64,
+    time: Arc<dyn TimeSource>,
+}
+
+impl LeaseCap {
+    /// Builds a spec granting `duration_ms` of access.
+    pub fn spec(duration_ms: u64) -> CapabilitySpec {
+        let mut w = XdrWriter::new();
+        duration_ms.encode(&mut w);
+        CapabilitySpec::with_config(NAME, w.finish())
+    }
+
+    /// Builds from a spec with the default monotonic clock.
+    pub fn from_spec(spec: &CapabilitySpec) -> Result<Self, CapError> {
+        Self::from_spec_with_time(spec, Arc::new(MonotonicTime::default()))
+    }
+
+    /// Builds from a spec with an explicit time source.
+    pub fn from_spec_with_time(
+        spec: &CapabilitySpec,
+        time: Arc<dyn TimeSource>,
+    ) -> Result<Self, CapError> {
+        let mut r = XdrReader::new(&spec.config);
+        let duration_ms = u64::decode(&mut r).map_err(|e| bad_config(NAME, e))?;
+        let started_at_ms = time.now_ms();
+        Ok(Self { duration_ms, started_at_ms, time })
+    }
+
+    /// Milliseconds of lease remaining (0 when expired).
+    pub fn remaining_ms(&self) -> u64 {
+        let elapsed = self.time.now_ms().saturating_sub(self.started_at_ms);
+        self.duration_ms.saturating_sub(elapsed)
+    }
+
+    fn check(&self) -> Result<(), CapError> {
+        if self.remaining_ms() == 0 {
+            Err(CapError::Denied(format!("lease of {} ms expired", self.duration_ms)))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Capability for LeaseCap {
+    fn name(&self) -> &str {
+        NAME
+    }
+
+    fn process(
+        &self,
+        dir: Direction,
+        _call: &CallInfo,
+        _meta: &mut CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        if dir == Direction::Request {
+            self.check()?;
+        }
+        Ok(body)
+    }
+
+    fn unprocess(
+        &self,
+        dir: Direction,
+        _call: &CallInfo,
+        _meta: &CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        if dir == Direction::Request {
+            self.check()?;
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohpc_orb::{ObjectId, RequestId};
+
+    fn call() -> CallInfo {
+        CallInfo { object: ObjectId(1), method: 1, request_id: RequestId(1) }
+    }
+
+    fn leased(ms: u64) -> (LeaseCap, Arc<ManualTime>) {
+        let time = Arc::new(ManualTime::default());
+        let cap = LeaseCap::from_spec_with_time(&LeaseCap::spec(ms), time.clone()).unwrap();
+        (cap, time)
+    }
+
+    #[test]
+    fn lease_allows_until_expiry() {
+        let (cap, time) = leased(1000);
+        let mut meta = CapMeta::new();
+        assert!(cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).is_ok());
+        time.advance_ms(999);
+        assert!(cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).is_ok());
+        time.advance_ms(1);
+        let err =
+            cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).unwrap_err();
+        assert!(matches!(err, CapError::Denied(_)));
+        assert_eq!(cap.remaining_ms(), 0);
+    }
+
+    #[test]
+    fn server_side_also_checks() {
+        let (cap, time) = leased(10);
+        time.advance_ms(20);
+        let meta = CapMeta::new();
+        assert!(cap.unprocess(Direction::Request, &call(), &meta, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn replies_unaffected_by_expiry() {
+        // A reply in flight when the lease lapses still decodes.
+        let (cap, time) = leased(10);
+        time.advance_ms(20);
+        let mut meta = CapMeta::new();
+        assert!(cap.process(Direction::Reply, &call(), &mut meta, Bytes::new()).is_ok());
+        assert!(cap.unprocess(Direction::Reply, &call(), &meta, Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn remaining_reports_budget() {
+        let (cap, time) = leased(500);
+        assert_eq!(cap.remaining_ms(), 500);
+        time.advance_ms(100);
+        assert_eq!(cap.remaining_ms(), 400);
+    }
+
+    #[test]
+    fn monotonic_default_builds() {
+        let cap = LeaseCap::from_spec(&LeaseCap::spec(1_000_000)).unwrap();
+        let mut meta = CapMeta::new();
+        assert!(cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).is_ok());
+    }
+}

@@ -1,0 +1,279 @@
+//! LZSS dictionary coder.
+//!
+//! Classic Storer–Szymanski variant: the stream after the common header is a
+//! sequence of groups, each led by a flag byte whose bits (LSB first) say
+//! whether the next item is a literal byte (`1`) or a back-reference (`0`).
+//! A back-reference is 2 bytes: 12-bit offset (1-based distance) and 4-bit
+//! length with [`MIN_MATCH`] bias, covering matches of 3..=18 bytes within a
+//! 4 KiB window. A simple 3-byte hash-chain accelerates match search.
+
+use crate::{read_header, write_header, Codec, CodecKind, CompressError};
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const HASH_SIZE: usize = 1 << 13;
+/// How many chain links to follow per position; bounds worst-case compress time.
+const MAX_CHAIN: usize = 64;
+
+/// LZSS codec. The struct is stateless between calls; `Default` gives the
+/// standard 4 KiB-window configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lzss;
+
+#[inline]
+fn hash3(a: u8, b: u8, c: u8) -> usize {
+    let v = (a as u32) | ((b as u32) << 8) | ((c as u32) << 16);
+    (v.wrapping_mul(2654435761) >> 19) as usize & (HASH_SIZE - 1)
+}
+
+impl Codec for Lzss {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Lzss
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        write_header(&mut out, CodecKind::Lzss, input.len());
+
+        // head[h] = most recent position with hash h; prev[i % WINDOW] = chain.
+        let mut head = vec![usize::MAX; HASH_SIZE];
+        let mut prev = vec![usize::MAX; WINDOW];
+
+        let mut i = 0;
+        let mut flag_pos = out.len();
+        out.push(0);
+        let mut flag_bit = 0u8;
+
+        macro_rules! next_item {
+            () => {
+                if flag_bit == 8 {
+                    flag_pos = out.len();
+                    out.push(0);
+                    flag_bit = 0;
+                }
+            };
+        }
+
+        while i < input.len() {
+            next_item!();
+            let mut best_len = 0usize;
+            let mut best_off = 0usize;
+            if i + MIN_MATCH <= input.len() {
+                let h = hash3(input[i], input[i + 1], input[i + 2]);
+                let mut cand = head[h];
+                let mut chain = 0;
+                while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                    let max_len = MAX_MATCH.min(input.len() - i);
+                    let mut l = 0;
+                    while l < max_len && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                    let nxt = prev[cand % WINDOW];
+                    if nxt == usize::MAX || nxt >= cand {
+                        break;
+                    }
+                    cand = nxt;
+                    chain += 1;
+                }
+            }
+
+            if best_len >= MIN_MATCH {
+                // back-reference: offset-1 in 12 bits, len-MIN_MATCH in 4 bits
+                let off = best_off - 1;
+                let len = best_len - MIN_MATCH;
+                out.push((off & 0xFF) as u8);
+                out.push((((off >> 8) & 0x0F) as u8) << 4 | (len as u8));
+                // insert all covered positions into the chains
+                let end = i + best_len;
+                while i < end {
+                    insert(&mut head, &mut prev, input, i);
+                    i += 1;
+                }
+            } else {
+                out[flag_pos] |= 1 << flag_bit;
+                out.push(input[i]);
+                insert(&mut head, &mut prev, input, i);
+                i += 1;
+            }
+            flag_bit += 1;
+        }
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let (kind, declared, payload) = read_header(input)?;
+        if kind != CodecKind::Lzss {
+            return Err(CompressError::UnknownCodec(input[0]));
+        }
+        let mut out = Vec::with_capacity(declared);
+        let mut p = 0;
+        'outer: while p < payload.len() {
+            let flags = payload[p];
+            p += 1;
+            for bit in 0..8 {
+                if out.len() == declared {
+                    break 'outer;
+                }
+                if p >= payload.len() {
+                    break 'outer;
+                }
+                if flags & (1 << bit) != 0 {
+                    out.push(payload[p]);
+                    p += 1;
+                } else {
+                    if p + 1 >= payload.len() {
+                        return Err(CompressError::Truncated);
+                    }
+                    let b0 = payload[p] as usize;
+                    let b1 = payload[p + 1] as usize;
+                    p += 2;
+                    let off = (b0 | ((b1 >> 4) << 8)) + 1;
+                    let len = (b1 & 0x0F) + MIN_MATCH;
+                    if off > out.len() {
+                        return Err(CompressError::BadReference { offset: off, produced: out.len() });
+                    }
+                    let start = out.len() - off;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+                if out.len() > declared {
+                    return Err(CompressError::LengthMismatch { declared, actual: out.len() });
+                }
+            }
+        }
+        if out.len() != declared {
+            return Err(CompressError::LengthMismatch { declared, actual: out.len() });
+        }
+        Ok(out)
+    }
+}
+
+#[inline]
+fn insert(head: &mut [usize], prev: &mut [usize], input: &[u8], i: usize) {
+    if i + MIN_MATCH <= input.len() {
+        let h = hash3(input[i], input[i + 1], input[i + 2]);
+        prev[i % WINDOW] = head[h];
+        head[h] = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = Lzss.compress(data);
+        assert_eq!(Lzss.decompress(&packed).unwrap(), data, "len {}", data.len());
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 3, "packed {n} of {}", data.len());
+    }
+
+    #[test]
+    fn all_zeros() {
+        // MAX_MATCH=18 bounds the ratio near 18/2.125 ≈ 8.5x
+        let data = vec![0u8; 100_000];
+        let n = roundtrip(&data);
+        assert!(n < 12_000, "packed {n}");
+    }
+
+    #[test]
+    fn overlapping_copy_is_handled() {
+        // "aaaa..." forces offset-1 matches, the classic LZ overlap case.
+        roundtrip(&[b'a'; 50]);
+        // "ababab..." forces offset-2 overlap
+        let data: Vec<u8> = (0..99).map(|i| if i % 2 == 0 { b'a' } else { b'b' }).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // repeat a 64-byte phrase at distance just inside / outside the window
+        let phrase: Vec<u8> = (0..64u8).collect();
+        for gap in [WINDOW - 100, WINDOW - 64, WINDOW + 10] {
+            let mut data = phrase.clone();
+            data.extend(std::iter::repeat_n(0xEE, gap));
+            data.extend_from_slice(&phrase);
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn pseudo_random_data_roundtrips() {
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bad_reference_detected() {
+        // header declaring 10 bytes, then a group whose first item is a
+        // back-reference with offset > produced bytes.
+        let mut buf = Vec::new();
+        write_header(&mut buf, CodecKind::Lzss, 10);
+        buf.push(0b0000_0000); // all reference items
+        buf.push(0x05); // offset low
+        buf.push(0x00); // offset high nibble 0, len 0 (=3)
+        assert!(matches!(
+            Lzss.decompress(&buf).unwrap_err(),
+            CompressError::BadReference { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_reference_detected() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, CodecKind::Lzss, 10);
+        buf.push(0b0000_0000);
+        buf.push(0x05); // second ref byte missing
+        assert_eq!(Lzss.decompress(&buf).unwrap_err(), CompressError::Truncated);
+    }
+
+    #[test]
+    fn wrong_codec_tag_rejected() {
+        let packed = crate::Rle.compress(b"xyz");
+        assert!(matches!(Lzss.decompress(&packed).unwrap_err(), CompressError::UnknownCodec(1)));
+    }
+
+    #[test]
+    fn int_array_workload_compresses() {
+        // the fig5 workload: XDR-encoded array of small ints has 3 zero bytes
+        // per element — exactly what the compression capability exploits.
+        let mut data = Vec::new();
+        for i in 0..4096i32 {
+            data.extend_from_slice(&(i % 100).to_be_bytes());
+        }
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 2, "packed {n} of {}", data.len());
+    }
+}

@@ -1,0 +1,169 @@
+//! Byte-level run-length encoding.
+//!
+//! Format after the common header: a sequence of tokens
+//!
+//! * `0x00..=0x7F` — literal run: token+1 literal bytes follow (1..=128);
+//! * `0x80..=0xFF` — repeat run: one byte follows, repeated (token-0x7D)
+//!   times (3..=130). Runs shorter than 3 are emitted as literals because a
+//!   2-byte repeat token would not beat 2 literal bytes.
+
+use crate::{read_header, write_header, Codec, CodecKind, CompressError};
+
+/// Run-length codec (unit struct — stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rle;
+
+const MAX_LITERAL: usize = 128;
+const MIN_RUN: usize = 3;
+const MAX_RUN: usize = 130;
+
+impl Codec for Rle {
+    fn kind(&self) -> CodecKind {
+        CodecKind::Rle
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 4 + 16);
+        write_header(&mut out, CodecKind::Rle, input.len());
+
+        let mut i = 0;
+        let mut lit_start = 0;
+        while i < input.len() {
+            // measure run at i
+            let b = input[i];
+            let mut run = 1;
+            while i + run < input.len() && input[i + run] == b && run < MAX_RUN {
+                run += 1;
+            }
+            if run >= MIN_RUN {
+                flush_literals(&mut out, &input[lit_start..i]);
+                out.push((run - MIN_RUN + 0x80) as u8);
+                out.push(b);
+                i += run;
+                lit_start = i;
+            } else {
+                i += run;
+            }
+        }
+        flush_literals(&mut out, &input[lit_start..]);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let (kind, declared, mut payload) = read_header(input)?;
+        if kind != CodecKind::Rle {
+            return Err(CompressError::UnknownCodec(input[0]));
+        }
+        let mut out = Vec::with_capacity(declared);
+        while !payload.is_empty() {
+            let token = payload[0];
+            payload = &payload[1..];
+            if token < 0x80 {
+                let n = token as usize + 1;
+                if payload.len() < n {
+                    return Err(CompressError::Truncated);
+                }
+                out.extend_from_slice(&payload[..n]);
+                payload = &payload[n..];
+            } else {
+                let n = (token - 0x80) as usize + MIN_RUN;
+                let Some((&b, rest)) = payload.split_first() else {
+                    return Err(CompressError::Truncated);
+                };
+                payload = rest;
+                out.resize(out.len() + n, b);
+            }
+            if out.len() > declared {
+                return Err(CompressError::LengthMismatch { declared, actual: out.len() });
+            }
+        }
+        if out.len() != declared {
+            return Err(CompressError::LengthMismatch { declared, actual: out.len() });
+        }
+        Ok(out)
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let n = lits.len().min(MAX_LITERAL);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = Rle.compress(data);
+        assert_eq!(Rle.decompress(&packed).unwrap(), data);
+        packed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(b""), 5); // header only
+    }
+
+    #[test]
+    fn all_same_byte_compresses_hard() {
+        let data = vec![7u8; 10_000];
+        let packed_len = roundtrip(&data);
+        assert!(packed_len < data.len() / 20, "got {packed_len}");
+    }
+
+    #[test]
+    fn incompressible_data_grows_bounded() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let packed = Rle.compress(&data);
+        // worst case: one token byte per 128 literals + header
+        assert!(packed.len() <= data.len() + data.len() / MAX_LITERAL + 6 + 5);
+        assert_eq!(Rle.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn short_runs_stay_literal() {
+        roundtrip(b"aabbccddee");
+        roundtrip(b"aaabbbccc");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+    }
+
+    #[test]
+    fn max_run_boundary() {
+        for n in [MAX_RUN - 1, MAX_RUN, MAX_RUN + 1, 2 * MAX_RUN, 2 * MAX_RUN + 1] {
+            roundtrip(&vec![b'x'; n]);
+        }
+    }
+
+    #[test]
+    fn literal_chunk_boundary() {
+        // alternating bytes so nothing runs; lengths around MAX_LITERAL
+        for n in [MAX_LITERAL - 1, MAX_LITERAL, MAX_LITERAL + 1, 2 * MAX_LITERAL] {
+            let data: Vec<u8> = (0..n).map(|i| (i % 2) as u8 + i as u8 % 5).collect();
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let packed = Rle.compress(&[1u8; 100]);
+        for cut in 1..packed.len().min(8) {
+            assert!(Rle.decompress(&packed[..packed.len() - cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut packed = Rle.compress(b"hello world, hello world");
+        // corrupt declared length
+        packed[1] ^= 0xFF;
+        assert!(matches!(
+            Rle.decompress(&packed).unwrap_err(),
+            CompressError::LengthMismatch { .. } | CompressError::DeclaredTooLarge(_)
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Round-trip identity and corruption-safety properties for both codecs.
+
+use ohpc_compress::{decompress_any, Codec, Lzss, Rle};
+use proptest::prelude::*;
+
+fn arb_data() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // arbitrary bytes
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        // runs of a few distinct bytes — RLE/LZSS-friendly
+        proptest::collection::vec(0u8..4, 0..2048),
+        // repeated phrases
+        (proptest::collection::vec(any::<u8>(), 1..32), 1usize..64)
+            .prop_map(|(phrase, n)| phrase.repeat(n)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrip(data in arb_data()) {
+        let packed = Rle.compress(&data);
+        prop_assert_eq!(Rle.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_roundtrip(data in arb_data()) {
+        let packed = Lzss.compress(&data);
+        prop_assert_eq!(Lzss.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_any_matches_direct(data in arb_data()) {
+        prop_assert_eq!(decompress_any(&Rle.compress(&data)).unwrap(), data.clone());
+        prop_assert_eq!(decompress_any(&Lzss.compress(&data)).unwrap(), data);
+    }
+
+    /// Decompressing arbitrary garbage must never panic or allocate unbounded.
+    #[test]
+    fn fuzz_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Rle.decompress(&data);
+        let _ = Lzss.decompress(&data);
+        let _ = decompress_any(&data);
+    }
+
+    /// Single-byte corruption is either detected or decodes to *something*
+    /// without panicking (the format has no checksum; the MAC capability is
+    /// what provides integrity end-to-end).
+    #[test]
+    fn corrupted_stream_never_panics(data in arb_data(), idx: prop::sample::Index, bit in 0u8..8) {
+        for packed in [Rle.compress(&data), Lzss.compress(&data)] {
+            let mut bad = packed.clone();
+            let i = idx.index(bad.len());
+            bad[i] ^= 1 << bit;
+            let _ = decompress_any(&bad);
+        }
+    }
+}

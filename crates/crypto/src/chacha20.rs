@@ -1,0 +1,169 @@
+//! ChaCha20 stream cipher per RFC 8439 §2.3–2.4.
+
+/// ChaCha20 keystream generator / cipher.
+///
+/// Encryption and decryption are the same XOR operation; the encryption
+/// capability stores the key and sends the 12-byte nonce in the glue header.
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574]; // "expand 32-byte k"
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key, 96-bit nonce and initial counter.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
+        }
+        Self { state }
+    }
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        let mut working = self.state;
+        working[12] = counter;
+        let initial = working;
+        for _ in 0..10 {
+            // column rounds
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(initial[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream into `data` in place, starting at the cipher's
+    /// initial counter. Apply twice with the same key/nonce to decrypt.
+    pub fn apply(&self, data: &mut [u8]) {
+        let mut counter = self.state[12];
+        for chunk in data.chunks_mut(64) {
+            let ks = self.block(counter);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+}
+
+/// One-shot in-place XOR encryption/decryption.
+pub fn chacha20_xor(key: &[u8; 32], nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+    ChaCha20::new(key, nonce, counter).apply(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key = rfc_key();
+        let nonce = [0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00];
+        let cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.block(1);
+        assert_eq!(&block[..8], &[0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15]);
+        assert_eq!(&block[56..], &[0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e]);
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key = rfc_key();
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            &data[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd,
+                0x0d, 0x69, 0x81
+            ]
+        );
+        assert_eq!(data.len(), plaintext.len());
+        // decrypt
+        chacha20_xor(&key, &nonce, 1, &mut data);
+        assert_eq!(&data[..], &plaintext[..]);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let key = rfc_key();
+        let nonce = [7u8; 12];
+        for n in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let original: Vec<u8> = (0..n).map(|i| (i * 31 % 256) as u8).collect();
+            let mut data = original.clone();
+            chacha20_xor(&key, &nonce, 0, &mut data);
+            if n > 0 {
+                assert_ne!(data, original, "ciphertext must differ (n={n})");
+            }
+            chacha20_xor(&key, &nonce, 0, &mut data);
+            assert_eq!(data, original, "roundtrip failed (n={n})");
+        }
+    }
+
+    #[test]
+    fn different_nonces_produce_different_ciphertext() {
+        let key = rfc_key();
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        chacha20_xor(&key, &[1u8; 12], 0, &mut a);
+        chacha20_xor(&key, &[2u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_offsets_keystream() {
+        let key = rfc_key();
+        let nonce = [3u8; 12];
+        let mut two_blocks = vec![0u8; 128];
+        chacha20_xor(&key, &nonce, 0, &mut two_blocks);
+        let mut second = vec![0u8; 64];
+        chacha20_xor(&key, &nonce, 1, &mut second);
+        assert_eq!(&two_blocks[64..], &second[..]);
+    }
+}

@@ -1,0 +1,133 @@
+//! A named pre-shared-key store.
+//!
+//! Stands in for the site key-distribution infrastructure (Kerberos/ssh keys
+//! in 1999 terms) that the paper assumes exists between the national lab and
+//! its clients. Capabilities reference keys by [`KeyId`] so that the key
+//! material itself never travels inside an Object Reference.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::sha256;
+
+/// Identifies a key within a [`KeyStore`]. Derived from the key name so both
+/// sides of a connection agree on ids without exchanging them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u64);
+
+impl KeyId {
+    /// Derives the id for a key name (first 8 bytes of SHA-256 of the name).
+    pub fn from_name(name: &str) -> Self {
+        let d = sha256(name.as_bytes());
+        KeyId(u64::from_be_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]))
+    }
+}
+
+/// Immutable snapshot-style key store; cheaply cloneable via `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct KeyStore {
+    keys: HashMap<KeyId, Arc<[u8; 32]>>,
+}
+
+impl KeyStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a key under `name`, deriving 32 bytes of key material from the
+    /// passphrase with a single SHA-256 (sufficient for simulation purposes).
+    pub fn add_key(&mut self, name: &str, passphrase: &[u8]) -> KeyId {
+        let id = KeyId::from_name(name);
+        let mut material = Vec::with_capacity(name.len() + passphrase.len() + 1);
+        material.extend_from_slice(name.as_bytes());
+        material.push(0);
+        material.extend_from_slice(passphrase);
+        self.keys.insert(id, Arc::new(sha256(&material)));
+        id
+    }
+
+    /// Inserts raw 32-byte key material under `name`.
+    pub fn add_raw_key(&mut self, name: &str, key: [u8; 32]) -> KeyId {
+        let id = KeyId::from_name(name);
+        self.keys.insert(id, Arc::new(key));
+        id
+    }
+
+    /// Looks a key up by id.
+    pub fn get(&self, id: KeyId) -> Option<Arc<[u8; 32]>> {
+        self.keys.get(&id).cloned()
+    }
+
+    /// Looks a key up by name.
+    pub fn get_by_name(&self, name: &str) -> Option<Arc<[u8; 32]>> {
+        self.get(KeyId::from_name(name))
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_id() {
+        assert_eq!(KeyId::from_name("lab-key"), KeyId::from_name("lab-key"));
+        assert_ne!(KeyId::from_name("lab-key"), KeyId::from_name("lab-key2"));
+    }
+
+    #[test]
+    fn passphrase_derivation_is_deterministic() {
+        let mut a = KeyStore::new();
+        let mut b = KeyStore::new();
+        let ida = a.add_key("k", b"secret");
+        let idb = b.add_key("k", b"secret");
+        assert_eq!(ida, idb);
+        assert_eq!(a.get(ida).unwrap(), b.get(idb).unwrap());
+    }
+
+    #[test]
+    fn different_passphrases_differ() {
+        let mut s = KeyStore::new();
+        s.add_key("a", b"one");
+        let ka = s.get_by_name("a").unwrap();
+        let mut s2 = KeyStore::new();
+        s2.add_key("a", b"two");
+        let ka2 = s2.get_by_name("a").unwrap();
+        assert_ne!(ka, ka2);
+    }
+
+    #[test]
+    fn name_passphrase_split_is_unambiguous() {
+        // ("ab", "c") must not derive the same key as ("a", "bc").
+        let mut s1 = KeyStore::new();
+        s1.add_key("ab", b"c");
+        let mut s2 = KeyStore::new();
+        s2.add_key("a", b"bc");
+        assert_ne!(s1.get_by_name("ab").unwrap(), s2.get_by_name("a").unwrap());
+    }
+
+    #[test]
+    fn missing_key_is_none() {
+        let s = KeyStore::new();
+        assert!(s.get_by_name("nope").is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn raw_key_roundtrip() {
+        let mut s = KeyStore::new();
+        let id = s.add_raw_key("raw", [9u8; 32]);
+        assert_eq!(*s.get(id).unwrap(), [9u8; 32]);
+        assert_eq!(s.len(), 1);
+    }
+}

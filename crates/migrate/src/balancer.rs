@@ -1,0 +1,206 @@
+//! High/low-water-mark load balancing policy.
+
+use ohpc_netsim::load::LoadTracker;
+use ohpc_netsim::{MachineId, SimTime};
+use ohpc_orb::ObjectId;
+
+/// Policy thresholds, in load-score units (see
+/// [`ohpc_netsim::load::LoadSample::score`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaterMarks {
+    /// Migrate away when a machine's score exceeds this.
+    pub high: f64,
+    /// Only machines below this score accept migrated objects.
+    pub low: f64,
+}
+
+impl WaterMarks {
+    /// Standard 2.0 / 1.0 marks.
+    pub fn default_marks() -> Self {
+        Self { high: 2.0, low: 1.0 }
+    }
+}
+
+/// One planned migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Object to move.
+    pub object: ObjectId,
+    /// Overloaded source machine.
+    pub from: MachineId,
+    /// Underloaded destination machine.
+    pub to: MachineId,
+}
+
+/// The paper's load-balancing policy: when a machine crosses the high-water
+/// mark, move one hosted object to the least-loaded machine that sits below
+/// the low-water mark. Deterministic given the same samples (machines are
+/// scanned in ascending id order; the lowest-id object moves first).
+pub struct LoadBalancer {
+    marks: WaterMarks,
+    tracker: LoadTracker,
+}
+
+impl LoadBalancer {
+    /// Builds a balancer over `tracker`.
+    pub fn new(marks: WaterMarks, tracker: LoadTracker) -> Self {
+        assert!(marks.high > marks.low, "high mark must exceed low mark");
+        Self { marks, tracker }
+    }
+
+    /// The underlying tracker (for feeding request samples).
+    pub fn tracker(&self) -> &LoadTracker {
+        &self.tracker
+    }
+
+    /// Plans migrations for the current instant. `hosting` lists, per
+    /// machine, the migratable objects it currently hosts.
+    pub fn plan(
+        &self,
+        now: SimTime,
+        hosting: &[(MachineId, Vec<ObjectId>)],
+    ) -> Vec<MigrationPlan> {
+        let mut scores: Vec<(MachineId, f64, Vec<ObjectId>)> = hosting
+            .iter()
+            .map(|(m, objs)| {
+                let mut objs = objs.clone();
+                objs.sort();
+                (*m, self.tracker.sample(*m, now).score(), objs)
+            })
+            .collect();
+        scores.sort_by_key(|(m, _, _)| *m);
+
+        let mut plans = Vec::new();
+        // Copy of scores we update as we assign, so one pass cannot overload
+        // a single destination with every evacuated object.
+        let mut projected: Vec<(MachineId, f64)> =
+            scores.iter().map(|(m, s, _)| (*m, *s)).collect();
+
+        for (machine, score, objs) in &scores {
+            if *score <= self.marks.high || objs.is_empty() {
+                continue;
+            }
+            // least-loaded destination below the low mark, by projected score
+            let dest = projected
+                .iter()
+                .filter(|(m, s)| m != machine && *s < self.marks.low)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(m, _)| *m);
+            let Some(dest) = dest else { continue };
+            plans.push(MigrationPlan { object: objs[0], from: *machine, to: dest });
+            // The moved object brings some load with it; bump the projection
+            // so repeated planning rounds spread objects out.
+            if let Some(p) = projected.iter_mut().find(|(m, _)| *m == dest) {
+                p.1 += 0.5;
+            }
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LoadBalancer, SimTime) {
+        (LoadBalancer::new(WaterMarks::default_marks(), LoadTracker::new()), SimTime::ZERO)
+    }
+
+    fn m(n: u32) -> MachineId {
+        MachineId(n)
+    }
+
+    fn o(n: u64) -> ObjectId {
+        ObjectId(n)
+    }
+
+    #[test]
+    fn idle_cluster_plans_nothing() {
+        let (lb, now) = setup();
+        let plans = lb.plan(now, &[(m(0), vec![o(1)]), (m(1), vec![])]);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn overloaded_machine_evacuates_to_least_loaded() {
+        let (lb, now) = setup();
+        lb.tracker().set_background(m(0), 5.0); // over high mark
+        lb.tracker().set_background(m(1), 0.8);
+        lb.tracker().set_background(m(2), 0.2); // least loaded
+        let plans = lb.plan(now, &[(m(0), vec![o(7)]), (m(1), vec![]), (m(2), vec![])]);
+        assert_eq!(plans, vec![MigrationPlan { object: o(7), from: m(0), to: m(2) }]);
+    }
+
+    #[test]
+    fn no_destination_below_low_mark_means_no_plan() {
+        let (lb, now) = setup();
+        lb.tracker().set_background(m(0), 5.0);
+        lb.tracker().set_background(m(1), 1.5); // above low mark
+        let plans = lb.plan(now, &[(m(0), vec![o(1)]), (m(1), vec![])]);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn machine_without_objects_cannot_evacuate() {
+        let (lb, now) = setup();
+        lb.tracker().set_background(m(0), 5.0);
+        lb.tracker().set_background(m(1), 0.1);
+        let plans = lb.plan(now, &[(m(0), vec![]), (m(1), vec![])]);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn two_overloaded_machines_spread_across_destinations() {
+        let (lb, now) = setup();
+        lb.tracker().set_background(m(0), 5.0);
+        lb.tracker().set_background(m(1), 5.0);
+        lb.tracker().set_background(m(2), 0.1);
+        lb.tracker().set_background(m(3), 0.4);
+        let plans = lb.plan(
+            now,
+            &[
+                (m(0), vec![o(1)]),
+                (m(1), vec![o(2)]),
+                (m(2), vec![]),
+                (m(3), vec![]),
+            ],
+        );
+        assert_eq!(plans.len(), 2);
+        // first evacuation takes the least-loaded m2; projection bump steers
+        // the second to m3
+        assert_eq!(plans[0], MigrationPlan { object: o(1), from: m(0), to: m(2) });
+        assert_eq!(plans[1], MigrationPlan { object: o(2), from: m(1), to: m(3) });
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let (lb, now) = setup();
+        lb.tracker().set_background(m(0), 9.0);
+        lb.tracker().set_background(m(1), 0.0);
+        let hosting = [(m(0), vec![o(3), o(1), o(2)]), (m(1), vec![])];
+        let a = lb.plan(now, &hosting);
+        let b = lb.plan(now, &hosting);
+        assert_eq!(a, b);
+        assert_eq!(a[0].object, o(1), "lowest-id object moves first");
+    }
+
+    #[test]
+    #[should_panic(expected = "high mark must exceed low mark")]
+    fn invalid_marks_rejected() {
+        let _ = LoadBalancer::new(WaterMarks { high: 1.0, low: 2.0 }, LoadTracker::new());
+    }
+
+    #[test]
+    fn request_driven_load_triggers_migration() {
+        const SEC: u64 = 1_000_000_000;
+        let (lb, _) = setup();
+        // 500 requests in one second on m0 → score ≈ 5
+        for i in 0..500 {
+            lb.tracker().record_request(m(0), SimTime(i * SEC / 500));
+        }
+        let now = SimTime(SEC);
+        let plans = lb.plan(now, &[(m(0), vec![o(1)]), (m(1), vec![])]);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].to, m(1));
+    }
+}

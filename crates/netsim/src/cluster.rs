@@ -1,0 +1,345 @@
+//! Cluster topology: machines grouped into LANs.
+
+use std::collections::HashMap;
+
+use crate::{LinkClass, LinkProfile};
+
+/// Identifies a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineId(pub u32);
+
+/// Identifies a LAN segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LanId(pub u32);
+
+/// Identifies a site (campus): LANs on one site share a backbone; traffic
+/// between sites crosses a wide-area link. The paper's Figure 4 walk needs
+/// this third tier ("probably because they lie on the same campus and so do
+/// not need to use secure communication").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+/// Where a context lives: the HPC++ "node" abstraction plus its LAN, which is
+/// what the paper's applicability predicates (same machine / same LAN /
+/// cross-LAN) inspect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Hardware compute resource the context runs on.
+    pub machine: MachineId,
+    /// LAN segment the machine is attached to.
+    pub lan: LanId,
+    /// Site (campus) the LAN belongs to.
+    pub site: SiteId,
+}
+
+impl Location {
+    /// Convenience constructor for a location on site 0.
+    pub fn new(machine: u32, lan: u32) -> Self {
+        Self { machine: MachineId(machine), lan: LanId(lan), site: SiteId(0) }
+    }
+
+    /// Convenience constructor with an explicit site.
+    pub fn with_site(machine: u32, lan: u32, site: u32) -> Self {
+        Self { machine: MachineId(machine), lan: LanId(lan), site: SiteId(site) }
+    }
+
+    /// Classifies the path between two locations.
+    pub fn class_to(&self, other: &Location) -> LinkClass {
+        if self.machine == other.machine {
+            LinkClass::SameMachine
+        } else if self.lan == other.lan && self.site == other.site {
+            LinkClass::SameLan
+        } else if self.site == other.site {
+            LinkClass::CrossLan
+        } else {
+            LinkClass::CrossSite
+        }
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "M{}@LAN{}/S{}", self.machine.0, self.lan.0, self.site.0)
+    }
+}
+
+/// Immutable cluster description. Build with [`ClusterBuilder`].
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machines: HashMap<MachineId, MachineInfo>,
+    lan_profiles: HashMap<LanId, LinkProfile>,
+    lan_sites: HashMap<LanId, SiteId>,
+    backbone: LinkProfile,
+    wan: LinkProfile,
+    loopback: LinkProfile,
+}
+
+#[derive(Debug, Clone)]
+struct MachineInfo {
+    lan: LanId,
+    name: String,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// The location of machine `m`. Panics if the machine was never added —
+    /// that is a topology bug, not a runtime condition.
+    pub fn location_of(&self, m: MachineId) -> Location {
+        let info = self.machines.get(&m).unwrap_or_else(|| panic!("unknown machine {m:?}"));
+        let site = self.lan_sites.get(&info.lan).copied().unwrap_or(SiteId(0));
+        Location { machine: m, lan: info.lan, site }
+    }
+
+    /// Human-readable machine name (for experiment logs).
+    pub fn name_of(&self, m: MachineId) -> &str {
+        self.machines.get(&m).map(|i| i.name.as_str()).unwrap_or("?")
+    }
+
+    /// All machine ids, sorted.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let mut v: Vec<_> = self.machines.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The link profile governing a transfer from `a` to `b`.
+    pub fn profile_between(&self, a: MachineId, b: MachineId) -> LinkProfile {
+        let la = self.location_of(a);
+        let lb = self.location_of(b);
+        match la.class_to(&lb) {
+            LinkClass::SameMachine => self.loopback,
+            LinkClass::SameLan => *self
+                .lan_profiles
+                .get(&la.lan)
+                .unwrap_or_else(|| panic!("no profile for {:?}", la.lan)),
+            LinkClass::CrossLan => self.backbone,
+            LinkClass::CrossSite => self.wan,
+        }
+    }
+
+    /// Canonical undirected link key for queuing: same-machine pairs share the
+    /// loopback "link" of that machine; same-LAN pairs share the LAN segment;
+    /// cross-LAN pairs share the backbone.
+    pub fn link_key(&self, a: MachineId, b: MachineId) -> LinkKey {
+        let la = self.location_of(a);
+        let lb = self.location_of(b);
+        match la.class_to(&lb) {
+            LinkClass::SameMachine => LinkKey::Loopback(a),
+            LinkClass::SameLan => LinkKey::Lan(la.lan),
+            LinkClass::CrossLan => LinkKey::Backbone,
+            LinkClass::CrossSite => LinkKey::Wan,
+        }
+    }
+}
+
+/// Identifies the queueing domain a transfer occupies.
+///
+/// Modeling each LAN segment (and the backbone) as a single shared resource
+/// reflects the era's shared-media Ethernet and keeps contention realistic:
+/// two clients hammering the same server queue behind each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKey {
+    /// Same-machine path of one machine.
+    Loopback(MachineId),
+    /// A LAN segment.
+    Lan(LanId),
+    /// The intra-site backbone.
+    Backbone,
+    /// The wide-area link between sites.
+    Wan,
+}
+
+/// Builder for [`Cluster`].
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    machines: HashMap<MachineId, MachineInfo>,
+    lan_profiles: HashMap<LanId, LinkProfile>,
+    lan_sites: HashMap<LanId, SiteId>,
+    backbone: LinkProfile,
+    wan: LinkProfile,
+    loopback: LinkProfile,
+    next_machine: u32,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self {
+            machines: HashMap::new(),
+            lan_profiles: HashMap::new(),
+            lan_sites: HashMap::new(),
+            backbone: LinkProfile::campus_backbone(),
+            wan: LinkProfile::wan(),
+            loopback: LinkProfile::shared_memory(),
+            next_machine: 0,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Declares a LAN on site 0 with the given link technology.
+    pub fn lan(self, lan: LanId, profile: LinkProfile) -> Self {
+        self.lan_on_site(lan, SiteId(0), profile)
+    }
+
+    /// Declares a LAN on an explicit site.
+    pub fn lan_on_site(mut self, lan: LanId, site: SiteId, profile: LinkProfile) -> Self {
+        self.lan_profiles.insert(lan, profile);
+        self.lan_sites.insert(lan, site);
+        self
+    }
+
+    /// Adds a named machine to `lan`, returning its id through `out`.
+    pub fn machine(mut self, name: &str, lan: LanId, out: &mut MachineId) -> Self {
+        let id = MachineId(self.next_machine);
+        self.next_machine += 1;
+        self.machines.insert(id, MachineInfo { lan, name: name.to_string() });
+        *out = id;
+        self
+    }
+
+    /// Sets the intra-site inter-LAN backbone profile.
+    pub fn backbone(mut self, profile: LinkProfile) -> Self {
+        self.backbone = profile;
+        self
+    }
+
+    /// Sets the inter-site wide-area profile.
+    pub fn wan(mut self, profile: LinkProfile) -> Self {
+        self.wan = profile;
+        self
+    }
+
+    /// Sets the same-machine path profile.
+    pub fn loopback(mut self, profile: LinkProfile) -> Self {
+        self.loopback = profile;
+        self
+    }
+
+    /// Finishes the cluster. Panics if a machine references an undeclared LAN.
+    pub fn build(self) -> Cluster {
+        for (m, info) in &self.machines {
+            assert!(
+                self.lan_profiles.contains_key(&info.lan),
+                "machine {m:?} ({}) references undeclared {:?}",
+                info.name,
+                info.lan
+            );
+        }
+        Cluster {
+            machines: self.machines,
+            lan_profiles: self.lan_profiles,
+            lan_sites: self.lan_sites,
+            backbone: self.backbone,
+            wan: self.wan,
+            loopback: self.loopback,
+        }
+    }
+}
+
+/// Builds the four-machine topology of the paper's Figure 4 experiment:
+/// client machine M0 shares LAN 0 with M3; M2 sits on LAN 1 of the same
+/// campus (reached over the backbone); M1 is on LAN 2 of a *different site*
+/// (reached over the wide-area link, hence "secure communication" applies).
+/// Returns `(cluster, [m0, m1, m2, m3])`.
+pub fn figure4_cluster(lan_profile: LinkProfile) -> (Cluster, [MachineId; 4]) {
+    let (mut m0, mut m1, mut m2, mut m3) =
+        (MachineId(0), MachineId(0), MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan_on_site(LanId(0), SiteId(0), lan_profile)
+        .lan_on_site(LanId(1), SiteId(0), lan_profile)
+        .lan_on_site(LanId(2), SiteId(1), lan_profile)
+        .machine("M0", LanId(0), &mut m0)
+        .machine("M1", LanId(2), &mut m1)
+        .machine("M2", LanId(1), &mut m2)
+        .machine("M3", LanId(0), &mut m3)
+        .build();
+    (cluster, [m0, m1, m2, m3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_classification() {
+        let a = Location::new(1, 1);
+        let b = Location::new(1, 1);
+        let c = Location::new(2, 1);
+        let d = Location::new(3, 2);
+        let e = Location::with_site(4, 5, 1);
+        assert_eq!(a.class_to(&b), LinkClass::SameMachine);
+        assert_eq!(a.class_to(&c), LinkClass::SameLan);
+        assert_eq!(a.class_to(&d), LinkClass::CrossLan);
+        assert_eq!(a.class_to(&e), LinkClass::CrossSite);
+        // symmetric
+        assert_eq!(d.class_to(&a), LinkClass::CrossLan);
+        assert_eq!(e.class_to(&a), LinkClass::CrossSite);
+        // same lan id on different sites is NOT the same lan
+        let f = Location::with_site(9, 1, 1);
+        assert_eq!(a.class_to(&f), LinkClass::CrossSite);
+    }
+
+    #[test]
+    fn profile_between_matches_class() {
+        let (cluster, [m0, m1, m2, m3]) = figure4_cluster(LinkProfile::atm_155());
+        assert_eq!(cluster.profile_between(m0, m0), LinkProfile::shared_memory());
+        assert_eq!(cluster.profile_between(m0, m3), LinkProfile::atm_155());
+        assert_eq!(cluster.profile_between(m0, m2), LinkProfile::campus_backbone());
+        assert_eq!(cluster.profile_between(m0, m1), LinkProfile::wan());
+    }
+
+    #[test]
+    fn link_keys_identify_shared_media() {
+        let (cluster, [m0, m1, m2, m3]) = figure4_cluster(LinkProfile::ethernet_10());
+        assert_eq!(cluster.link_key(m0, m3), cluster.link_key(m3, m0));
+        assert_eq!(cluster.link_key(m0, m1), LinkKey::Wan);
+        assert_eq!(cluster.link_key(m0, m2), LinkKey::Backbone);
+        assert_eq!(cluster.link_key(m0, m0), LinkKey::Loopback(m0));
+        assert_ne!(cluster.link_key(m0, m0), cluster.link_key(m1, m1));
+    }
+
+    #[test]
+    fn figure4_topology_shape() {
+        let (cluster, [m0, m1, m2, m3]) = figure4_cluster(LinkProfile::atm_155());
+        assert_eq!(cluster.len(), 4);
+        let l0 = cluster.location_of(m0);
+        assert_eq!(l0.class_to(&cluster.location_of(m3)), LinkClass::SameLan);
+        assert_eq!(l0.class_to(&cluster.location_of(m2)), LinkClass::CrossLan);
+        assert_eq!(l0.class_to(&cluster.location_of(m1)), LinkClass::CrossSite);
+        assert_eq!(cluster.name_of(m1), "M1");
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn builder_validates_lans() {
+        let mut m = MachineId(0);
+        let _ = Cluster::builder().machine("orphan", LanId(9), &mut m).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown machine")]
+    fn unknown_machine_panics() {
+        let (cluster, _) = figure4_cluster(LinkProfile::atm_155());
+        let _ = cluster.location_of(MachineId(99));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Location::new(2, 1).to_string(), "M2@LAN1/S0");
+        assert_eq!(Location::with_site(2, 1, 3).to_string(), "M2@LAN1/S3");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests on the simulator's core invariants.
+
+use ohpc_netsim::{
+    figure4_cluster, Cluster, LanId, LinkProfile, Location, MachineId, SimNet, SimTime,
+};
+use proptest::prelude::*;
+
+fn two_machine_net(bandwidth_bps: u64, latency_us: u64) -> (SimNet, MachineId, MachineId) {
+    let profile = LinkProfile {
+        latency: std::time::Duration::from_micros(latency_us),
+        bandwidth_bps,
+        per_msg_overhead: std::time::Duration::from_micros(50),
+        jitter: 0.0,
+    };
+    let (mut a, mut b) = (MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), profile)
+        .machine("a", LanId(0), &mut a)
+        .machine("b", LanId(0), &mut b)
+        .build();
+    (SimNet::new(cluster), a, b)
+}
+
+proptest! {
+    /// Virtual time never goes backwards, receipts are internally ordered,
+    /// and elapsed time is at least the unloaded transfer time.
+    #[test]
+    fn transfers_are_causally_ordered(
+        sizes in proptest::collection::vec(1usize..1_000_000, 1..40),
+        bw in 1_000_000u64..1_000_000_000,
+        lat in 1u64..10_000,
+    ) {
+        let (net, a, b) = two_machine_net(bw, lat);
+        let mut last_now = SimTime::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let (from, to) = if i % 2 == 0 { (a, b) } else { (b, a) };
+            let r = net.transfer(from, to, size);
+            prop_assert!(r.submitted >= last_now || r.submitted == last_now);
+            prop_assert!(r.started >= r.submitted);
+            prop_assert!(r.arrived > r.started);
+            let now = net.clock().now();
+            prop_assert!(now >= r.arrived);
+            prop_assert!(now >= last_now, "clock must be monotonic");
+            last_now = now;
+        }
+    }
+
+    /// Service windows on one shared link never overlap: total busy time
+    /// equals the sum of individual service times.
+    #[test]
+    fn shared_link_serializes_service(
+        sizes in proptest::collection::vec(1usize..500_000, 2..20),
+    ) {
+        let (net, a, b) = two_machine_net(10_000_000, 400);
+        let profile = net.cluster().profile_between(a, b);
+        let mut windows: Vec<(u64, u64)> = Vec::new();
+        for &size in &sizes {
+            let r = net.transfer(a, b, size);
+            let service_end = r.arrived.0 - profile.latency.as_nanos() as u64;
+            windows.push((r.started.0, service_end));
+        }
+        windows.sort();
+        for w in windows.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "service windows overlap: {w:?}");
+        }
+    }
+
+    /// Doubling the payload at least doubles the wire term (modulo the fixed
+    /// per-message overhead) — the linearity Figure 5's saturation relies on.
+    #[test]
+    fn transfer_time_is_affine_in_size(size in 1000usize..500_000) {
+        let (net, a, b) = two_machine_net(100_000_000, 100);
+        let profile = net.cluster().profile_between(a, b);
+        let t1 = profile.unloaded_time(size).0;
+        let t2 = profile.unloaded_time(size * 2).0;
+        let fixed = profile.unloaded_time(0).0;
+        prop_assert_eq!(t2 - fixed, 2 * (t1 - fixed));
+    }
+
+    /// Location classification is symmetric and consistent with the cluster.
+    #[test]
+    fn classification_is_symmetric(ma in 0u32..4, mb in 0u32..4) {
+        let (cluster, ms) = figure4_cluster(LinkProfile::atm_155());
+        let la = cluster.location_of(ms[ma as usize]);
+        let lb = cluster.location_of(ms[mb as usize]);
+        prop_assert_eq!(la.class_to(&lb), lb.class_to(&la));
+        if ma == mb {
+            prop_assert_eq!(la.class_to(&lb), ohpc_netsim::LinkClass::SameMachine);
+        }
+    }
+
+    /// Jittered transfers stay within the configured envelope.
+    #[test]
+    fn jitter_stays_in_envelope(seed in 0u64..1000, size in 10_000usize..200_000) {
+        let profile = LinkProfile::atm_155().with_jitter(0.2);
+        let (mut a, mut b) = (MachineId(0), MachineId(0));
+        let cluster = Cluster::builder()
+            .lan(LanId(0), profile)
+            .machine("a", LanId(0), &mut a)
+            .machine("b", LanId(0), &mut b)
+            .build();
+        let net = SimNet::with_seed(cluster, seed);
+        let base = LinkProfile::atm_155();
+        let r = net.transfer(a, b, size);
+        let service = r.arrived.0 - base.latency.as_nanos() as u64 - r.started.0;
+        let nominal = base.service_time(size).0;
+        let lo = (nominal as f64 * 0.79) as u64;
+        let hi = (nominal as f64 * 1.21) as u64;
+        prop_assert!(service >= lo && service <= hi,
+            "service {service} outside [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn location_equality_requires_all_fields() {
+    assert_ne!(Location::with_site(1, 1, 0), Location::with_site(1, 1, 1));
+    assert_eq!(Location::new(1, 1), Location::with_site(1, 1, 0));
+}

@@ -1,0 +1,206 @@
+//! Nexus-style message buffers.
+//!
+//! Real Nexus exposes `nexus_put_int`, `nexus_get_double_array`, … against a
+//! message buffer sized with `nexus_sizeof_*`. This module reproduces that
+//! API surface over the XDR codec so code ported from Nexus reads naturally,
+//! and so the baseline protocol's marshaling is structurally the same as the
+//! original library's.
+
+use ohpc_xdr::{XdrError, XdrReader, XdrWriter};
+
+/// Outgoing message buffer (the startpoint side).
+#[derive(Default)]
+pub struct PutBuffer {
+    w: XdrWriter,
+}
+
+impl PutBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer pre-sized for `bytes` of payload (`nexus_sizeof_*` idiom).
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self { w: XdrWriter::with_capacity(bytes) }
+    }
+
+    /// Appends one `i32`.
+    pub fn put_int(&mut self, v: i32) -> &mut Self {
+        self.w.put_i32(v);
+        self
+    }
+
+    /// Appends one `i64`.
+    pub fn put_long(&mut self, v: i64) -> &mut Self {
+        self.w.put_i64(v);
+        self
+    }
+
+    /// Appends one `f64`.
+    pub fn put_double(&mut self, v: f64) -> &mut Self {
+        self.w.put_f64(v);
+        self
+    }
+
+    /// Appends a counted `i32` array.
+    pub fn put_int_array(&mut self, v: &[i32]) -> &mut Self {
+        self.w.put_array_len(v.len());
+        for x in v {
+            self.w.put_i32(*x);
+        }
+        self
+    }
+
+    /// Appends a counted `f64` array.
+    pub fn put_double_array(&mut self, v: &[f64]) -> &mut Self {
+        self.w.put_array_len(v.len());
+        for x in v {
+            self.w.put_f64(*x);
+        }
+        self
+    }
+
+    /// Appends a string.
+    pub fn put_string(&mut self, s: &str) -> &mut Self {
+        self.w.put_string(s);
+        self
+    }
+
+    /// Appends raw opaque bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.w.put_opaque(b);
+        self
+    }
+
+    /// The underlying XDR writer, for passing to [`crate::Startpoint::rsr_reply`].
+    pub fn writer(&self) -> &XdrWriter {
+        &self.w
+    }
+
+    /// Encoded size so far.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when nothing was put.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+}
+
+/// Incoming message buffer (the handler / reply side).
+pub struct GetBuffer<'a> {
+    r: XdrReader<'a>,
+}
+
+impl<'a> GetBuffer<'a> {
+    /// Wraps received bytes.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { r: XdrReader::new(data) }
+    }
+
+    /// Wraps an existing reader (handler bodies get one from the service).
+    pub fn from_reader(r: XdrReader<'a>) -> Self {
+        Self { r }
+    }
+
+    /// Reads one `i32`.
+    pub fn get_int(&mut self) -> Result<i32, XdrError> {
+        self.r.get_i32()
+    }
+
+    /// Reads one `i64`.
+    pub fn get_long(&mut self) -> Result<i64, XdrError> {
+        self.r.get_i64()
+    }
+
+    /// Reads one `f64`.
+    pub fn get_double(&mut self) -> Result<f64, XdrError> {
+        self.r.get_f64()
+    }
+
+    /// Reads a counted `i32` array.
+    pub fn get_int_array(&mut self) -> Result<Vec<i32>, XdrError> {
+        let n = self.r.get_array_len()?;
+        let mut out = Vec::with_capacity(n.min(self.r.remaining() / 4));
+        for _ in 0..n {
+            out.push(self.r.get_i32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a counted `f64` array.
+    pub fn get_double_array(&mut self) -> Result<Vec<f64>, XdrError> {
+        let n = self.r.get_array_len()?;
+        let mut out = Vec::with_capacity(n.min(self.r.remaining() / 8));
+        for _ in 0..n {
+            out.push(self.r.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a string.
+    pub fn get_string(&mut self) -> Result<String, XdrError> {
+        self.r.get_string()
+    }
+
+    /// Reads opaque bytes.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, XdrError> {
+        Ok(self.r.get_opaque()?.to_vec())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.r.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip_all_types() {
+        let mut b = PutBuffer::new();
+        b.put_int(-5)
+            .put_long(1 << 40)
+            .put_double(2.75)
+            .put_int_array(&[1, 2, 3])
+            .put_double_array(&[0.5, -0.5])
+            .put_string("nexus")
+            .put_bytes(&[9, 8, 7]);
+        let bytes = b.writer().peek().to_vec();
+
+        let mut g = GetBuffer::new(&bytes);
+        assert_eq!(g.get_int().unwrap(), -5);
+        assert_eq!(g.get_long().unwrap(), 1 << 40);
+        assert_eq!(g.get_double().unwrap(), 2.75);
+        assert_eq!(g.get_int_array().unwrap(), vec![1, 2, 3]);
+        assert_eq!(g.get_double_array().unwrap(), vec![0.5, -0.5]);
+        assert_eq!(g.get_string().unwrap(), "nexus");
+        assert_eq!(g.get_bytes().unwrap(), vec![9, 8, 7]);
+        assert_eq!(g.remaining(), 0);
+    }
+
+    #[test]
+    fn type_confusion_is_an_error_not_a_panic() {
+        let mut b = PutBuffer::new();
+        b.put_string("just a string");
+        let bytes = b.writer().peek().to_vec();
+        let mut g = GetBuffer::new(&bytes);
+        // reading it as a huge int array fails cleanly
+        assert!(g.get_int_array().is_err() || g.remaining() > 0);
+    }
+
+    #[test]
+    fn with_capacity_matches_default_encoding() {
+        let mut a = PutBuffer::new();
+        let mut b = PutBuffer::with_capacity(256);
+        a.put_int_array(&[7; 10]);
+        b.put_int_array(&[7; 10]);
+        assert_eq!(a.writer().peek(), b.writer().peek());
+        assert_eq!(a.len(), 44);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,663 @@
+//! Contexts: the server side of the ORB.
+//!
+//! A context is the HPC++ "virtual address space": it hosts objects, owns
+//! the server half of every protocol (listeners and the Nexus service), the
+//! server-side glue chains, migration tombstones, and mints Object
+//! References. A `Context` value is a cheap clone of shared state, so server
+//! threads, experiment drivers, and the migration manager can all hold one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use ohpc_nexus::NexusService;
+use ohpc_netsim::Location;
+use ohpc_transport::{Connection, Listener};
+use ohpc_xdr::{XdrReader, XdrWriter};
+
+use crate::capability::{
+    process_chain, unprocess_chain, CallInfo, CapError, Capability, CapabilityRegistry,
+    CapabilitySpec, Direction,
+};
+use crate::error::OrbError;
+use crate::glue::ComputeMeter;
+use crate::ids::{ContextId, ObjectId, ProtocolId};
+use crate::message::{CapWireMeta, GlueWire, ReplyMessage, ReplyStatus, RequestMessage};
+use crate::objref::{ObjectReference, ProtoEntry};
+use crate::skeleton::{MethodError, RemoteObject};
+use crate::transport_proto::NEXUS_ORB_HANDLER;
+
+/// How a protocol is advertised in ORs this context mints.
+#[derive(Debug, Clone)]
+pub struct ProtoAdvert {
+    /// Protocol id, as it will appear in OR tables.
+    pub id: ProtocolId,
+    /// Endpoint string clients dial.
+    pub endpoint: String,
+}
+
+/// Specification of one OR table row when minting a reference.
+#[derive(Debug, Clone)]
+pub enum OrRow {
+    /// A plain protocol row, resolved against this context's adverts.
+    Plain(ProtocolId),
+    /// A glue row: the chain `glue_id` wrapped around protocol `inner`.
+    Glue {
+        /// Chain previously installed with [`Context::add_glue`].
+        glue_id: u64,
+        /// The real protocol underneath.
+        inner: ProtocolId,
+    },
+}
+
+struct GlueChain {
+    specs: Vec<CapabilitySpec>,
+    caps: Vec<Arc<dyn Capability>>,
+}
+
+struct ServerHandle {
+    shutdown: Box<dyn Fn() + Send>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Request-served hook (load tracking, logging).
+pub type RequestHook = Box<dyn Fn(ObjectId, u32) + Send + Sync>;
+
+struct ContextInner {
+    id: ContextId,
+    location: RwLock<Location>,
+    next_local: AtomicU32,
+    next_glue: AtomicU64,
+    objects: RwLock<HashMap<ObjectId, Arc<dyn RemoteObject>>>,
+    tombstones: RwLock<HashMap<ObjectId, ObjectReference>>,
+    glues: RwLock<HashMap<u64, Arc<GlueChain>>>,
+    registry: Arc<CapabilityRegistry>,
+    adverts: RwLock<Vec<ProtoAdvert>>,
+    servers: Mutex<Vec<ServerHandle>>,
+    nexus_services: Mutex<Vec<ohpc_nexus::RunningService>>,
+    on_request: RwLock<Option<RequestHook>>,
+    meter: RwLock<Option<Arc<dyn ComputeMeter>>>,
+    requests_served: AtomicU64,
+    stopping: std::sync::atomic::AtomicBool,
+}
+
+/// A server context. Clones share state.
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+/// Alias kept for API clarity where a context is held purely to keep its
+/// server threads alive.
+pub type ContextHandle = Context;
+
+impl Context {
+    /// Creates a context at `location` with the given capability registry.
+    pub fn new(id: ContextId, location: Location, registry: Arc<CapabilityRegistry>) -> Self {
+        Self {
+            inner: Arc::new(ContextInner {
+                id,
+                location: RwLock::new(location),
+                next_local: AtomicU32::new(1),
+                next_glue: AtomicU64::new(1),
+                objects: RwLock::new(HashMap::new()),
+                tombstones: RwLock::new(HashMap::new()),
+                glues: RwLock::new(HashMap::new()),
+                registry,
+                adverts: RwLock::new(Vec::new()),
+                servers: Mutex::new(Vec::new()),
+                nexus_services: Mutex::new(Vec::new()),
+                on_request: RwLock::new(None),
+                meter: RwLock::new(None),
+                requests_served: AtomicU64::new(0),
+                stopping: std::sync::atomic::AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// This context's id.
+    pub fn id(&self) -> ContextId {
+        self.inner.id
+    }
+
+    /// Where this context runs.
+    pub fn location(&self) -> Location {
+        *self.inner.location.read()
+    }
+
+    /// The capability registry used to build server-side chains.
+    pub fn registry(&self) -> &Arc<CapabilityRegistry> {
+        &self.inner.registry
+    }
+
+    /// Attaches a compute meter: server-side capability processing time is
+    /// charged to it (the simulation harness passes the `SimNet`).
+    pub fn set_meter(&self, meter: Arc<dyn ComputeMeter>) {
+        *self.inner.meter.write() = Some(meter);
+    }
+
+    /// Installs a hook called once per dispatched request.
+    pub fn set_request_hook(&self, hook: RequestHook) {
+        *self.inner.on_request.write() = Some(hook);
+    }
+
+    /// Total requests dispatched by this context.
+    pub fn requests_served(&self) -> u64 {
+        self.inner.requests_served.load(Ordering::Relaxed)
+    }
+
+    // ---------------------------------------------------------------- objects
+
+    /// Hosts `object`, returning its new global id.
+    pub fn register(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
+        let local = self.inner.next_local.fetch_add(1, Ordering::Relaxed);
+        let id = ObjectId::compose(self.inner.id, local);
+        self.inner.objects.write().insert(id, object);
+        id
+    }
+
+    /// Removes and returns an object (migration step 1). The caller is
+    /// expected to install a tombstone once the object lands elsewhere.
+    pub fn take_object(&self, id: ObjectId) -> Option<Arc<dyn RemoteObject>> {
+        self.inner.objects.write().remove(&id)
+    }
+
+    /// Hosts an object under a caller-provided id (migration step 2: the
+    /// object keeps its identity at its new home).
+    pub fn adopt(&self, id: ObjectId, object: Arc<dyn RemoteObject>) {
+        self.inner.objects.write().insert(id, object);
+        // A stale tombstone must not shadow a real resident object.
+        self.inner.tombstones.write().remove(&id);
+    }
+
+    /// Leaves a forwarding tombstone: requests for `id` get `Moved(new_or)`.
+    pub fn install_tombstone(&self, id: ObjectId, new_or: ObjectReference) {
+        self.inner.tombstones.write().insert(id, new_or);
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.inner.objects.read().len()
+    }
+
+    /// Whether `id` is resident here (not a tombstone).
+    pub fn hosts(&self, id: ObjectId) -> bool {
+        self.inner.objects.read().contains_key(&id)
+    }
+
+    // ------------------------------------------------------------------ glue
+
+    /// Installs a server-side capability chain, returning its glue id.
+    /// Instances are built once from `specs` via this context's registry;
+    /// stateful capabilities (budgets) live as long as the chain.
+    pub fn add_glue(&self, specs: Vec<CapabilitySpec>) -> Result<u64, CapError> {
+        let caps = self.inner.registry.build_chain(&specs)?;
+        let glue_id = self.inner.next_glue.fetch_add(1, Ordering::Relaxed);
+        self.inner.glues.write().insert(glue_id, Arc::new(GlueChain { specs, caps }));
+        Ok(glue_id)
+    }
+
+    /// Replaces the chain behind `glue_id` (dynamic capability change).
+    pub fn replace_glue(&self, glue_id: u64, specs: Vec<CapabilitySpec>) -> Result<(), CapError> {
+        let caps = self.inner.registry.build_chain(&specs)?;
+        self.inner.glues.write().insert(glue_id, Arc::new(GlueChain { specs, caps }));
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- serving
+
+    /// Records that clients can reach this context over `id` at `endpoint`
+    /// without starting a listener (used when an external server, e.g. a
+    /// Nexus service, already accepts for us).
+    pub fn advertise(&self, id: ProtocolId, endpoint: String) {
+        self.inner.adverts.write().push(ProtoAdvert { id, endpoint });
+    }
+
+    /// Serves ORB frames on `listener`, advertising it as protocol `id`.
+    pub fn serve(&self, listener: Box<dyn Listener>, id: ProtocolId) {
+        self.advertise(id, listener.endpoint().to_string());
+        let ctx = self.clone();
+        let mut listener = listener;
+        let shutdown_listener: Box<dyn Fn() + Send> = listener.stop_fn();
+        let join = std::thread::spawn(move || {
+            // Connection threads are detached: each exits when its client
+            // hangs up. Joining them here would deadlock shutdown while any
+            // client still holds a cached connection.
+            while let Ok(conn) = listener.accept() {
+                let ctx = ctx.clone();
+                std::thread::spawn(move || ctx.serve_connection(conn));
+            }
+        });
+        self.inner
+            .servers
+            .lock()
+            .push(ServerHandle { shutdown: shutdown_listener, join: Some(join) });
+    }
+
+    /// Serves ORB frames through a Nexus service (the baseline protocol),
+    /// advertising it as protocol `id`.
+    pub fn serve_nexus(&self, listener: Box<dyn Listener>, id: ProtocolId) {
+        let ctx = self.clone();
+        let mut svc = NexusService::new();
+        svc.register(NEXUS_ORB_HANDLER, move |args, out| {
+            let n = args.remaining();
+            let frame = args.get_fixed_opaque(n).map_err(|e| e.to_string())?;
+            let reply = ctx.handle_frame(frame);
+            out.put_fixed_opaque(&reply);
+            Ok(())
+        });
+        let running = svc.start(listener);
+        self.advertise(id, running.endpoint().to_string());
+        self.inner.nexus_services.lock().push(running);
+    }
+
+    /// Stops all listeners and joins server threads. Established connections
+    /// stop being served: their next request closes the connection, which
+    /// clients observe as a transport error (and transparently re-dial if a
+    /// new server binds the endpoint).
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        for h in self.inner.servers.lock().iter() {
+            (h.shutdown)();
+        }
+        for mut h in self.inner.servers.lock().drain(..) {
+            if let Some(j) = h.join.take() {
+                let _ = j.join();
+            }
+        }
+        self.inner.nexus_services.lock().clear();
+    }
+
+    fn serve_connection(&self, mut conn: Box<dyn Connection>) {
+        while let Ok(frame) = conn.recv() {
+            if self.inner.stopping.load(Ordering::Acquire) {
+                return; // drop the connection: this context is gone
+            }
+            // One-way requests yield no reply frame.
+            if let Some(reply) = self.handle_frame_opt(&frame) {
+                if conn.send(&reply).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- dispatch
+
+    /// Core server path: decodes a request frame, runs the glue chain,
+    /// dispatches to the object, and encodes a reply frame. One-way requests
+    /// still produce an encoded (dropped-by-the-caller) reply; use
+    /// [`handle_frame_opt`](Self::handle_frame_opt) on serving paths.
+    pub fn handle_frame(&self, frame: &[u8]) -> Bytes {
+        self.handle_frame_opt(frame).unwrap_or_else(|| {
+            ReplyMessage::status(crate::ids::RequestId(0), ReplyStatus::Ok).to_frame()
+        })
+    }
+
+    /// Like [`handle_frame`](Self::handle_frame) but returns `None` for
+    /// one-way requests (which are dispatched and produce no reply frame).
+    pub fn handle_frame_opt(&self, frame: &[u8]) -> Option<Bytes> {
+        let req = match RequestMessage::from_frame(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // We cannot know the request id; reply with id 0 and an
+                // exception so the client at least unblocks.
+                return Some(
+                    ReplyMessage::status(
+                        crate::ids::RequestId(0),
+                        ReplyStatus::Exception(format!("malformed request: {e}")),
+                    )
+                    .to_frame(),
+                );
+            }
+        };
+        let oneway = req.oneway;
+        let reply = self.handle_request(req);
+        if oneway {
+            None
+        } else {
+            Some(reply.to_frame())
+        }
+    }
+
+    /// Typed form of [`handle_frame`](Self::handle_frame).
+    pub fn handle_request(&self, req: RequestMessage) -> ReplyMessage {
+        let rid = req.request_id;
+        let call = CallInfo { object: req.object, method: req.method, request_id: rid };
+
+        // Tombstone? Forward the client to the object's new home.
+        if let Some(new_or) = self.inner.tombstones.read().get(&req.object) {
+            return ReplyMessage::status(rid, ReplyStatus::Moved(Box::new(new_or.clone())));
+        }
+
+        let Some(object) = self.inner.objects.read().get(&req.object).cloned() else {
+            return ReplyMessage::status(rid, ReplyStatus::NoSuchObject);
+        };
+
+        // Glue: unprocess the request chain.
+        let (body, glue_chain) = match &req.glue {
+            None => (req.body.clone(), None),
+            Some(wire) => {
+                let Some(chain) = self.inner.glues.read().get(&wire.glue_id).cloned() else {
+                    return ReplyMessage::status(rid, ReplyStatus::UnknownGlue(wire.glue_id));
+                };
+                let metas: Vec<(String, Bytes)> =
+                    wire.caps.iter().map(|c| (c.name.clone(), c.meta.clone())).collect();
+                let unglued = self.metered(|| {
+                    unprocess_chain(&chain.caps, Direction::Request, &call, &metas, req.body.clone())
+                });
+                match unglued {
+                    Ok(b) => (b, Some((wire.glue_id, chain))),
+                    Err(CapError::Denied(msg)) => {
+                        return ReplyMessage::status(rid, ReplyStatus::CapabilityDenied(msg));
+                    }
+                    Err(e) => {
+                        return ReplyMessage::status(
+                            rid,
+                            ReplyStatus::Exception(format!("glue unprocess failed: {e}")),
+                        );
+                    }
+                }
+            }
+        };
+
+        // Dispatch.
+        if let Some(hook) = self.inner.on_request.read().as_ref() {
+            hook(req.object, req.method);
+        }
+        self.inner.requests_served.fetch_add(1, Ordering::Relaxed);
+
+        let mut out = XdrWriter::new();
+        let mut args = XdrReader::new(&body);
+        let dispatched = object.dispatch(req.method, &mut args, &mut out);
+        let reply_body = match dispatched {
+            Ok(()) => out.finish(),
+            Err(MethodError::NoSuchMethod(m)) => {
+                return ReplyMessage::status(rid, ReplyStatus::NoSuchMethod(m));
+            }
+            Err(MethodError::App(msg)) => {
+                return ReplyMessage::status(rid, ReplyStatus::Exception(msg));
+            }
+            Err(MethodError::BadArgs(msg)) => {
+                return ReplyMessage::status(
+                    rid,
+                    ReplyStatus::Exception(format!("bad arguments: {msg}")),
+                );
+            }
+        };
+
+        // Glue: process the reply chain (server is the sender now).
+        match glue_chain {
+            None => ReplyMessage::ok(rid, reply_body),
+            Some((glue_id, chain)) => {
+                let processed = self
+                    .metered(|| process_chain(&chain.caps, Direction::Reply, &call, reply_body));
+                match processed {
+                    Ok((body, metas)) => ReplyMessage {
+                        request_id: rid,
+                        status: ReplyStatus::Ok,
+                        glue: Some(GlueWire {
+                            glue_id,
+                            caps: metas
+                                .into_iter()
+                                .map(|(name, meta)| CapWireMeta { name, meta })
+                                .collect(),
+                        }),
+                        body,
+                    },
+                    Err(CapError::Denied(msg)) => {
+                        ReplyMessage::status(rid, ReplyStatus::CapabilityDenied(msg))
+                    }
+                    Err(e) => ReplyMessage::status(
+                        rid,
+                        ReplyStatus::Exception(format!("glue process failed: {e}")),
+                    ),
+                }
+            }
+        }
+    }
+
+    fn metered<T>(&self, f: impl FnOnce() -> T) -> T {
+        let meter = self.inner.meter.read().clone();
+        match meter {
+            None => f(),
+            Some(m) => {
+                let t0 = Instant::now();
+                let out = f();
+                m.charge(t0.elapsed());
+                out
+            }
+        }
+    }
+
+    /// Charges `d` of application compute to the attached meter, if any.
+    /// Server method bodies in simulation experiments use this to model
+    /// computation time.
+    pub fn charge_compute(&self, d: Duration) {
+        if let Some(m) = self.inner.meter.read().as_ref() {
+            m.charge(d);
+        }
+    }
+
+    // ------------------------------------------------------------------ ORs
+
+    /// Mints an OR for `object` with the given preference-ordered rows.
+    ///
+    /// `Plain(p)` rows resolve `p` against this context's adverts (first
+    /// advert wins); `Glue` rows wrap an installed chain around the inner
+    /// protocol's advert. Rows naming unknown protocols or glue ids are
+    /// errors — an OR that silently lacks promised rows would defeat the
+    /// selection experiments.
+    pub fn make_or(&self, object: ObjectId, rows: &[OrRow]) -> Result<ObjectReference, OrbError> {
+        let objects = self.inner.objects.read();
+        let obj = objects
+            .get(&object)
+            .ok_or(OrbError::NoSuchObject(object))?;
+        let type_name = obj.type_name().to_string();
+        drop(objects);
+
+        let adverts = self.inner.adverts.read();
+        let find = |id: ProtocolId| -> Result<ProtoEntry, OrbError> {
+            adverts
+                .iter()
+                .find(|a| a.id == id)
+                .map(|a| ProtoEntry::endpoint(id, a.endpoint.clone()))
+                .ok_or(OrbError::NoApplicableProtocol { offered: vec![id] })
+        };
+
+        let mut protocols = Vec::with_capacity(rows.len());
+        for row in rows {
+            match row {
+                OrRow::Plain(p) => protocols.push(find(*p)?),
+                OrRow::Glue { glue_id, inner } => {
+                    let chain = self
+                        .inner
+                        .glues
+                        .read()
+                        .get(glue_id)
+                        .cloned()
+                        .ok_or(OrbError::UnknownGlue(*glue_id))?;
+                    protocols.push(ProtoEntry::glue(*glue_id, chain.specs.clone(), find(*inner)?));
+                }
+            }
+        }
+
+        Ok(ObjectReference {
+            object,
+            type_name,
+            location: self.location(),
+            protocols,
+        })
+    }
+}
+
+impl Drop for ContextInner {
+    fn drop(&mut self) {
+        for h in self.servers.lock().iter() {
+            (h.shutdown)();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RequestId;
+    use ohpc_xdr::{XdrDecode, XdrEncode};
+
+    struct Echo;
+    impl RemoteObject for Echo {
+        fn type_name(&self) -> &str {
+            "Echo"
+        }
+        fn dispatch(
+            &self,
+            method: u32,
+            args: &mut XdrReader<'_>,
+            out: &mut XdrWriter,
+        ) -> Result<(), MethodError> {
+            match method {
+                1 => {
+                    let v = Vec::<i32>::decode(args)
+                        .map_err(|e| MethodError::BadArgs(e.to_string()))?;
+                    v.encode(out);
+                    Ok(())
+                }
+                m => Err(MethodError::NoSuchMethod(m)),
+            }
+        }
+    }
+
+    fn ctx() -> Context {
+        Context::new(ContextId(1), Location::new(0, 0), Arc::new(CapabilityRegistry::new()))
+    }
+
+    fn request(object: ObjectId, body: Bytes) -> RequestMessage {
+        RequestMessage {
+            request_id: RequestId(7),
+            object,
+            method: 1,
+            oneway: false,
+            glue: None,
+            body,
+        }
+    }
+
+    fn encoded_ints(v: &[i32]) -> Bytes {
+        let mut w = XdrWriter::new();
+        v.to_vec().encode(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn register_and_dispatch() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        assert!(ctx.hosts(id));
+        assert_eq!(id.context(), ContextId(1));
+
+        let reply = ctx.handle_request(request(id, encoded_ints(&[1, 2, 3])));
+        assert_eq!(reply.status, ReplyStatus::Ok);
+        let v: Vec<i32> = ohpc_xdr::decode_from_slice(&reply.body).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(ctx.requests_served(), 1);
+    }
+
+    #[test]
+    fn unknown_object_and_method() {
+        let ctx = ctx();
+        let reply = ctx.handle_request(request(ObjectId(999), Bytes::new()));
+        assert_eq!(reply.status, ReplyStatus::NoSuchObject);
+
+        let id = ctx.register(Arc::new(Echo));
+        let mut req = request(id, encoded_ints(&[]));
+        req.method = 42;
+        let reply = ctx.handle_request(req);
+        assert_eq!(reply.status, ReplyStatus::NoSuchMethod(42));
+    }
+
+    #[test]
+    fn tombstone_forwards() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        let or = ctx.make_or(id, &[]).unwrap();
+        ctx.take_object(id);
+        ctx.install_tombstone(id, or.clone());
+        let reply = ctx.handle_request(request(id, Bytes::new()));
+        assert_eq!(reply.status, ReplyStatus::Moved(Box::new(or)));
+    }
+
+    #[test]
+    fn adopt_clears_tombstone() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        let or = ctx.make_or(id, &[]).unwrap();
+        let obj = ctx.take_object(id).unwrap();
+        ctx.install_tombstone(id, or);
+        ctx.adopt(id, obj);
+        let reply = ctx.handle_request(request(id, encoded_ints(&[5])));
+        assert_eq!(reply.status, ReplyStatus::Ok);
+    }
+
+    #[test]
+    fn unknown_glue_is_reported() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        let mut req = request(id, Bytes::new());
+        req.glue = Some(GlueWire { glue_id: 77, caps: vec![] });
+        let reply = ctx.handle_request(req);
+        assert_eq!(reply.status, ReplyStatus::UnknownGlue(77));
+    }
+
+    #[test]
+    fn malformed_frame_still_replies() {
+        let ctx = ctx();
+        let reply_frame = ctx.handle_frame(&[1, 2, 3]);
+        let reply = ReplyMessage::from_frame(&reply_frame).unwrap();
+        assert!(matches!(reply.status, ReplyStatus::Exception(_)));
+    }
+
+    #[test]
+    fn make_or_resolves_adverts_in_row_order() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        ctx.advertise(ProtocolId::TCP, "tcp://1.2.3.4:9".into());
+        ctx.advertise(ProtocolId::SHM, "mem://3".into());
+        let or = ctx
+            .make_or(id, &[OrRow::Plain(ProtocolId::SHM), OrRow::Plain(ProtocolId::TCP)])
+            .unwrap();
+        assert_eq!(or.offered(), vec![ProtocolId::SHM, ProtocolId::TCP]);
+        assert_eq!(or.type_name, "Echo");
+        assert_eq!(or.location, Location::new(0, 0));
+    }
+
+    #[test]
+    fn make_or_fails_on_missing_advert_or_glue() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        assert!(ctx.make_or(id, &[OrRow::Plain(ProtocolId::TCP)]).is_err());
+        assert!(matches!(
+            ctx.make_or(id, &[OrRow::Glue { glue_id: 5, inner: ProtocolId::TCP }]),
+            Err(OrbError::UnknownGlue(5))
+        ));
+    }
+
+    #[test]
+    fn request_hook_fires() {
+        let ctx = ctx();
+        let id = ctx.register(Arc::new(Echo));
+        let count = Arc::new(AtomicU64::new(0));
+        let c2 = count.clone();
+        ctx.set_request_hook(Box::new(move |_, _| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+        ctx.handle_request(request(id, encoded_ints(&[1])));
+        ctx.handle_request(request(id, encoded_ints(&[2])));
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! ORB-level error type.
+
+use crate::capability::CapError;
+use crate::ids::{ObjectId, ProtocolId};
+use ohpc_transport::TransportError;
+use ohpc_xdr::XdrError;
+
+/// Everything that can go wrong on the remote-invocation path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrbError {
+    /// No entry in the OR's protocol table matched the local pool and was
+    /// applicable for the current locations.
+    NoApplicableProtocol {
+        /// Protocols the OR offered.
+        offered: Vec<ProtocolId>,
+    },
+    /// Transport failure underneath the selected protocol.
+    Transport(TransportError),
+    /// Marshaling failure.
+    Xdr(XdrError),
+    /// A capability refused or failed to transform the request.
+    Capability(CapError),
+    /// The server object raised an application exception.
+    RemoteException(String),
+    /// Target object does not exist at the server.
+    NoSuchObject(ObjectId),
+    /// Target object has no such method.
+    NoSuchMethod(u32),
+    /// The object kept moving: rebind retries exhausted.
+    TooManyForwards(u32),
+    /// Malformed frame or protocol violation.
+    Protocol(String),
+    /// Server-side glue chain referenced by the request is unknown.
+    UnknownGlue(u64),
+}
+
+impl std::fmt::Display for OrbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrbError::NoApplicableProtocol { offered } => {
+                write!(f, "no applicable protocol among {offered:?}")
+            }
+            OrbError::Transport(e) => write!(f, "transport: {e}"),
+            OrbError::Xdr(e) => write!(f, "marshal: {e}"),
+            OrbError::Capability(e) => write!(f, "capability: {e}"),
+            OrbError::RemoteException(m) => write!(f, "remote exception: {m}"),
+            OrbError::NoSuchObject(id) => write!(f, "no such object {id}"),
+            OrbError::NoSuchMethod(m) => write!(f, "no such method {m}"),
+            OrbError::TooManyForwards(n) => write!(f, "object moved {n} times; giving up"),
+            OrbError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            OrbError::UnknownGlue(id) => write!(f, "unknown glue chain {id}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {}
+
+impl From<TransportError> for OrbError {
+    fn from(e: TransportError) -> Self {
+        OrbError::Transport(e)
+    }
+}
+
+impl From<XdrError> for OrbError {
+    fn from(e: XdrError) -> Self {
+        OrbError::Xdr(e)
+    }
+}
+
+impl From<CapError> for OrbError {
+    fn from(e: CapError) -> Self {
+        OrbError::Capability(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = OrbError::NoApplicableProtocol { offered: vec![ProtocolId::TCP] };
+        assert!(e.to_string().contains("no applicable protocol"));
+        assert!(OrbError::NoSuchMethod(4).to_string().contains("4"));
+        assert!(OrbError::UnknownGlue(9).to_string().contains("9"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: OrbError = TransportError::Closed.into();
+        assert_eq!(e, OrbError::Transport(TransportError::Closed));
+        let e: OrbError = XdrError::InvalidUtf8.into();
+        assert_eq!(e, OrbError::Xdr(XdrError::InvalidUtf8));
+    }
+}

@@ -1,0 +1,368 @@
+//! Global Pointers: the client side of the ORB.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use ohpc_netsim::Location;
+use ohpc_xdr::XdrWriter;
+
+use crate::error::OrbError;
+use crate::ids::RequestId;
+use crate::message::{ReplyStatus, RequestMessage};
+use crate::objref::ObjectReference;
+use crate::proto::ProtoPool;
+use crate::selection::{select, Selection};
+
+/// How many `Moved` forwards one invocation will chase before giving up.
+const MAX_FORWARDS: u32 = 8;
+
+/// A global pointer: an OR plus the local machinery to act on it.
+///
+/// The GP re-runs protocol selection on *every* invocation (the paper's
+/// "the system selects an appropriate proto-object for each individual
+/// remote request"), so changes to locations, the OR (via `Moved` rebinds or
+/// [`rebind`](Self::rebind)), or the pool take effect immediately.
+pub struct GlobalPointer {
+    or: RwLock<ObjectReference>,
+    pool: Arc<ProtoPool>,
+    local: Location,
+    next_request: AtomicU64,
+    last_protocol: Mutex<Option<String>>,
+    forwards_seen: AtomicU64,
+}
+
+impl GlobalPointer {
+    /// Binds `or` with the process's proto-pool and the client's location.
+    pub fn new(or: ObjectReference, pool: Arc<ProtoPool>, local: Location) -> Self {
+        Self {
+            or: RwLock::new(or),
+            pool,
+            local,
+            next_request: AtomicU64::new(1),
+            last_protocol: Mutex::new(None),
+            forwards_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the current OR (it may change as the object migrates).
+    pub fn object_reference(&self) -> ObjectReference {
+        self.or.read().clone()
+    }
+
+    /// Replaces the OR (capability hand-off, explicit rebind).
+    pub fn rebind(&self, or: ObjectReference) {
+        *self.or.write() = or;
+    }
+
+    /// The client location this GP evaluates applicability against.
+    pub fn local_location(&self) -> Location {
+        self.local
+    }
+
+    /// Runs protocol selection without invoking, for inspection.
+    pub fn select(&self) -> Result<Selection, OrbError> {
+        let or = self.or.read();
+        select(&or, &self.pool, &self.local)
+    }
+
+    /// Description of the protocol used by the most recent invocation
+    /// (e.g. `glue[timeout+security]->tcp`), for experiment logs.
+    pub fn last_protocol(&self) -> Option<String> {
+        self.last_protocol.lock().clone()
+    }
+
+    /// How many `Moved` forwards this GP has chased over its lifetime.
+    pub fn forwards_seen(&self) -> u64 {
+        self.forwards_seen.load(Ordering::Relaxed)
+    }
+
+    /// User control over selection (the paper's fourth adaptivity aspect):
+    /// reorders this GP's OR table so entries for `preferred` come first.
+    /// Entries keep their relative order otherwise; unknown ids are a no-op.
+    /// Selection still applies applicability — a preference cannot force an
+    /// inapplicable protocol.
+    pub fn prefer(&self, preferred: crate::ids::ProtocolId) {
+        let mut or = self.or.write();
+        let (mut first, rest): (Vec<_>, Vec<_>) =
+            or.protocols.drain(..).partition(|e| e.id == preferred);
+        first.extend(rest);
+        or.protocols = first;
+    }
+
+    /// Removes every entry for `banned` from this GP's OR table, returning
+    /// how many were removed — per-reference protocol policy, complementing
+    /// pool-level policy.
+    pub fn ban(&self, banned: crate::ids::ProtocolId) -> usize {
+        let mut or = self.or.write();
+        let before = or.protocols.len();
+        or.protocols.retain(|e| e.id != banned);
+        before - or.protocols.len()
+    }
+
+    /// Invokes method slot `method` with pre-encoded `args`, returning the
+    /// encoded result body.
+    pub fn invoke(&self, method: u32, args: &XdrWriter) -> Result<Bytes, OrbError> {
+        self.invoke_raw(method, Bytes::copy_from_slice(args.peek()))
+    }
+
+    /// Fire-and-forget invocation: the request is dispatched at the server
+    /// but no reply is read. At-most-once semantics — outcomes (including
+    /// `Moved` forwards and capability denials) are not observable; pair
+    /// one-ways with an occasional two-way call to rebind after migrations.
+    pub fn invoke_oneway(&self, method: u32, args: &XdrWriter) -> Result<(), OrbError> {
+        let (selection, object) = {
+            let or = self.or.read();
+            (select(&or, &self.pool, &self.local)?, or.object)
+        };
+        *self.last_protocol.lock() = Some(selection.describe());
+        let req = RequestMessage {
+            request_id: RequestId(self.next_request.fetch_add(1, Ordering::Relaxed)),
+            object,
+            method,
+            oneway: true,
+            glue: None,
+            body: Bytes::copy_from_slice(args.peek()),
+        };
+        selection.proto.invoke_oneway(&self.pool, &selection.entry, &req)
+    }
+
+    /// Like [`invoke`](Self::invoke) but takes the body directly.
+    pub fn invoke_raw(&self, method: u32, body: Bytes) -> Result<Bytes, OrbError> {
+        for _attempt in 0..=MAX_FORWARDS {
+            let (selection, object) = {
+                let or = self.or.read();
+                (select(&or, &self.pool, &self.local)?, or.object)
+            };
+            *self.last_protocol.lock() = Some(selection.describe());
+
+            let req = RequestMessage {
+                request_id: RequestId(self.next_request.fetch_add(1, Ordering::Relaxed)),
+                object,
+                method,
+                oneway: false,
+                glue: None,
+                body: body.clone(),
+            };
+
+            let reply = selection.proto.invoke(&self.pool, &selection.entry, &req)?;
+            match reply.status {
+                ReplyStatus::Ok => return Ok(reply.body),
+                ReplyStatus::Moved(new_or) => {
+                    self.forwards_seen.fetch_add(1, Ordering::Relaxed);
+                    self.rebind(*new_or);
+                    continue;
+                }
+                ReplyStatus::Exception(msg) => return Err(OrbError::RemoteException(msg)),
+                ReplyStatus::NoSuchObject => return Err(OrbError::NoSuchObject(object)),
+                ReplyStatus::NoSuchMethod(m) => return Err(OrbError::NoSuchMethod(m)),
+                ReplyStatus::CapabilityDenied(msg) => {
+                    return Err(OrbError::Capability(crate::capability::CapError::Denied(msg)));
+                }
+                ReplyStatus::UnknownGlue(id) => return Err(OrbError::UnknownGlue(id)),
+            }
+        }
+        Err(OrbError::TooManyForwards(MAX_FORWARDS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, ProtocolId};
+    use crate::message::ReplyMessage;
+    use crate::objref::ProtoEntry;
+    use crate::proto::ProtoObject;
+    use std::sync::atomic::AtomicU32;
+
+    /// Proto that answers from a scripted queue of replies.
+    struct ScriptedProto {
+        replies: Mutex<Vec<ReplyStatus>>,
+        calls: AtomicU32,
+    }
+
+    impl ProtoObject for ScriptedProto {
+        fn protocol_id(&self) -> ProtocolId {
+            ProtocolId::TCP
+        }
+        fn applicable(
+            &self,
+            _p: &ProtoPool,
+            _c: &Location,
+            _s: &Location,
+            _e: &ProtoEntry,
+        ) -> bool {
+            true
+        }
+        fn invoke(
+            &self,
+            _p: &ProtoPool,
+            _e: &ProtoEntry,
+            req: &RequestMessage,
+        ) -> Result<ReplyMessage, OrbError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let status = self.replies.lock().remove(0);
+            Ok(match status {
+                ReplyStatus::Ok => ReplyMessage::ok(req.request_id, req.body.clone()),
+                s => ReplyMessage::status(req.request_id, s),
+            })
+        }
+    }
+
+    fn or_at(machine: u32) -> ObjectReference {
+        ObjectReference {
+            object: ObjectId(1),
+            type_name: "T".into(),
+            location: Location::new(machine, 0),
+            protocols: vec![ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1")],
+        }
+    }
+
+    fn gp_with(replies: Vec<ReplyStatus>) -> (GlobalPointer, Arc<ScriptedProto>) {
+        let proto = Arc::new(ScriptedProto { replies: Mutex::new(replies), calls: AtomicU32::new(0) });
+        let pool = Arc::new(ProtoPool::new().with(proto.clone()));
+        (GlobalPointer::new(or_at(0), pool, Location::new(5, 1)), proto)
+    }
+
+    #[test]
+    fn ok_returns_body() {
+        let (gp, proto) = gp_with(vec![ReplyStatus::Ok]);
+        let out = gp.invoke_raw(1, Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(&out[..], b"abc");
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(gp.last_protocol().unwrap(), "tcp");
+    }
+
+    #[test]
+    fn moved_rebinds_and_retries() {
+        let (gp, proto) = gp_with(vec![
+            ReplyStatus::Moved(Box::new(or_at(9))),
+            ReplyStatus::Ok,
+        ]);
+        let out = gp.invoke_raw(1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(&out[..], b"x");
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 2);
+        assert_eq!(gp.forwards_seen(), 1);
+        assert_eq!(gp.object_reference().location, Location::new(9, 0));
+    }
+
+    #[test]
+    fn endless_moves_give_up() {
+        let moves: Vec<ReplyStatus> =
+            (0..20).map(|i| ReplyStatus::Moved(Box::new(or_at(i)))).collect();
+        let (gp, _) = gp_with(moves);
+        let err = gp.invoke_raw(1, Bytes::new()).unwrap_err();
+        assert!(matches!(err, OrbError::TooManyForwards(_)));
+    }
+
+    #[test]
+    fn error_statuses_map_to_errors() {
+        let (gp, _) = gp_with(vec![
+            ReplyStatus::Exception("kaboom".into()),
+            ReplyStatus::NoSuchObject,
+            ReplyStatus::NoSuchMethod(3),
+            ReplyStatus::CapabilityDenied("over budget".into()),
+            ReplyStatus::UnknownGlue(6),
+        ]);
+        assert_eq!(
+            gp.invoke_raw(1, Bytes::new()).unwrap_err(),
+            OrbError::RemoteException("kaboom".into())
+        );
+        assert_eq!(gp.invoke_raw(1, Bytes::new()).unwrap_err(), OrbError::NoSuchObject(ObjectId(1)));
+        assert_eq!(gp.invoke_raw(1, Bytes::new()).unwrap_err(), OrbError::NoSuchMethod(3));
+        assert!(matches!(gp.invoke_raw(1, Bytes::new()).unwrap_err(), OrbError::Capability(_)));
+        assert_eq!(gp.invoke_raw(1, Bytes::new()).unwrap_err(), OrbError::UnknownGlue(6));
+    }
+
+    #[test]
+    fn request_ids_increase() {
+        struct IdRecorder(Mutex<Vec<u64>>);
+        impl ProtoObject for IdRecorder {
+            fn protocol_id(&self) -> ProtocolId {
+                ProtocolId::TCP
+            }
+            fn applicable(&self, _p: &ProtoPool, _c: &Location, _s: &Location, _e: &ProtoEntry) -> bool {
+                true
+            }
+            fn invoke(
+                &self,
+                _p: &ProtoPool,
+                _e: &ProtoEntry,
+                req: &RequestMessage,
+            ) -> Result<ReplyMessage, OrbError> {
+                self.0.lock().push(req.request_id.0);
+                Ok(ReplyMessage::ok(req.request_id, Bytes::new()))
+            }
+        }
+        let rec = Arc::new(IdRecorder(Mutex::new(vec![])));
+        let pool = Arc::new(ProtoPool::new().with(rec.clone()));
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        for _ in 0..3 {
+            gp.invoke_raw(1, Bytes::new()).unwrap();
+        }
+        let ids = rec.0.lock().clone();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn prefer_reorders_and_ban_removes() {
+        struct TwoProtos(ProtocolId);
+        impl ProtoObject for TwoProtos {
+            fn protocol_id(&self) -> ProtocolId {
+                self.0
+            }
+            fn applicable(&self, _p: &ProtoPool, _c: &Location, _s: &Location, _e: &ProtoEntry) -> bool {
+                true
+            }
+            fn invoke(
+                &self,
+                _p: &ProtoPool,
+                _e: &ProtoEntry,
+                req: &RequestMessage,
+            ) -> Result<ReplyMessage, OrbError> {
+                Ok(ReplyMessage::ok(req.request_id, Bytes::new()))
+            }
+        }
+        let or = ObjectReference {
+            object: ObjectId(1),
+            type_name: "T".into(),
+            location: Location::new(0, 0),
+            protocols: vec![
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+                ProtoEntry::endpoint(ProtocolId::NEXUS_TCP, "tcp://h:2"),
+            ],
+        };
+        let pool = Arc::new(
+            ProtoPool::new()
+                .with(Arc::new(TwoProtos(ProtocolId::TCP)))
+                .with(Arc::new(TwoProtos(ProtocolId::NEXUS_TCP))),
+        );
+        let gp = GlobalPointer::new(or, pool, Location::new(5, 1));
+
+        assert_eq!(gp.select().unwrap().proto.protocol_id(), ProtocolId::TCP);
+        gp.prefer(ProtocolId::NEXUS_TCP);
+        assert_eq!(gp.select().unwrap().proto.protocol_id(), ProtocolId::NEXUS_TCP);
+        // unknown preference is harmless
+        gp.prefer(ProtocolId(999));
+        assert_eq!(gp.select().unwrap().proto.protocol_id(), ProtocolId::NEXUS_TCP);
+
+        assert_eq!(gp.ban(ProtocolId::NEXUS_TCP), 1);
+        assert_eq!(gp.select().unwrap().proto.protocol_id(), ProtocolId::TCP);
+        assert_eq!(gp.ban(ProtocolId::TCP), 1);
+        assert!(gp.select().is_err(), "empty table selects nothing");
+    }
+
+    #[test]
+    fn no_protocol_in_pool_errors() {
+        let pool = Arc::new(ProtoPool::new());
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        assert!(matches!(
+            gp.invoke_raw(1, Bytes::new()).unwrap_err(),
+            OrbError::NoApplicableProtocol { .. }
+        ));
+        assert!(gp.select().is_err());
+    }
+}

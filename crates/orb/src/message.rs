@@ -1,0 +1,346 @@
+//! Request/reply wire messages.
+//!
+//! A frame on the wire is one XDR-encoded [`RequestMessage`] or
+//! [`ReplyMessage`]. The optional glue section carries the capability chain
+//! id and each capability's per-direction metadata (nonce, MAC, auth token,
+//! request counter, …) so the receiving glue class can run the inverse
+//! transforms.
+
+use bytes::Bytes;
+
+use crate::ids::{ObjectId, RequestId};
+use crate::objref::ObjectReference;
+use ohpc_xdr::{XdrDecode, XdrEncode, XdrError, XdrReader, XdrWriter};
+
+/// One capability's wire metadata for one direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapWireMeta {
+    /// Capability name (matches [`crate::capability::Capability::name`]).
+    pub name: String,
+    /// Opaque metadata produced by `process` on the sending side.
+    pub meta: Bytes,
+}
+
+impl XdrEncode for CapWireMeta {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_string(&self.name);
+        w.put_opaque(&self.meta);
+    }
+}
+
+impl XdrDecode for CapWireMeta {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            name: r.get_string()?,
+            meta: Bytes::copy_from_slice(r.get_opaque()?),
+        })
+    }
+}
+
+/// Glue section of a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlueWire {
+    /// Server-side chain to apply the inverse transforms.
+    pub glue_id: u64,
+    /// Per-capability metadata, in chain order.
+    pub caps: Vec<CapWireMeta>,
+}
+
+impl XdrEncode for GlueWire {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_u64(self.glue_id);
+        w.put_array_len(self.caps.len());
+        for c in &self.caps {
+            c.encode(w);
+        }
+    }
+}
+
+impl XdrDecode for GlueWire {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        let glue_id = r.get_u64()?;
+        let n = r.get_array_len()?;
+        let mut caps = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            caps.push(CapWireMeta::decode(r)?);
+        }
+        Ok(Self { glue_id, caps })
+    }
+}
+
+/// A remote method invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestMessage {
+    /// Per-connection sequence number; echoed in the reply.
+    pub request_id: RequestId,
+    /// Target object.
+    pub object: ObjectId,
+    /// Method slot within the object's interface.
+    pub method: u32,
+    /// Fire-and-forget: the server dispatches but sends no reply, and the
+    /// client cannot observe the outcome (at-most-once semantics; a
+    /// tombstoned object silently drops one-way requests).
+    pub oneway: bool,
+    /// Present iff the request travelled through a glue protocol.
+    pub glue: Option<GlueWire>,
+    /// XDR-encoded arguments (possibly transformed by capabilities).
+    pub body: Bytes,
+}
+
+impl RequestMessage {
+    /// Encodes to a transport frame.
+    pub fn to_frame(&self) -> Bytes {
+        let mut w = XdrWriter::with_capacity(self.body.len() + 64);
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decodes from a transport frame.
+    pub fn from_frame(frame: &[u8]) -> Result<Self, XdrError> {
+        ohpc_xdr::decode_from_slice(frame)
+    }
+}
+
+impl XdrEncode for RequestMessage {
+    fn encode(&self, w: &mut XdrWriter) {
+        self.request_id.encode(w);
+        self.object.encode(w);
+        w.put_u32(self.method);
+        w.put_bool(self.oneway);
+        self.glue.encode(w);
+        w.put_opaque(&self.body);
+    }
+}
+
+impl XdrDecode for RequestMessage {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            request_id: RequestId::decode(r)?,
+            object: ObjectId::decode(r)?,
+            method: r.get_u32()?,
+            oneway: r.get_bool()?,
+            glue: Option::<GlueWire>::decode(r)?,
+            body: Bytes::copy_from_slice(r.get_opaque()?),
+        })
+    }
+}
+
+/// Outcome of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// Success; the body carries the encoded results.
+    Ok,
+    /// The method raised an application exception.
+    Exception(String),
+    /// The object migrated; here is its new OR (CORBA-style location
+    /// forwarding). The client rebinds and retries.
+    Moved(Box<ObjectReference>),
+    /// Unknown object id.
+    NoSuchObject,
+    /// Unknown method slot.
+    NoSuchMethod(u32),
+    /// A capability on the server side refused the request.
+    CapabilityDenied(String),
+    /// Server could not find the glue chain named by the request.
+    UnknownGlue(u64),
+}
+
+impl ReplyStatus {
+    fn tag(&self) -> u32 {
+        match self {
+            ReplyStatus::Ok => 0,
+            ReplyStatus::Exception(_) => 1,
+            ReplyStatus::Moved(_) => 2,
+            ReplyStatus::NoSuchObject => 3,
+            ReplyStatus::NoSuchMethod(_) => 4,
+            ReplyStatus::CapabilityDenied(_) => 5,
+            ReplyStatus::UnknownGlue(_) => 6,
+        }
+    }
+}
+
+impl XdrEncode for ReplyStatus {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_u32(self.tag());
+        match self {
+            ReplyStatus::Ok | ReplyStatus::NoSuchObject => {}
+            ReplyStatus::Exception(m) | ReplyStatus::CapabilityDenied(m) => w.put_string(m),
+            ReplyStatus::Moved(or) => or.encode(w),
+            ReplyStatus::NoSuchMethod(m) => w.put_u32(*m),
+            ReplyStatus::UnknownGlue(id) => w.put_u64(*id),
+        }
+    }
+}
+
+impl XdrDecode for ReplyStatus {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        match r.get_u32()? {
+            0 => Ok(ReplyStatus::Ok),
+            1 => Ok(ReplyStatus::Exception(r.get_string()?)),
+            2 => Ok(ReplyStatus::Moved(Box::new(ObjectReference::decode(r)?))),
+            3 => Ok(ReplyStatus::NoSuchObject),
+            4 => Ok(ReplyStatus::NoSuchMethod(r.get_u32()?)),
+            5 => Ok(ReplyStatus::CapabilityDenied(r.get_string()?)),
+            6 => Ok(ReplyStatus::UnknownGlue(r.get_u64()?)),
+            t => Err(XdrError::InvalidDiscriminant(t)),
+        }
+    }
+}
+
+/// Response to a [`RequestMessage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyMessage {
+    /// Echoes the request's sequence number.
+    pub request_id: RequestId,
+    /// Outcome.
+    pub status: ReplyStatus,
+    /// Reply-direction capability metadata, in chain order.
+    pub glue: Option<GlueWire>,
+    /// Encoded results (possibly transformed by capabilities); empty unless
+    /// status is `Ok`.
+    pub body: Bytes,
+}
+
+impl ReplyMessage {
+    /// Success reply.
+    pub fn ok(request_id: RequestId, body: Bytes) -> Self {
+        Self { request_id, status: ReplyStatus::Ok, glue: None, body }
+    }
+
+    /// Non-Ok reply with empty body.
+    pub fn status(request_id: RequestId, status: ReplyStatus) -> Self {
+        Self { request_id, status, glue: None, body: Bytes::new() }
+    }
+
+    /// Encodes to a transport frame.
+    pub fn to_frame(&self) -> Bytes {
+        let mut w = XdrWriter::with_capacity(self.body.len() + 64);
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Decodes from a transport frame.
+    pub fn from_frame(frame: &[u8]) -> Result<Self, XdrError> {
+        ohpc_xdr::decode_from_slice(frame)
+    }
+}
+
+impl XdrEncode for ReplyMessage {
+    fn encode(&self, w: &mut XdrWriter) {
+        self.request_id.encode(w);
+        self.status.encode(w);
+        self.glue.encode(w);
+        w.put_opaque(&self.body);
+    }
+}
+
+impl XdrDecode for ReplyMessage {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        Ok(Self {
+            request_id: RequestId::decode(r)?,
+            status: ReplyStatus::decode(r)?,
+            glue: Option::<GlueWire>::decode(r)?,
+            body: Bytes::copy_from_slice(r.get_opaque()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProtocolId;
+    use crate::objref::{ObjectReference, ProtoData, ProtoEntry};
+    use ohpc_netsim::Location;
+
+    fn sample_or() -> ObjectReference {
+        ObjectReference {
+            object: ObjectId(77),
+            type_name: "Echo".into(),
+            location: Location::new(1, 2),
+            protocols: vec![ProtoEntry {
+                id: ProtocolId::TCP,
+                data: ProtoData::Endpoint("tcp://127.0.0.1:1".into()),
+            }],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_no_glue() {
+        let req = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: None,
+            body: Bytes::from_static(b"args"),
+        };
+        let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_roundtrip_with_glue() {
+        let req = RequestMessage {
+            request_id: RequestId(1),
+            object: ObjectId(2),
+            method: 0,
+            oneway: true,
+            glue: Some(GlueWire {
+                glue_id: 0xCAFE,
+                caps: vec![
+                    CapWireMeta { name: "encrypt".into(), meta: Bytes::from_static(&[1, 2, 3]) },
+                    CapWireMeta { name: "timeout".into(), meta: Bytes::new() },
+                ],
+            }),
+            body: Bytes::from_static(b"encrypted-bytes"),
+        };
+        let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn reply_status_roundtrips() {
+        let statuses = vec![
+            ReplyStatus::Ok,
+            ReplyStatus::Exception("boom".into()),
+            ReplyStatus::Moved(Box::new(sample_or())),
+            ReplyStatus::NoSuchObject,
+            ReplyStatus::NoSuchMethod(17),
+            ReplyStatus::CapabilityDenied("budget exhausted".into()),
+            ReplyStatus::UnknownGlue(0xBEEF),
+        ];
+        for status in statuses {
+            let reply = ReplyMessage {
+                request_id: RequestId(8),
+                status: status.clone(),
+                glue: None,
+                body: Bytes::new(),
+            };
+            let back = ReplyMessage::from_frame(&reply.to_frame()).unwrap();
+            assert_eq!(back.status, status);
+        }
+    }
+
+    #[test]
+    fn bad_status_tag_rejected() {
+        let mut w = XdrWriter::new();
+        RequestId(1).encode(&mut w);
+        w.put_u32(99); // bad tag
+        let buf = w.finish();
+        assert!(ReplyMessage::from_frame(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let req = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: None,
+            body: Bytes::from_static(b"some body bytes"),
+        };
+        let frame = req.to_frame();
+        assert!(RequestMessage::from_frame(&frame[..frame.len() - 4]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Automatic run-time protocol selection.
+//!
+//! The paper's rule, verbatim: "When a remote request is made, the protocols
+//! in the GP's OR are compared with those in the proto-pool and the first
+//! match is used to satisfy the request." A match requires (a) the protocol
+//! id to be present in the pool and (b) the proto-object to declare itself
+//! applicable for the (client location, server location, entry) triple.
+
+use std::sync::Arc;
+
+use ohpc_netsim::Location;
+
+use crate::error::OrbError;
+use crate::objref::{ObjectReference, ProtoEntry};
+use crate::proto::{ProtoObject, ProtoPool};
+
+/// Outcome of selection: the proto-object to use and the OR entry it serves.
+pub struct Selection {
+    /// The chosen proto-object from the pool.
+    pub proto: Arc<dyn ProtoObject>,
+    /// The OR table row it will execute.
+    pub entry: ProtoEntry,
+    /// Index of the row in the OR table (for experiment logs).
+    pub index: usize,
+}
+
+impl Selection {
+    /// Human-readable description, e.g. `glue[timeout+security]->tcp`.
+    pub fn describe(&self) -> String {
+        self.proto.describe(&self.entry)
+    }
+}
+
+impl std::fmt::Debug for Selection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Selection")
+            .field("protocol", &self.describe())
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+/// Selects the protocol for one request, or reports that nothing matched.
+pub fn select(
+    or: &ObjectReference,
+    pool: &ProtoPool,
+    client: &Location,
+) -> Result<Selection, OrbError> {
+    for (index, entry) in or.protocols.iter().enumerate() {
+        let Some(proto) = pool.find(entry.id) else { continue };
+        if proto.applicable(pool, client, &or.location, entry) {
+            return Ok(Selection { proto, entry: entry.clone(), index });
+        }
+    }
+    Err(OrbError::NoApplicableProtocol { offered: or.offered() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, ProtocolId};
+    use crate::message::{ReplyMessage, RequestMessage};
+    use crate::proto::ApplicabilityRule;
+    use bytes::Bytes;
+
+    struct RuleProto {
+        id: ProtocolId,
+        rule: ApplicabilityRule,
+    }
+
+    impl ProtoObject for RuleProto {
+        fn protocol_id(&self) -> ProtocolId {
+            self.id
+        }
+        fn applicable(
+            &self,
+            _pool: &ProtoPool,
+            c: &Location,
+            s: &Location,
+            _e: &ProtoEntry,
+        ) -> bool {
+            self.rule.allows(c, s)
+        }
+        fn invoke(
+            &self,
+            _pool: &ProtoPool,
+            _e: &ProtoEntry,
+            req: &RequestMessage,
+        ) -> Result<ReplyMessage, OrbError> {
+            Ok(ReplyMessage::ok(req.request_id, Bytes::new()))
+        }
+    }
+
+    fn proto(id: ProtocolId, rule: ApplicabilityRule) -> Arc<dyn ProtoObject> {
+        Arc::new(RuleProto { id, rule })
+    }
+
+    fn or_with(protocols: Vec<ProtoEntry>, server: Location) -> ObjectReference {
+        ObjectReference {
+            object: ObjectId(1),
+            type_name: "T".into(),
+            location: server,
+            protocols,
+        }
+    }
+
+    #[test]
+    fn first_applicable_entry_wins() {
+        // OR prefers SHM, then TCP. Remote client: SHM inapplicable → TCP.
+        let or = or_with(
+            vec![
+                ProtoEntry::endpoint(ProtocolId::SHM, "mem://1"),
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+            ],
+            Location::new(0, 0),
+        );
+        let pool = ProtoPool::new()
+            .with(proto(ProtocolId::SHM, ApplicabilityRule::SameMachineOnly))
+            .with(proto(ProtocolId::TCP, ApplicabilityRule::Always));
+
+        let remote_client = Location::new(5, 2);
+        let sel = select(&or, &pool, &remote_client).unwrap();
+        assert_eq!(sel.proto.protocol_id(), ProtocolId::TCP);
+        assert_eq!(sel.index, 1);
+
+        // Local client: SHM applicable → preferred entry wins.
+        let local_client = Location::new(0, 0);
+        let sel = select(&or, &pool, &local_client).unwrap();
+        assert_eq!(sel.proto.protocol_id(), ProtocolId::SHM);
+        assert_eq!(sel.index, 0);
+    }
+
+    #[test]
+    fn missing_pool_entry_is_skipped() {
+        let or = or_with(
+            vec![
+                ProtoEntry::endpoint(ProtocolId::NEXUS_TCP, "tcp://h:2"),
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+            ],
+            Location::new(0, 0),
+        );
+        // Pool lacks NEXUS_TCP entirely — local policy disabled it.
+        let pool = ProtoPool::new().with(proto(ProtocolId::TCP, ApplicabilityRule::Always));
+        let sel = select(&or, &pool, &Location::new(1, 0)).unwrap();
+        assert_eq!(sel.proto.protocol_id(), ProtocolId::TCP);
+    }
+
+    #[test]
+    fn nothing_applicable_reports_offered_list() {
+        let or = or_with(
+            vec![ProtoEntry::endpoint(ProtocolId::SHM, "mem://1")],
+            Location::new(0, 0),
+        );
+        let pool = ProtoPool::new()
+            .with(proto(ProtocolId::SHM, ApplicabilityRule::SameMachineOnly));
+        let err = select(&or, &pool, &Location::new(9, 9)).unwrap_err();
+        assert_eq!(err, OrbError::NoApplicableProtocol { offered: vec![ProtocolId::SHM] });
+    }
+
+    #[test]
+    fn empty_or_table_never_selects() {
+        let or = or_with(vec![], Location::new(0, 0));
+        let pool = ProtoPool::new().with(proto(ProtocolId::TCP, ApplicabilityRule::Always));
+        assert!(select(&or, &pool, &Location::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn or_preference_order_dominates_pool_order() {
+        // Pool lists TCP first, but the OR prefers NEXUS_TCP: OR wins.
+        let or = or_with(
+            vec![
+                ProtoEntry::endpoint(ProtocolId::NEXUS_TCP, "tcp://h:2"),
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+            ],
+            Location::new(0, 0),
+        );
+        let pool = ProtoPool::new()
+            .with(proto(ProtocolId::TCP, ApplicabilityRule::Always))
+            .with(proto(ProtocolId::NEXUS_TCP, ApplicabilityRule::Always));
+        let sel = select(&or, &pool, &Location::new(1, 1)).unwrap();
+        assert_eq!(sel.proto.protocol_id(), ProtocolId::NEXUS_TCP);
+    }
+}

@@ -1,0 +1,487 @@
+//! End-to-end ORB tests: a served context, global pointers, typed stubs,
+//! protocol selection, glue chains, and location forwarding — over the
+//! in-process (shared-memory) fabric, real TCP, and the Nexus baseline.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ohpc_netsim::Location;
+use ohpc_orb::capability::{CallInfo, CapError, CapMeta};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{
+    remote_interface, ApplicabilityRule, Capability, CapabilityRegistry, CapabilitySpec, Context,
+    ContextId, Direction, GlobalPointer, GlueProto, OrbError, ProtoPool, ProtocolId,
+    TransportProto,
+};
+use ohpc_transport::mem::MemFabric;
+use ohpc_transport::tcp::{TcpAcceptor, TcpDialer};
+
+remote_interface! {
+    type_name = "Counter";
+    trait CounterApi;
+    skeleton CounterSkeleton;
+    client CounterClient;
+    fn add(n: i32) -> i32 = 1;
+    fn get() -> i32 = 2;
+    fn fail(msg: String) -> u32 = 3;
+    fn echo_array(v: Vec<i32>) -> Vec<i32> = 4;
+}
+
+struct Counter(parking_lot::Mutex<i32>);
+
+impl CounterApi for Counter {
+    fn add(&self, n: i32) -> Result<i32, String> {
+        let mut g = self.0.lock();
+        *g += n;
+        Ok(*g)
+    }
+    fn get(&self) -> Result<i32, String> {
+        Ok(*self.0.lock())
+    }
+    fn fail(&self, msg: String) -> Result<u32, String> {
+        Err(msg)
+    }
+    fn echo_array(&self, v: Vec<i32>) -> Result<Vec<i32>, String> {
+        Ok(v)
+    }
+}
+
+fn new_counter() -> Arc<CounterSkeleton<Counter>> {
+    Arc::new(CounterSkeleton(Counter(parking_lot::Mutex::new(0))))
+}
+
+/// XOR-with-key capability with a key byte in its config, plus a deny budget.
+struct XorCap {
+    key: u8,
+}
+
+impl Capability for XorCap {
+    fn name(&self) -> &str {
+        "xor"
+    }
+    fn process(
+        &self,
+        _d: Direction,
+        _c: &CallInfo,
+        meta: &mut CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        meta.set("k", vec![self.key]);
+        Ok(body.iter().map(|b| b ^ self.key).collect::<Vec<_>>().into())
+    }
+    fn unprocess(
+        &self,
+        _d: Direction,
+        _c: &CallInfo,
+        meta: &CapMeta,
+        body: Bytes,
+    ) -> Result<Bytes, CapError> {
+        let k = meta.require("k")?[0];
+        if k != self.key {
+            return Err(CapError::Failed("key mismatch".into()));
+        }
+        Ok(body.iter().map(|b| b ^ self.key).collect::<Vec<_>>().into())
+    }
+}
+
+fn registry_with_xor() -> Arc<CapabilityRegistry> {
+    let reg = CapabilityRegistry::new();
+    reg.register("xor", |spec| {
+        let key = spec.config.first().copied().unwrap_or(0x5A);
+        Ok(Arc::new(XorCap { key }))
+    });
+    Arc::new(reg)
+}
+
+#[test]
+fn mem_fabric_end_to_end_typed_stub() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(1), Location::new(0, 0), registry.clone());
+    let id = ctx.register(new_counter());
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::SHM);
+
+    let or = ctx.make_or(id, &[OrRow::Plain(ProtocolId::SHM)]).unwrap();
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::SHM,
+        ApplicabilityRule::SameMachineOnly,
+        Arc::new(fabric),
+    ))));
+    let gp = GlobalPointer::new(or, pool, Location::new(0, 0));
+    let client = CounterClient::new(gp);
+
+    assert_eq!(client.add(5).unwrap(), 5);
+    assert_eq!(client.add(-2).unwrap(), 3);
+    assert_eq!(client.get().unwrap(), 3);
+    assert_eq!(client.echo_array(vec![1, 2, 3]).unwrap(), vec![1, 2, 3]);
+    assert_eq!(
+        client.fail("nope".into()).unwrap_err(),
+        OrbError::RemoteException("nope".into())
+    );
+    assert_eq!(client.gp().last_protocol().unwrap(), "shm");
+
+    ctx.shutdown();
+}
+
+#[test]
+fn tcp_end_to_end() {
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(2), Location::new(1, 0), registry);
+    let id = ctx.register(new_counter());
+    ctx.serve(Box::new(TcpAcceptor::bind("127.0.0.1:0").unwrap()), ProtocolId::TCP);
+
+    let or = ctx.make_or(id, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(TcpDialer),
+    ))));
+    // Client on a different machine/LAN than the server.
+    let gp = GlobalPointer::new(or, pool, Location::new(7, 3));
+    let client = CounterClient::new(gp);
+    assert_eq!(client.add(10).unwrap(), 10);
+    assert_eq!(client.echo_array((0..1000).collect()).unwrap().len(), 1000);
+    ctx.shutdown();
+}
+
+#[test]
+fn glue_chain_end_to_end() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(3), Location::new(0, 0), registry.clone());
+    let id = ctx.register(new_counter());
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+
+    let specs = vec![CapabilitySpec::with_config("xor", vec![0x33u8])];
+    let glue_id = ctx.add_glue(specs).unwrap();
+    let or = ctx
+        .make_or(id, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(registry)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(fabric),
+            ))),
+    );
+    let gp = GlobalPointer::new(or, pool, Location::new(9, 1));
+    let client = CounterClient::new(gp);
+    assert_eq!(client.add(4).unwrap(), 4);
+    assert_eq!(client.get().unwrap(), 4);
+    assert_eq!(client.gp().last_protocol().unwrap(), "glue[xor]->tcp");
+    ctx.shutdown();
+}
+
+#[test]
+fn selection_prefers_glue_but_falls_back_by_applicability() {
+    // OR prefers glue(xor over tcp) then plain tcp. Give the client a pool
+    // whose registry does NOT know "xor": glue inapplicable → plain tcp.
+    let fabric = MemFabric::new();
+    let server_reg = registry_with_xor();
+    let ctx = Context::new(ContextId(4), Location::new(0, 0), server_reg);
+    let id = ctx.register(new_counter());
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+
+    let glue_id = ctx.add_glue(vec![CapabilitySpec::new("xor")]).unwrap();
+    let or = ctx
+        .make_or(
+            id,
+            &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }, OrRow::Plain(ProtocolId::TCP)],
+        )
+        .unwrap();
+
+    let empty_registry = Arc::new(CapabilityRegistry::new());
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(empty_registry)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(fabric),
+            ))),
+    );
+    let gp = GlobalPointer::new(or, pool, Location::new(2, 2));
+    let client = CounterClient::new(gp);
+    assert_eq!(client.add(1).unwrap(), 1);
+    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    ctx.shutdown();
+}
+
+#[test]
+fn nexus_baseline_end_to_end() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(5), Location::new(0, 0), registry);
+    let id = ctx.register(new_counter());
+    ctx.serve_nexus(Box::new(fabric.listen()), ProtocolId::NEXUS_TCP);
+
+    let or = ctx.make_or(id, &[OrRow::Plain(ProtocolId::NEXUS_TCP)]).unwrap();
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(
+        ohpc_orb::transport_proto::NexusProto::new(
+            ProtocolId::NEXUS_TCP,
+            ApplicabilityRule::Always,
+            Arc::new(fabric),
+        ),
+    )));
+    let gp = GlobalPointer::new(or, pool, Location::new(3, 1));
+    let client = CounterClient::new(gp);
+    assert_eq!(client.add(7).unwrap(), 7);
+    assert_eq!(client.get().unwrap(), 7);
+    ctx.shutdown();
+}
+
+#[test]
+fn migration_forwarding_rebinds_transparently() {
+    // Object starts in ctx_a, migrates to ctx_b; the client GP chases the
+    // tombstone without the application noticing.
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+
+    let ctx_a = Context::new(ContextId(10), Location::new(0, 0), registry.clone());
+    let ctx_b = Context::new(ContextId(11), Location::new(1, 0), registry.clone());
+    ctx_a.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    ctx_b.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+
+    let skel = new_counter();
+    let id = ctx_a.register(skel.clone());
+    let or_a = ctx_a.make_or(id, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(fabric),
+    ))));
+    let gp = GlobalPointer::new(or_a, pool, Location::new(5, 2));
+    let client = CounterClient::new(gp);
+    assert_eq!(client.add(3).unwrap(), 3);
+
+    // Migrate: move the object, install a tombstone pointing at ctx_b.
+    let obj = ctx_a.take_object(id).unwrap();
+    ctx_b.adopt(id, obj);
+    let or_b = ctx_b.make_or(id, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    ctx_a.install_tombstone(id, or_b);
+
+    // Same client keeps working; state travelled with the object.
+    assert_eq!(client.add(4).unwrap(), 7);
+    assert_eq!(client.gp().forwards_seen(), 1);
+    assert_eq!(client.gp().object_reference().location, Location::new(1, 0));
+
+    // Subsequent calls go straight to ctx_b (no more forwards).
+    assert_eq!(client.get().unwrap(), 7);
+    assert_eq!(client.gp().forwards_seen(), 1);
+
+    ctx_a.shutdown();
+    ctx_b.shutdown();
+}
+
+#[test]
+fn oneway_invocations_dispatch_without_replies() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(20), Location::new(0, 0), registry.clone());
+    let skel = new_counter();
+    let id = ctx.register(skel);
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    let or = ctx.make_or(id, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(fabric),
+    ))));
+    let gp = GlobalPointer::new(or, pool, Location::new(3, 1));
+
+    // Fire 10 one-way adds, then confirm with a two-way get on the SAME
+    // connection — this also proves the reply stream stayed in sync (no
+    // stray replies were queued for the one-ways).
+    for _ in 0..10 {
+        let mut w = ohpc_xdr::XdrWriter::new();
+        use ohpc_xdr::XdrEncode;
+        1i32.encode(&mut w);
+        gp.invoke_oneway(1, &w).unwrap();
+    }
+    let client = CounterClient::new(gp);
+    // One-ways race the following two-way on the same ordered connection,
+    // so by the time get() is answered all adds have been dispatched.
+    assert_eq!(client.get().unwrap(), 10);
+    assert_eq!(ctx.requests_served(), 11);
+    ctx.shutdown();
+}
+
+#[test]
+fn oneway_through_glue_chain() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(21), Location::new(0, 0), registry.clone());
+    let skel = new_counter();
+    let id = ctx.register(skel);
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    let glue_id = ctx.add_glue(vec![CapabilitySpec::with_config("xor", vec![0x21u8])]).unwrap();
+    let or = ctx
+        .make_or(id, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(registry)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(fabric),
+            ))),
+    );
+    let gp = GlobalPointer::new(or, pool, Location::new(3, 1));
+    for _ in 0..5 {
+        let mut w = ohpc_xdr::XdrWriter::new();
+        use ohpc_xdr::XdrEncode;
+        2i32.encode(&mut w);
+        gp.invoke_oneway(1, &w).unwrap();
+    }
+    let client = CounterClient::new(gp);
+    assert_eq!(client.get().unwrap(), 10, "all glue-processed one-ways dispatched");
+    ctx.shutdown();
+}
+
+#[test]
+fn oneway_over_nexus_baseline() {
+    // NexusProto one-ways are genuine one-way RSRs (no reply frame at all).
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(22), Location::new(0, 0), registry);
+    let skel = new_counter();
+    let id = ctx.register(skel);
+    ctx.serve_nexus(Box::new(fabric.listen()), ProtocolId::NEXUS_TCP);
+    let or = ctx.make_or(id, &[OrRow::Plain(ProtocolId::NEXUS_TCP)]).unwrap();
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(
+        ohpc_orb::transport_proto::NexusProto::new(
+            ProtocolId::NEXUS_TCP,
+            ApplicabilityRule::Always,
+            Arc::new(fabric),
+        ),
+    )));
+    let gp = GlobalPointer::new(or, pool, Location::new(3, 1));
+    for _ in 0..4 {
+        let mut w = ohpc_xdr::XdrWriter::new();
+        use ohpc_xdr::XdrEncode;
+        3i32.encode(&mut w);
+        gp.invoke_oneway(1, &w).unwrap();
+    }
+    let client = CounterClient::new(gp);
+    assert_eq!(client.get().unwrap(), 12);
+    ctx.shutdown();
+}
+
+#[test]
+fn client_survives_server_restart_via_reconnect() {
+    // The cached connection dies with the first server instance; the next
+    // invocation transparently re-dials the (re-bound) endpoint.
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+
+    let ctx1 = Context::new(ContextId(30), Location::new(0, 0), registry.clone());
+    let id1 = ctx1.register(new_counter());
+    ctx1.serve(Box::new(fabric.listen_on(777)), ProtocolId::TCP);
+    let or = ctx1.make_or(id1, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(fabric.clone()),
+    ))));
+    let client = CounterClient::new(GlobalPointer::new(or, pool, Location::new(2, 1)));
+    assert_eq!(client.add(1).unwrap(), 1);
+
+    // "Restart": tear the whole context down, bring a fresh one up on the
+    // SAME endpoint with an object under the same id.
+    ctx1.shutdown();
+    let ctx2 = Context::new(ContextId(30), Location::new(0, 0), registry);
+    let skel2 = new_counter();
+    ctx2.adopt(id1, skel2);
+    ctx2.serve(Box::new(fabric.listen_on(777)), ProtocolId::TCP);
+
+    // Same client object, same OR: first attempt hits the dead cached
+    // connection, the retry dials the new listener. State reset to 0 — it is
+    // a restart, not a migration.
+    assert_eq!(client.add(2).unwrap(), 2);
+    ctx2.shutdown();
+}
+
+#[test]
+fn or_restriction_denies_protocols() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(12), Location::new(0, 0), registry);
+    let id = ctx.register(new_counter());
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::SHM);
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+
+    let or = ctx
+        .make_or(id, &[OrRow::Plain(ProtocolId::SHM), OrRow::Plain(ProtocolId::TCP)])
+        .unwrap();
+    // Server hands an untrusted client a restricted OR without SHM.
+    let restricted = or.restricted(|e| e.id != ProtocolId::SHM);
+
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::SHM,
+                ApplicabilityRule::SameMachineOnly,
+                Arc::new(fabric.clone()),
+            )))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(fabric),
+            ))),
+    );
+    // Even a same-machine client cannot use SHM through the restricted OR.
+    let gp = GlobalPointer::new(restricted, pool, Location::new(0, 0));
+    let client = CounterClient::new(gp);
+    assert_eq!(client.add(2).unwrap(), 2);
+    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    ctx.shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_a_served_object() {
+    let fabric = MemFabric::new();
+    let registry = registry_with_xor();
+    let ctx = Context::new(ContextId(13), Location::new(0, 0), registry);
+    let id = ctx.register(new_counter());
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    let or = ctx.make_or(id, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let or = or.clone();
+            let fabric = fabric.clone();
+            std::thread::spawn(move || {
+                let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+                    ProtocolId::TCP,
+                    ApplicabilityRule::Always,
+                    Arc::new(fabric),
+                ))));
+                let client =
+                    CounterClient::new(GlobalPointer::new(or, pool, Location::new(8, 4)));
+                for _ in 0..25 {
+                    client.add(1).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Total adds = 4 threads * 25.
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(fabric),
+    ))));
+    let client = CounterClient::new(GlobalPointer::new(or, pool, Location::new(8, 4)));
+    assert_eq!(client.get().unwrap(), 100);
+    assert_eq!(ctx.requests_served(), 101);
+    ctx.shutdown();
+}

@@ -1,0 +1,147 @@
+//! Property tests on the ORB wire formats: requests, replies, object
+//! references (with arbitrarily nested glue entries) always round-trip, and
+//! hostile bytes never panic the decoders.
+
+use bytes::Bytes;
+use ohpc_orb::message::{CapWireMeta, GlueWire, ReplyMessage, ReplyStatus, RequestMessage};
+use ohpc_orb::objref::{ObjectReference, ProtoData, ProtoEntry};
+use ohpc_orb::{CapabilitySpec, Location, ObjectId, ProtocolId, RequestId};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = CapabilitySpec> {
+    ("[a-z]{1,12}", proptest::collection::vec(any::<u8>(), 0..32))
+        .prop_map(|(name, cfg)| CapabilitySpec::with_config(name, cfg))
+}
+
+fn arb_entry() -> impl Strategy<Value = ProtoEntry> {
+    let leaf = (0u16..200, "[ -~]{0,40}").prop_map(|(id, ep)| ProtoEntry {
+        id: ProtocolId(id),
+        data: ProtoData::Endpoint(ep),
+    });
+    leaf.prop_recursive(3, 8, 4, |inner| {
+        (any::<u64>(), proptest::collection::vec(arb_spec(), 0..4), inner).prop_map(
+            |(glue_id, caps, inner)| ProtoEntry {
+                id: ProtocolId::GLUE,
+                data: ProtoData::Glue { glue_id, caps, inner: Box::new(inner) },
+            },
+        )
+    })
+}
+
+fn arb_or() -> impl Strategy<Value = ObjectReference> {
+    (
+        any::<u64>(),
+        "[A-Za-z]{1,16}",
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        proptest::collection::vec(arb_entry(), 0..6),
+    )
+        .prop_map(|(oid, type_name, (m, l, s), protocols)| ObjectReference {
+            object: ObjectId(oid),
+            type_name,
+            location: Location::with_site(m, l, s),
+            protocols,
+        })
+}
+
+fn arb_glue_wire() -> impl Strategy<Value = GlueWire> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            ("[a-z]{1,10}", proptest::collection::vec(any::<u8>(), 0..48)),
+            0..5,
+        ),
+    )
+        .prop_map(|(glue_id, caps)| GlueWire {
+            glue_id,
+            caps: caps
+                .into_iter()
+                .map(|(name, meta)| CapWireMeta { name, meta: Bytes::from(meta) })
+                .collect(),
+        })
+}
+
+fn arb_status() -> impl Strategy<Value = ReplyStatus> {
+    prop_oneof![
+        Just(ReplyStatus::Ok),
+        "[ -~]{0,60}".prop_map(ReplyStatus::Exception),
+        arb_or().prop_map(|o| ReplyStatus::Moved(Box::new(o))),
+        Just(ReplyStatus::NoSuchObject),
+        any::<u32>().prop_map(ReplyStatus::NoSuchMethod),
+        "[ -~]{0,60}".prop_map(ReplyStatus::CapabilityDenied),
+        any::<u64>().prop_map(ReplyStatus::UnknownGlue),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn object_reference_roundtrip(or in arb_or()) {
+        let bytes = or.to_bytes();
+        let back = ObjectReference::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, or);
+    }
+
+    #[test]
+    fn request_roundtrip(
+        rid: u64, oid: u64, method: u32, oneway: bool,
+        glue in proptest::option::of(arb_glue_wire()),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let req = RequestMessage {
+            request_id: RequestId(rid),
+            object: ObjectId(oid),
+            method,
+            oneway,
+            glue,
+            body: Bytes::from(body),
+        };
+        let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn reply_roundtrip(
+        rid: u64,
+        status in arb_status(),
+        glue in proptest::option::of(arb_glue_wire()),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let reply = ReplyMessage { request_id: RequestId(rid), status, glue, body: Bytes::from(body) };
+        let back = ReplyMessage::from_frame(&reply.to_frame()).unwrap();
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Hostile input: random bytes and corrupted valid frames never panic.
+    #[test]
+    fn decoders_survive_garbage(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = RequestMessage::from_frame(&data);
+        let _ = ReplyMessage::from_frame(&data);
+        let _ = ObjectReference::from_bytes(&data);
+    }
+
+    #[test]
+    fn decoders_survive_bitflips(
+        or in arb_or(),
+        idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = or.to_bytes();
+        if !bytes.is_empty() {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= 1 << bit;
+            let _ = ObjectReference::from_bytes(&bytes); // must not panic
+        }
+    }
+
+    /// `restricted` is a pure filter: keeps order, never invents entries.
+    #[test]
+    fn restriction_is_a_subsequence(or in arb_or(), keep_glue: bool) {
+        let restricted = or.restricted(|e| (e.id == ProtocolId::GLUE) == keep_glue);
+        prop_assert!(restricted.protocols.len() <= or.protocols.len());
+        let mut it = or.protocols.iter();
+        for kept in &restricted.protocols {
+            prop_assert!(it.any(|e| e == kept), "restricted entry not in original order");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Byte transports for the Open HPC++ ORB.
+//!
+//! A *protocol object* in the ORB owns the request semantics (framing of
+//! headers, capability processing); this crate owns only moving opaque frames
+//! between contexts. Three fabrics implement the same [`Connection`] /
+//! [`Dialer`] / [`Listener`] contract:
+//!
+//! * [`mem`] — crossbeam-channel pairs inside one process: the
+//!   "shared memory protocol" of the paper;
+//! * [`tcp`] — real TCP with 4-byte length-prefix framing;
+//! * [`sim`] — in-process channels whose sends are *charged to virtual time*
+//!   through [`ohpc_netsim::SimNet`], reproducing the paper's testbed.
+//!
+//! All connections move whole frames (length ≤ [`MAX_FRAME`]); a frame is the
+//! unit the ORB's request/reply marshaling produces.
+
+#![warn(missing_docs)]
+
+pub mod mem;
+pub mod sim;
+pub mod tcp;
+pub mod testing;
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Hard cap on a single frame: matches the XDR decoder's length limit plus
+/// slack for headers.
+pub const MAX_FRAME: usize = (64 << 20) + 4096;
+
+/// Where a listener can be reached. Carried inside Object References as
+/// protocol-specific "proto-data".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// TCP socket address, e.g. `127.0.0.1:7788`.
+    Tcp(String),
+    /// In-process channel fabric key.
+    Mem(u64),
+    /// Simulated-network address: (machine, port) on a shared [`sim::SimFabric`].
+    Sim {
+        /// Machine hosting the listener.
+        machine: u32,
+        /// Port within that machine's fabric namespace.
+        port: u32,
+    },
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(a) => write!(f, "tcp://{a}"),
+            Endpoint::Mem(k) => write!(f, "mem://{k}"),
+            Endpoint::Sim { machine, port } => write!(f, "sim://M{machine}:{port}"),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Parses the string form produced by `Display` — the representation
+    /// Object References carry as proto-data.
+    pub fn parse(s: &str) -> Option<Endpoint> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            return Some(Endpoint::Tcp(addr.to_string()));
+        }
+        if let Some(key) = s.strip_prefix("mem://") {
+            return key.parse().ok().map(Endpoint::Mem);
+        }
+        if let Some(rest) = s.strip_prefix("sim://M") {
+            let (machine, port) = rest.split_once(':')?;
+            return Some(Endpoint::Sim { machine: machine.parse().ok()?, port: port.parse().ok()? });
+        }
+        None
+    }
+}
+
+/// Transport-layer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No listener at the endpoint.
+    ConnectionRefused(String),
+    /// Peer hung up (or listener shut down).
+    Closed,
+    /// OS-level I/O failure (TCP only).
+    Io(String),
+    /// Outgoing or incoming frame exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Endpoint variant not supported by this dialer.
+    WrongEndpoint(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::ConnectionRefused(e) => write!(f, "connection refused: {e}"),
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Io(e) => write!(f, "i/o error: {e}"),
+            TransportError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            TransportError::WrongEndpoint(e) => write!(f, "wrong endpoint kind: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::ConnectionRefused => {
+                TransportError::ConnectionRefused(e.to_string())
+            }
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe => TransportError::Closed,
+            _ => TransportError::Io(e.to_string()),
+        }
+    }
+}
+
+/// A bidirectional, frame-oriented connection.
+pub trait Connection: Send {
+    /// Sends one frame.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Receives one frame, blocking until available or the peer closes.
+    fn recv(&mut self) -> Result<Bytes, TransportError>;
+}
+
+impl fmt::Debug for dyn Connection + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Connection")
+    }
+}
+
+/// Client side: opens connections to endpoints.
+pub trait Dialer: Send + Sync {
+    /// Connects to `endpoint`.
+    fn dial(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>, TransportError>;
+}
+
+/// Server side: accepts connections.
+pub trait Listener: Send {
+    /// Blocks until a client connects or the listener is shut down.
+    fn accept(&mut self) -> Result<Box<dyn Connection>, TransportError>;
+    /// The endpoint clients should dial.
+    fn endpoint(&self) -> Endpoint;
+    /// Unblocks pending/future `accept` calls with [`TransportError::Closed`].
+    fn shutdown(&self);
+    /// A detached closure performing [`shutdown`](Self::shutdown), usable
+    /// from another thread while the accept loop owns the listener.
+    fn stop_fn(&self) -> Box<dyn Fn() + Send + Sync>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::Tcp("1.2.3.4:80".into()).to_string(), "tcp://1.2.3.4:80");
+        assert_eq!(Endpoint::Mem(7).to_string(), "mem://7");
+        assert_eq!(Endpoint::Sim { machine: 2, port: 9 }.to_string(), "sim://M2:9");
+    }
+
+    #[test]
+    fn endpoint_parse_roundtrip() {
+        for ep in [
+            Endpoint::Tcp("127.0.0.1:8080".into()),
+            Endpoint::Mem(42),
+            Endpoint::Sim { machine: 3, port: 17 },
+        ] {
+            assert_eq!(Endpoint::parse(&ep.to_string()), Some(ep));
+        }
+        assert_eq!(Endpoint::parse("bogus://x"), None);
+        assert_eq!(Endpoint::parse("sim://M3"), None);
+        assert_eq!(Endpoint::parse("mem://notanumber"), None);
+    }
+
+    #[test]
+    fn io_error_mapping() {
+        use std::io::{Error, ErrorKind};
+        assert!(matches!(
+            TransportError::from(Error::new(ErrorKind::ConnectionRefused, "x")),
+            TransportError::ConnectionRefused(_)
+        ));
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::UnexpectedEof, "x")),
+            TransportError::Closed
+        );
+        assert!(matches!(
+            TransportError::from(Error::new(ErrorKind::PermissionDenied, "x")),
+            TransportError::Io(_)
+        ));
+    }
+}

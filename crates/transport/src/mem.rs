@@ -1,0 +1,293 @@
+//! In-process channel fabric: the "shared memory protocol".
+//!
+//! A [`MemFabric`] is a rendezvous namespace. Listeners bind a key; dialers
+//! connect by key and the fabric hands both sides a pair of unbounded
+//! crossbeam channels. Frames are moved as [`Bytes`] — one refcount bump, no
+//! copy — which is exactly the property that makes the shared-memory protocol
+//! an order of magnitude faster than the network paths in Figure 5.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::{Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+
+/// One side of an established connection.
+pub struct MemConnection {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+impl Connection for MemConnection {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.len() > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(frame.len()));
+        }
+        self.tx
+            .send(Bytes::copy_from_slice(frame))
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+}
+
+impl MemConnection {
+    /// Zero-copy send: hands the buffer to the peer without copying. The
+    /// shared-memory protocol object uses this for large payloads.
+    pub fn send_bytes(&mut self, frame: Bytes) -> Result<(), TransportError> {
+        if frame.len() > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(frame.len()));
+        }
+        self.tx.send(frame).map_err(|_| TransportError::Closed)
+    }
+}
+
+type PendingDial = (MemConnection, Sender<MemConnection>);
+
+#[derive(Default)]
+struct FabricState {
+    listeners: HashMap<u64, Sender<PendingDial>>,
+}
+
+/// Namespace connecting in-process dialers to listeners by key.
+#[derive(Clone, Default)]
+pub struct MemFabric {
+    state: Arc<Mutex<FabricState>>,
+    next_key: Arc<AtomicU64>,
+}
+
+impl MemFabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a fresh listener with an auto-assigned key.
+    pub fn listen(&self) -> MemListener {
+        let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+        self.listen_on(key)
+    }
+
+    /// Binds a listener on a specific key (panics if the key is taken —
+    /// key assignment is the application's responsibility).
+    pub fn listen_on(&self, key: u64) -> MemListener {
+        let (tx, rx) = unbounded::<PendingDial>();
+        let mut st = self.state.lock();
+        assert!(
+            !st.listeners.contains_key(&key),
+            "mem fabric key {key} already bound"
+        );
+        st.listeners.insert(key, tx);
+        MemListener { fabric: self.clone(), key, pending: rx }
+    }
+
+    fn connect(&self, key: u64) -> Result<MemConnection, TransportError> {
+        let pending_tx = {
+            let st = self.state.lock();
+            st.listeners
+                .get(&key)
+                .cloned()
+                .ok_or_else(|| TransportError::ConnectionRefused(format!("mem://{key}")))?
+        };
+        // Build both directions and hand the server its half through the
+        // listener queue.
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let client = MemConnection { tx: a_tx, rx: a_rx };
+        let server = MemConnection { tx: b_tx, rx: b_rx };
+        let (ack_tx, _ack_rx) = unbounded();
+        pending_tx
+            .send((server, ack_tx))
+            .map_err(|_| TransportError::ConnectionRefused(format!("mem://{key}")))?;
+        Ok(client)
+    }
+
+    fn unbind(&self, key: u64) {
+        self.state.lock().listeners.remove(&key);
+    }
+}
+
+impl Dialer for MemFabric {
+    fn dial(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>, TransportError> {
+        match endpoint {
+            Endpoint::Mem(key) => Ok(Box::new(self.connect(*key)?)),
+            other => Err(TransportError::WrongEndpoint(other.to_string())),
+        }
+    }
+}
+
+/// Accept side of a [`MemFabric`] binding. Unbinds its key on drop.
+pub struct MemListener {
+    fabric: MemFabric,
+    key: u64,
+    pending: Receiver<PendingDial>,
+}
+
+impl Listener for MemListener {
+    fn accept(&mut self) -> Result<Box<dyn Connection>, TransportError> {
+        let (conn, _ack) = self.pending.recv().map_err(|_| TransportError::Closed)?;
+        Ok(Box::new(conn))
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Mem(self.key)
+    }
+
+    fn shutdown(&self) {
+        self.fabric.unbind(self.key);
+    }
+
+    fn stop_fn(&self) -> Box<dyn Fn() + Send + Sync> {
+        let fabric = self.fabric.clone();
+        let key = self.key;
+        Box::new(move || fabric.unbind(key))
+    }
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dial_listen_roundtrip() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+
+        let f2 = fabric.clone();
+        let h = std::thread::spawn(move || {
+            let mut c = f2.dial(&ep).unwrap();
+            c.send(b"ping").unwrap();
+            c.recv().unwrap()
+        });
+
+        let mut server = listener.accept().unwrap();
+        assert_eq!(&server.recv().unwrap()[..], b"ping");
+        server.send(b"pong").unwrap();
+        assert_eq!(&h.join().unwrap()[..], b"pong");
+    }
+
+    #[test]
+    fn dial_unknown_key_refused() {
+        let fabric = MemFabric::new();
+        assert!(matches!(
+            fabric.dial(&Endpoint::Mem(42)).unwrap_err(),
+            TransportError::ConnectionRefused(_)
+        ));
+    }
+
+    #[test]
+    fn dial_wrong_endpoint_kind() {
+        let fabric = MemFabric::new();
+        assert!(matches!(
+            fabric.dial(&Endpoint::Tcp("x".into())).unwrap_err(),
+            TransportError::WrongEndpoint(_)
+        ));
+    }
+
+    #[test]
+    fn close_is_visible_to_peer() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let c = fabric.dial(&ep).unwrap();
+        let mut server = listener.accept().unwrap();
+        drop(c);
+        assert_eq!(server.recv().unwrap_err(), TransportError::Closed);
+        assert_eq!(server.send(b"x").unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn shutdown_unbinds_key() {
+        let fabric = MemFabric::new();
+        let listener = fabric.listen_on(7);
+        listener.shutdown();
+        assert!(fabric.dial(&Endpoint::Mem(7)).is_err());
+        // key is rebindable after shutdown
+        let _l2 = fabric.listen_on(7);
+        assert!(fabric.dial(&Endpoint::Mem(7)).is_ok());
+    }
+
+    #[test]
+    fn drop_unbinds_key() {
+        let fabric = MemFabric::new();
+        {
+            let _l = fabric.listen_on(9);
+            assert!(fabric.dial(&Endpoint::Mem(9)).is_ok());
+        }
+        assert!(fabric.dial(&Endpoint::Mem(9)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn duplicate_key_panics() {
+        let fabric = MemFabric::new();
+        let _a = fabric.listen_on(1);
+        let _b = fabric.listen_on(1);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let mut c = fabric.dial(&ep).unwrap();
+        let _s = listener.accept().unwrap();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(matches!(c.send(&big).unwrap_err(), TransportError::FrameTooLarge(_)));
+    }
+
+    #[test]
+    fn frames_preserve_order() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let mut c = fabric.dial(&ep).unwrap();
+        let mut s = listener.accept().unwrap();
+        for i in 0..100u32 {
+            c.send(&i.to_be_bytes()).unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(&s.recv().unwrap()[..], &i.to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn multiple_clients_one_listener() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let mut clients: Vec<_> = (0..4u32)
+            .map(|i| {
+                let mut c = fabric.dial(&ep).unwrap();
+                c.send(&i.to_be_bytes()).unwrap();
+                c
+            })
+            .collect();
+        let mut seen = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..4 {
+            let mut s = listener.accept().unwrap();
+            seen.push(u32::from_be_bytes(s.recv().unwrap()[..4].try_into().unwrap()));
+            servers.push(s);
+        }
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        for c in clients.iter_mut() {
+            // all client halves still alive
+            assert!(c.send(b"ok").is_ok());
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Simulated-network transport.
+//!
+//! Functionally identical to the [`crate::mem`] fabric — real bytes move
+//! between threads — but every frame is also *charged to virtual time*
+//! through [`SimNet::transfer`], including queuing on shared media. The
+//! figure harness divides bytes moved by virtual time elapsed to obtain the
+//! bandwidth curves of the paper's Figure 5.
+//!
+//! An endpoint is `(machine, port)`; the dialer is itself pinned to a
+//! machine, so the fabric knows which link class each connection crosses.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use ohpc_netsim::{MachineId, SimNet};
+
+use crate::{Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+
+/// Per-frame protocol envelope charged to the wire in addition to payload
+/// bytes (IP + TCP header class of overhead).
+pub const FRAME_WIRE_OVERHEAD: usize = 48;
+
+type PendingDial = SimConnection;
+
+#[derive(Default)]
+struct FabricState {
+    listeners: HashMap<(u32, u32), Sender<PendingDial>>,
+    next_port: u32,
+}
+
+/// A mem-style fabric whose transfers advance a [`SimNet`] clock.
+#[derive(Clone)]
+pub struct SimFabric {
+    net: SimNet,
+    state: Arc<Mutex<FabricState>>,
+}
+
+impl SimFabric {
+    /// Wraps a simulated network.
+    pub fn new(net: SimNet) -> Self {
+        Self { net, state: Arc::new(Mutex::new(FabricState::default())) }
+    }
+
+    /// The underlying simulated network (for clock access).
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Binds a listener on `machine` with an auto-assigned port.
+    pub fn listen(&self, machine: MachineId) -> SimListener {
+        let port = {
+            let mut st = self.state.lock();
+            st.next_port += 1;
+            st.next_port
+        };
+        self.listen_on(machine, port)
+    }
+
+    /// Binds a listener on a specific (machine, port).
+    pub fn listen_on(&self, machine: MachineId, port: u32) -> SimListener {
+        let (tx, rx) = unbounded::<PendingDial>();
+        let mut st = self.state.lock();
+        let key = (machine.0, port);
+        assert!(!st.listeners.contains_key(&key), "sim endpoint M{}:{port} already bound", machine.0);
+        st.listeners.insert(key, tx);
+        SimListener { fabric: self.clone(), machine, port, pending: rx }
+    }
+
+    /// A dialer pinned to `machine` — the client side of connections.
+    pub fn dialer(&self, machine: MachineId) -> SimDialer {
+        SimDialer { fabric: self.clone(), machine }
+    }
+
+    fn connect(
+        &self,
+        from: MachineId,
+        to_machine: u32,
+        port: u32,
+    ) -> Result<SimConnection, TransportError> {
+        let pending_tx = {
+            let st = self.state.lock();
+            st.listeners
+                .get(&(to_machine, port))
+                .cloned()
+                .ok_or_else(|| {
+                    TransportError::ConnectionRefused(format!("sim://M{to_machine}:{port}"))
+                })?
+        };
+        let remote = MachineId(to_machine);
+        let (a_tx, b_rx) = unbounded();
+        let (b_tx, a_rx) = unbounded();
+        let client = SimConnection {
+            net: self.net.clone(),
+            local: from,
+            remote,
+            tx: a_tx,
+            rx: a_rx,
+        };
+        let server = SimConnection {
+            net: self.net.clone(),
+            local: remote,
+            remote: from,
+            tx: b_tx,
+            rx: b_rx,
+        };
+        pending_tx
+            .send(server)
+            .map_err(|_| TransportError::ConnectionRefused(format!("sim://M{to_machine}:{port}")))?;
+        // Connection setup itself costs one small-message RTT equivalent.
+        self.net.transfer(from, remote, FRAME_WIRE_OVERHEAD);
+        Ok(client)
+    }
+
+    fn unbind(&self, machine: MachineId, port: u32) {
+        self.state.lock().listeners.remove(&(machine.0, port));
+    }
+}
+
+/// Client-side dialer pinned to a machine.
+#[derive(Clone)]
+pub struct SimDialer {
+    fabric: SimFabric,
+    machine: MachineId,
+}
+
+impl Dialer for SimDialer {
+    fn dial(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>, TransportError> {
+        match endpoint {
+            Endpoint::Sim { machine, port } => {
+                Ok(Box::new(self.fabric.connect(self.machine, *machine, *port)?))
+            }
+            other => Err(TransportError::WrongEndpoint(other.to_string())),
+        }
+    }
+}
+
+/// One side of a simulated connection.
+pub struct SimConnection {
+    net: SimNet,
+    local: MachineId,
+    remote: MachineId,
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+impl Connection for SimConnection {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.len() > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(frame.len()));
+        }
+        // Charge the wire before delivery: the receiver cannot see the frame
+        // earlier than its simulated arrival because the sender only enqueues
+        // it after advancing the clock.
+        self.net.transfer(self.local, self.remote, frame.len() + FRAME_WIRE_OVERHEAD);
+        self.tx
+            .send(Bytes::copy_from_slice(frame))
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+}
+
+/// Accept side of a [`SimFabric`] binding. Unbinds on drop.
+pub struct SimListener {
+    fabric: SimFabric,
+    machine: MachineId,
+    port: u32,
+    pending: Receiver<PendingDial>,
+}
+
+impl Listener for SimListener {
+    fn accept(&mut self) -> Result<Box<dyn Connection>, TransportError> {
+        let conn = self.pending.recv().map_err(|_| TransportError::Closed)?;
+        Ok(Box::new(conn))
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Sim { machine: self.machine.0, port: self.port }
+    }
+
+    fn shutdown(&self) {
+        self.fabric.unbind(self.machine, self.port);
+    }
+
+    fn stop_fn(&self) -> Box<dyn Fn() + Send + Sync> {
+        let fabric = self.fabric.clone();
+        let (machine, port) = (self.machine, self.port);
+        Box::new(move || fabric.unbind(machine, port))
+    }
+}
+
+impl Drop for SimListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ohpc_netsim::{figure4_cluster, LinkProfile, SimTime};
+
+    fn fabric() -> (SimFabric, [MachineId; 4]) {
+        let (cluster, ms) = figure4_cluster(LinkProfile::atm_155());
+        (SimFabric::new(SimNet::new(cluster)), ms)
+    }
+
+    #[test]
+    fn roundtrip_and_clock_advances() {
+        let (fabric, [m0, _, _, m3]) = fabric();
+        let mut listener = fabric.listen(m3);
+        let ep = listener.endpoint();
+        let dialer = fabric.dialer(m0);
+
+        let t0 = fabric.net().clock().now();
+        let mut c = dialer.dial(&ep).unwrap();
+        let mut s = listener.accept().unwrap();
+        c.send(&vec![7u8; 125_000]).unwrap();
+        assert_eq!(s.recv().unwrap().len(), 125_000);
+        let elapsed = fabric.net().clock().now().saturating_sub(t0);
+        // 125 KB at 135 Mbps ≈ 7.4 ms; must be in a sane band.
+        assert!(elapsed > SimTime(5_000_000), "elapsed {elapsed}");
+        assert!(elapsed < SimTime(20_000_000), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn same_machine_is_much_faster() {
+        let (fabric, [m0, _, _, m3]) = fabric();
+        let bytes = 1 << 20;
+
+        let mut remote_listener = fabric.listen(m3);
+        let mut c = fabric.dialer(m0).dial(&remote_listener.endpoint()).unwrap();
+        let mut s = remote_listener.accept().unwrap();
+        let t0 = fabric.net().clock().now();
+        c.send(&vec![1u8; bytes]).unwrap();
+        s.recv().unwrap();
+        let remote_time = fabric.net().clock().now().saturating_sub(t0);
+
+        let mut local_listener = fabric.listen(m0);
+        let mut c2 = fabric.dialer(m0).dial(&local_listener.endpoint()).unwrap();
+        let mut s2 = local_listener.accept().unwrap();
+        let t1 = fabric.net().clock().now();
+        c2.send(&vec![1u8; bytes]).unwrap();
+        s2.recv().unwrap();
+        let local_time = fabric.net().clock().now().saturating_sub(t1);
+
+        assert!(
+            remote_time.0 > 10 * local_time.0,
+            "remote {remote_time} should be >10x local {local_time}"
+        );
+    }
+
+    #[test]
+    fn refused_on_unknown_port() {
+        let (fabric, [m0, ..]) = fabric();
+        let err = fabric
+            .dialer(m0)
+            .dial(&Endpoint::Sim { machine: 3, port: 999 })
+            .unwrap_err();
+        assert!(matches!(err, TransportError::ConnectionRefused(_)));
+    }
+
+    #[test]
+    fn listener_drop_unbinds() {
+        let (fabric, [m0, _, _, m3]) = fabric();
+        let ep = {
+            let l = fabric.listen(m3);
+            l.endpoint()
+        };
+        assert!(fabric.dialer(m0).dial(&ep).is_err());
+    }
+
+    #[test]
+    fn wrong_endpoint_kind() {
+        let (fabric, [m0, ..]) = fabric();
+        assert!(matches!(
+            fabric.dialer(m0).dial(&Endpoint::Mem(0)).unwrap_err(),
+            TransportError::WrongEndpoint(_)
+        ));
+    }
+
+    #[test]
+    fn reply_direction_also_charged() {
+        let (fabric, [m0, _, _, m3]) = fabric();
+        let mut listener = fabric.listen(m3);
+        let ep = listener.endpoint();
+        let mut c = fabric.dialer(m0).dial(&ep).unwrap();
+        let mut s = listener.accept().unwrap();
+        c.send(b"req").unwrap();
+        s.recv().unwrap();
+        let t_mid = fabric.net().clock().now();
+        s.send(&vec![9u8; 125_000]).unwrap();
+        c.recv().unwrap();
+        let t_end = fabric.net().clock().now();
+        assert!(t_end > t_mid, "reply transfer must consume virtual time");
+    }
+}

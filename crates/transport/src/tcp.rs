@@ -1,0 +1,193 @@
+//! Real TCP transport with 4-byte big-endian length-prefix framing.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener as StdListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::{Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+
+/// A framed TCP connection.
+pub struct TcpConnection {
+    stream: TcpStream,
+}
+
+impl TcpConnection {
+    fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if frame.len() > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(frame.len()));
+        }
+        let len = (frame.len() as u32).to_be_bytes();
+        self.stream.write_all(&len)?;
+        self.stream.write_all(frame)?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        let mut len_buf = [0u8; 4];
+        self.stream.read_exact(&mut len_buf)?;
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::FrameTooLarge(len));
+        }
+        let mut buf = vec![0u8; len];
+        self.stream.read_exact(&mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+}
+
+/// Dialer for `tcp://` endpoints.
+#[derive(Debug, Clone, Default)]
+pub struct TcpDialer;
+
+impl Dialer for TcpDialer {
+    fn dial(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>, TransportError> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                Ok(Box::new(TcpConnection::new(stream)?))
+            }
+            other => Err(TransportError::WrongEndpoint(other.to_string())),
+        }
+    }
+}
+
+/// Accepting side. Uses a non-blocking accept loop with a stop flag so
+/// `shutdown` can unblock a waiting `accept` promptly.
+pub struct TcpAcceptor {
+    listener: StdListener,
+    addr: String,
+    stopped: Arc<AtomicBool>,
+}
+
+impl TcpAcceptor {
+    /// Binds to `addr` (`127.0.0.1:0` picks an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Self, TransportError> {
+        let listener = StdListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok(Self { listener, addr, stopped: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// Handle that can stop the acceptor from another thread.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        self.stopped.clone()
+    }
+}
+
+impl Listener for TcpAcceptor {
+    fn accept(&mut self) -> Result<Box<dyn Connection>, TransportError> {
+        loop {
+            if self.stopped.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    return Ok(Box::new(TcpConnection::new(stream)?));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Tcp(self.addr.clone())
+    }
+
+    fn shutdown(&self) {
+        self.stopped.store(true, Ordering::Release);
+    }
+
+    fn stop_fn(&self) -> Box<dyn Fn() + Send + Sync> {
+        let stopped = self.stopped.clone();
+        Box::new(move || stopped.store(true, Ordering::Release))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_over_localhost() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let ep = acceptor.endpoint();
+        let h = std::thread::spawn(move || {
+            let mut c = TcpDialer.dial(&ep).unwrap();
+            c.send(b"hello tcp").unwrap();
+            c.recv().unwrap()
+        });
+        let mut server = acceptor.accept().unwrap();
+        assert_eq!(&server.recv().unwrap()[..], b"hello tcp");
+        server.send(b"and back").unwrap();
+        assert_eq!(&h.join().unwrap()[..], b"and back");
+    }
+
+    #[test]
+    fn large_frame_roundtrip() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let ep = acceptor.endpoint();
+        let payload: Vec<u8> = (0..1_000_000u32).map(|i| i as u8).collect();
+        let expect = payload.clone();
+        let h = std::thread::spawn(move || {
+            let mut c = TcpDialer.dial(&ep).unwrap();
+            c.send(&payload).unwrap();
+        });
+        let mut server = acceptor.accept().unwrap();
+        assert_eq!(&server.recv().unwrap()[..], &expect[..]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn refused_when_nobody_listens() {
+        // bind and immediately free a port to get a (very likely) dead addr
+        let dead = {
+            let l = StdListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = TcpDialer.dial(&Endpoint::Tcp(dead)).unwrap_err();
+        assert!(matches!(err, TransportError::ConnectionRefused(_) | TransportError::Io(_)));
+    }
+
+    #[test]
+    fn shutdown_unblocks_accept() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let stop = acceptor.stop_handle();
+        let h = std::thread::spawn(move || acceptor.accept().map(|_| ()));
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::Release);
+        assert_eq!(h.join().unwrap().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_closed() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let ep = acceptor.endpoint();
+        let c = TcpDialer.dial(&ep).unwrap();
+        let mut server = acceptor.accept().unwrap();
+        drop(c);
+        assert_eq!(server.recv().unwrap_err(), TransportError::Closed);
+    }
+
+    #[test]
+    fn wrong_endpoint_kind() {
+        assert!(matches!(
+            TcpDialer.dial(&Endpoint::Mem(1)).unwrap_err(),
+            TransportError::WrongEndpoint(_)
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Fault-injection wrappers for testing error paths.
+//!
+//! Production code paths that matter most — reconnects, error mapping,
+//! capability failure propagation — only run when transports fail. The
+//! [`FlakyDialer`] wraps any real dialer and fails operations on a
+//! deterministic schedule, so those paths get exercised repeatedly and
+//! reproducibly instead of only when the network misbehaves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::{Connection, Dialer, Endpoint, TransportError};
+
+/// Shared failure schedule: operation indices (dial/send/recv counted
+/// together) that should fail. Deterministic and inspectable.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    counter: AtomicU64,
+    /// Fail every Nth operation (0 = never).
+    every: u64,
+    injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Fails every `every`-th operation (1-based; `0` disables injection).
+    pub fn every(every: u64) -> Arc<Self> {
+        Arc::new(Self { counter: AtomicU64::new(0), every, injected: AtomicU64::new(0) })
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total operations observed.
+    pub fn operations(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self) -> bool {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.every != 0 && n % self.every == 0 {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A dialer whose connections fail according to a [`FaultPlan`].
+pub struct FlakyDialer {
+    inner: Arc<dyn Dialer>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FlakyDialer {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: Arc<dyn Dialer>, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+}
+
+impl Dialer for FlakyDialer {
+    fn dial(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>, TransportError> {
+        if self.plan.should_fail() {
+            return Err(TransportError::ConnectionRefused(format!(
+                "injected fault dialing {endpoint}"
+            )));
+        }
+        let conn = self.inner.dial(endpoint)?;
+        Ok(Box::new(FlakyConnection { inner: conn, plan: self.plan.clone() }))
+    }
+}
+
+struct FlakyConnection {
+    inner: Box<dyn Connection>,
+    plan: Arc<FaultPlan>,
+}
+
+impl Connection for FlakyConnection {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if self.plan.should_fail() {
+            return Err(TransportError::Closed);
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        if self.plan.should_fail() {
+            return Err(TransportError::Closed);
+        }
+        self.inner.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemFabric;
+    use crate::Listener;
+
+    #[test]
+    fn plan_counts_and_injects_on_schedule() {
+        let plan = FaultPlan::every(3);
+        let outcomes: Vec<bool> = (0..9).map(|_| plan.should_fail()).collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(plan.injected(), 3);
+        assert_eq!(plan.operations(), 9);
+    }
+
+    #[test]
+    fn zero_disables_injection() {
+        let plan = FaultPlan::every(0);
+        assert!((0..100).all(|_| !plan.should_fail()));
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn flaky_dialer_passes_traffic_between_faults() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let plan = FaultPlan::every(4);
+        let dialer = FlakyDialer::new(Arc::new(fabric), plan.clone());
+
+        // op1 = dial (ok), op2 = send (ok), op3 = recv (ok), op4 = send (FAIL)
+        let mut conn = dialer.dial(&ep).unwrap();
+        let mut server = listener.accept().unwrap();
+        conn.send(b"one").unwrap();
+        server.send(b"ack").unwrap();
+        assert_eq!(&conn.recv().unwrap()[..], b"ack");
+        assert_eq!(conn.send(b"two").unwrap_err(), TransportError::Closed);
+        assert_eq!(plan.injected(), 1);
+    }
+}

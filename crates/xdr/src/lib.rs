@@ -1,0 +1,90 @@
+//! XDR-style external data representation for Open HPC++.
+//!
+//! The paper's TCP protocol object "uses XDR for data encoding"; this crate
+//! implements the subset of RFC 4506 the ORB needs:
+//!
+//! * all primitive items occupy a multiple of 4 bytes, big-endian;
+//! * opaque data and strings are length-prefixed and padded to 4 bytes;
+//! * arrays are a length word followed by the encoded elements;
+//! * optionals are a boolean discriminant followed by the value.
+//!
+//! The API is split into a streaming [`XdrWriter`]/[`XdrReader`] pair and the
+//! derive-style traits [`XdrEncode`]/[`XdrDecode`] implemented for the common
+//! primitive, container, and tuple types.
+//!
+//! # Example
+//!
+//! ```
+//! use ohpc_xdr::{XdrWriter, XdrReader, XdrEncode, XdrDecode};
+//!
+//! let mut w = XdrWriter::new();
+//! (42u32, String::from("weather"), vec![1i32, -2, 3]).encode(&mut w);
+//! let buf = w.finish();
+//!
+//! let mut r = XdrReader::new(&buf);
+//! let v = <(u32, String, Vec<i32>)>::decode(&mut r).unwrap();
+//! assert_eq!(v, (42, "weather".to_string(), vec![1, -2, 3]));
+//! assert!(r.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod macros;
+mod reader;
+mod traits;
+mod writer;
+
+pub use error::XdrError;
+pub use reader::XdrReader;
+pub use traits::{XdrDecode, XdrEncode};
+pub use writer::XdrWriter;
+
+/// Round-trips a value through the codec; convenience for tests and for
+/// one-shot encodes such as capability metadata blocks.
+pub fn encode_to_vec<T: XdrEncode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut w = XdrWriter::new();
+    value.encode(&mut w);
+    w.finish().to_vec()
+}
+
+/// Decodes a single value from `buf`, requiring that every byte is consumed.
+pub fn decode_from_slice<T: XdrDecode>(buf: &[u8]) -> Result<T, XdrError> {
+    let mut r = XdrReader::new(buf);
+    let v = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(XdrError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+/// Number of padding bytes needed to round `len` up to a 4-byte boundary.
+#[inline]
+pub const fn pad4(len: usize) -> usize {
+    (4 - (len & 3)) & 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad4_boundaries() {
+        assert_eq!(pad4(0), 0);
+        assert_eq!(pad4(1), 3);
+        assert_eq!(pad4(2), 2);
+        assert_eq!(pad4(3), 1);
+        assert_eq!(pad4(4), 0);
+        assert_eq!(pad4(5), 3);
+    }
+
+    #[test]
+    fn decode_rejects_trailing() {
+        let mut w = XdrWriter::new();
+        7u32.encode(&mut w);
+        8u32.encode(&mut w);
+        let buf = w.finish();
+        let err = decode_from_slice::<u32>(&buf).unwrap_err();
+        assert!(matches!(err, XdrError::TrailingBytes(4)));
+    }
+}

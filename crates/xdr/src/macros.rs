@@ -1,0 +1,166 @@
+//! Declarative XDR codecs for user structs and enums.
+
+/// Implements [`XdrEncode`](crate::XdrEncode) and
+/// [`XdrDecode`](crate::XdrDecode) for a struct, field by field in
+/// declaration order — the XDR convention for records.
+///
+/// ```
+/// use ohpc_xdr::{xdr_struct, encode_to_vec, decode_from_slice};
+///
+/// xdr_struct! {
+///     /// A gridded observation.
+///     #[derive(Debug, Clone, PartialEq)]
+///     pub struct Observation {
+///         pub region: String,
+///         pub samples: Vec<f64>,
+///         pub quality: u32,
+///     }
+/// }
+///
+/// let obs = Observation { region: "midwest".into(), samples: vec![1.0], quality: 3 };
+/// let bytes = encode_to_vec(&obs);
+/// assert_eq!(decode_from_slice::<Observation>(&bytes).unwrap(), obs);
+/// ```
+#[macro_export]
+macro_rules! xdr_struct {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $fvis:vis $field:ident : $ty:ty ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis struct $name {
+            $( $fvis $field: $ty, )+
+        }
+
+        impl $crate::XdrEncode for $name {
+            fn encode(&self, w: &mut $crate::XdrWriter) {
+                $( <$ty as $crate::XdrEncode>::encode(&self.$field, w); )+
+            }
+        }
+
+        impl $crate::XdrDecode for $name {
+            fn decode(r: &mut $crate::XdrReader<'_>) -> Result<Self, $crate::XdrError> {
+                Ok(Self {
+                    $( $field: <$ty as $crate::XdrDecode>::decode(r)?, )+
+                })
+            }
+        }
+    };
+}
+
+/// Implements the codec traits for a C-like enum with explicit `u32`
+/// discriminants (RFC 4506 enums).
+///
+/// ```
+/// use ohpc_xdr::{xdr_enum, encode_to_vec, decode_from_slice};
+///
+/// xdr_enum! {
+///     #[derive(Debug, Clone, Copy, PartialEq)]
+///     pub enum Quality {
+///         Raw = 0,
+///         Calibrated = 1,
+///         Validated = 2,
+///     }
+/// }
+///
+/// let bytes = encode_to_vec(&Quality::Calibrated);
+/// assert_eq!(decode_from_slice::<Quality>(&bytes).unwrap(), Quality::Calibrated);
+/// assert!(decode_from_slice::<Quality>(&encode_to_vec(&9u32)).is_err());
+/// ```
+#[macro_export]
+macro_rules! xdr_enum {
+    (
+        $(#[$meta:meta])*
+        $vis:vis enum $name:ident {
+            $( $variant:ident = $value:literal ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis enum $name {
+            $( $variant = $value, )+
+        }
+
+        impl $crate::XdrEncode for $name {
+            fn encode(&self, w: &mut $crate::XdrWriter) {
+                w.put_u32(*self as u32);
+            }
+        }
+
+        impl $crate::XdrDecode for $name {
+            fn decode(r: &mut $crate::XdrReader<'_>) -> Result<Self, $crate::XdrError> {
+                match r.get_u32()? {
+                    $( $value => Ok($name::$variant), )+
+                    other => Err($crate::XdrError::InvalidDiscriminant(other)),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode_from_slice, encode_to_vec};
+
+    xdr_struct! {
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct Reading {
+            pub station: String,
+            pub values: Vec<f64>,
+            pub flags: u32,
+        }
+    }
+
+    xdr_struct! {
+        #[derive(Debug, Clone, PartialEq)]
+        struct Nested {
+            inner: Reading,
+            count: u64,
+            tag: Option<String>,
+        }
+    }
+
+    xdr_enum! {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub enum Units {
+            Kelvin = 0,
+            Celsius = 1,
+            Fahrenheit = 5,
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let r = Reading { station: "KIND".into(), values: vec![1.5, -2.5], flags: 7 };
+        let bytes = encode_to_vec(&r);
+        assert_eq!(decode_from_slice::<Reading>(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn nested_struct_roundtrip() {
+        let n = Nested {
+            inner: Reading { station: "S".into(), values: vec![], flags: 0 },
+            count: 1 << 40,
+            tag: Some("x".into()),
+        };
+        let bytes = encode_to_vec(&n);
+        assert_eq!(decode_from_slice::<Nested>(&bytes).unwrap(), n);
+    }
+
+    #[test]
+    fn enum_roundtrip_and_bad_discriminant() {
+        for u in [Units::Kelvin, Units::Celsius, Units::Fahrenheit] {
+            assert_eq!(decode_from_slice::<Units>(&encode_to_vec(&u)).unwrap(), u);
+        }
+        // 2 is not a declared discriminant (values are 0, 1, 5)
+        assert!(decode_from_slice::<Units>(&encode_to_vec(&2u32)).is_err());
+    }
+
+    #[test]
+    fn truncated_struct_fails_cleanly() {
+        let r = Reading { station: "KIND".into(), values: vec![1.0], flags: 1 };
+        let bytes = encode_to_vec(&r);
+        assert!(decode_from_slice::<Reading>(&bytes[..bytes.len() - 4]).is_err());
+    }
+}

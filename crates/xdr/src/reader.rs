@@ -1,0 +1,198 @@
+use crate::{pad4, XdrError};
+
+/// Default cap on any single length prefix (strings, opaques, arrays).
+///
+/// 64 MiB is far above anything the paper's workloads move in one request
+/// (1M ints = 4 MiB) while still bounding what a corrupt or hostile peer can
+/// make us allocate.
+pub const DEFAULT_LENGTH_LIMIT: u32 = 64 << 20;
+
+/// Borrowing XDR decoder over a byte slice.
+///
+/// Every read checks bounds and returns [`XdrError::Truncated`] rather than
+/// panicking, because input typically arrives from the network.
+#[derive(Debug, Clone)]
+pub struct XdrReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    length_limit: u32,
+}
+
+impl<'a> XdrReader<'a> {
+    /// Wraps `buf` with the default length limit.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0, length_limit: DEFAULT_LENGTH_LIMIT }
+    }
+
+    /// Wraps `buf` with a custom cap on length prefixes.
+    pub fn with_length_limit(buf: &'a [u8], limit: u32) -> Self {
+        Self { buf, pos: 0, length_limit: limit }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current offset into the underlying slice.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        if self.remaining() < n {
+            return Err(XdrError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decodes an unsigned 32-bit integer.
+    #[inline]
+    pub fn get_u32(&mut self) -> Result<u32, XdrError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Decodes a signed 32-bit integer.
+    #[inline]
+    pub fn get_i32(&mut self) -> Result<i32, XdrError> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Decodes an unsigned 64-bit hyper integer.
+    #[inline]
+    pub fn get_u64(&mut self) -> Result<u64, XdrError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Decodes a signed 64-bit hyper integer.
+    #[inline]
+    pub fn get_i64(&mut self) -> Result<i64, XdrError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Decodes an IEEE-754 single-precision float.
+    #[inline]
+    pub fn get_f32(&mut self) -> Result<f32, XdrError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Decodes an IEEE-754 double-precision float.
+    #[inline]
+    pub fn get_f64(&mut self) -> Result<f64, XdrError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Decodes a boolean word, rejecting anything other than 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, XdrError> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(XdrError::InvalidBool(v)),
+        }
+    }
+
+    fn check_len(&self, len: u32) -> Result<usize, XdrError> {
+        if len > self.length_limit {
+            return Err(XdrError::LengthOverflow {
+                declared: len as u64,
+                limit: self.length_limit as u64,
+            });
+        }
+        Ok(len as usize)
+    }
+
+    /// Decodes variable-length opaque data, validating zero padding.
+    pub fn get_opaque(&mut self) -> Result<&'a [u8], XdrError> {
+        let len = self.get_u32()?;
+        let len = self.check_len(len)?;
+        self.get_fixed_opaque(len)
+    }
+
+    /// Decodes `len` bytes of fixed-length opaque data plus padding.
+    pub fn get_fixed_opaque(&mut self, len: usize) -> Result<&'a [u8], XdrError> {
+        let data = self.take(len)?;
+        let pad = self.take(pad4(len))?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(XdrError::NonZeroPadding);
+        }
+        Ok(data)
+    }
+
+    /// Decodes a UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String, XdrError> {
+        let bytes = self.get_opaque()?;
+        std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| XdrError::InvalidUtf8)
+    }
+
+    /// Decodes an array length prefix, applying the length limit.
+    pub fn get_array_len(&mut self) -> Result<usize, XdrError> {
+        let len = self.get_u32()?;
+        self.check_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_read_reports_needs() {
+        let mut r = XdrReader::new(&[0, 0]);
+        let err = r.get_u32().unwrap_err();
+        assert_eq!(err, XdrError::Truncated { needed: 4, available: 2 });
+    }
+
+    #[test]
+    fn bool_rejects_other_words() {
+        let mut r = XdrReader::new(&[0, 0, 0, 2]);
+        assert_eq!(r.get_bool().unwrap_err(), XdrError::InvalidBool(2));
+    }
+
+    #[test]
+    fn opaque_rejects_nonzero_padding() {
+        // length 1, byte 0xAA, padding 0x01 0x00 0x00 — invalid.
+        let mut r = XdrReader::new(&[0, 0, 0, 1, 0xAA, 1, 0, 0]);
+        assert_eq!(r.get_opaque().unwrap_err(), XdrError::NonZeroPadding);
+    }
+
+    #[test]
+    fn length_limit_is_enforced() {
+        let mut r = XdrReader::with_length_limit(&[0xff, 0xff, 0xff, 0xff], 16);
+        let err = r.get_opaque().unwrap_err();
+        assert!(matches!(err, XdrError::LengthOverflow { declared: 0xffff_ffff, limit: 16 }));
+    }
+
+    #[test]
+    fn string_rejects_invalid_utf8() {
+        let mut r = XdrReader::new(&[0, 0, 0, 2, 0xC3, 0x28, 0, 0]);
+        assert_eq!(r.get_string().unwrap_err(), XdrError::InvalidUtf8);
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let mut r = XdrReader::new(&[0, 0, 0, 1, 0, 0, 0, 2]);
+        assert_eq!(r.position(), 0);
+        r.get_u32().unwrap();
+        assert_eq!(r.position(), 4);
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    fn floats_round_trip_via_bits() {
+        let expected = 2.5f32;
+        let bytes = expected.to_bits().to_be_bytes();
+        let mut r = XdrReader::new(&bytes);
+        assert_eq!(r.get_f32().unwrap(), expected);
+    }
+}

@@ -1,0 +1,302 @@
+use bytes::Bytes;
+
+use crate::{XdrError, XdrReader, XdrWriter};
+
+/// A value that can be encoded into an XDR stream.
+pub trait XdrEncode {
+    /// Appends the XDR encoding of `self` to `w`.
+    fn encode(&self, w: &mut XdrWriter);
+}
+
+/// A value that can be decoded from an XDR stream.
+pub trait XdrDecode: Sized {
+    /// Reads one value from `r`.
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError>;
+}
+
+macro_rules! impl_prim {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl XdrEncode for $t {
+            #[inline]
+            fn encode(&self, w: &mut XdrWriter) {
+                w.$put(*self);
+            }
+        }
+        impl XdrDecode for $t {
+            #[inline]
+            fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                r.$get()
+            }
+        }
+    };
+}
+
+impl_prim!(u32, put_u32, get_u32);
+impl_prim!(i32, put_i32, get_i32);
+impl_prim!(u64, put_u64, get_u64);
+impl_prim!(i64, put_i64, get_i64);
+impl_prim!(f32, put_f32, get_f32);
+impl_prim!(f64, put_f64, get_f64);
+impl_prim!(bool, put_bool, get_bool);
+
+// Smaller integers travel as full words, per XDR convention.
+impl XdrEncode for u8 {
+    #[inline]
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_u32(*self as u32);
+    }
+}
+impl XdrDecode for u8 {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        let v = r.get_u32()?;
+        u8::try_from(v).map_err(|_| XdrError::custom(format!("u8 out of range: {v}")))
+    }
+}
+impl XdrEncode for u16 {
+    #[inline]
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_u32(*self as u32);
+    }
+}
+impl XdrDecode for u16 {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        let v = r.get_u32()?;
+        u16::try_from(v).map_err(|_| XdrError::custom(format!("u16 out of range: {v}")))
+    }
+}
+
+impl XdrEncode for str {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_string(self);
+    }
+}
+
+impl XdrEncode for String {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_string(self);
+    }
+}
+
+impl XdrDecode for String {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        r.get_string()
+    }
+}
+
+/// `Vec<u8>` / `Bytes` are treated as opaque byte blobs, *not* as arrays of
+/// word-encoded u8 — this is what keeps big payloads compact (the paper's
+/// arrays-of-int workload encodes ints as words, but raw buffers travel 1:1).
+impl XdrEncode for Vec<u8> {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_opaque(self);
+    }
+}
+
+impl XdrDecode for Vec<u8> {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        Ok(r.get_opaque()?.to_vec())
+    }
+}
+
+impl XdrEncode for Bytes {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_opaque(self);
+    }
+}
+
+impl XdrDecode for Bytes {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        Ok(Bytes::copy_from_slice(r.get_opaque()?))
+    }
+}
+
+impl XdrEncode for [u8] {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_opaque(self);
+    }
+}
+
+/// Generic arrays: length word + elements.
+impl XdrEncode for Vec<i32> {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_array_len(self.len());
+        for v in self {
+            w.put_i32(*v);
+        }
+    }
+}
+
+impl XdrDecode for Vec<i32> {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        let n = r.get_array_len()?;
+        // A length prefix can claim at most remaining/4 elements; clamp the
+        // pre-reservation so a lying prefix cannot force a huge allocation.
+        let mut out = Vec::with_capacity(n.min(r.remaining() / 4));
+        for _ in 0..n {
+            out.push(r.get_i32()?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_vec {
+    ($t:ty) => {
+        impl XdrEncode for Vec<$t> {
+            fn encode(&self, w: &mut XdrWriter) {
+                w.put_array_len(self.len());
+                for v in self {
+                    v.encode(w);
+                }
+            }
+        }
+        impl XdrDecode for Vec<$t> {
+            fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                let n = r.get_array_len()?;
+                let mut out = Vec::with_capacity(n.min(r.remaining() / 4));
+                for _ in 0..n {
+                    out.push(<$t>::decode(r)?);
+                }
+                Ok(out)
+            }
+        }
+    };
+}
+
+impl_vec!(u32);
+impl_vec!(u64);
+impl_vec!(i64);
+impl_vec!(f32);
+impl_vec!(f64);
+impl_vec!(String);
+
+impl<T: XdrEncode> XdrEncode for Option<T> {
+    fn encode(&self, w: &mut XdrWriter) {
+        match self {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl<T: XdrDecode> XdrDecode for Option<T> {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        if r.get_bool()? {
+            Ok(Some(T::decode(r)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl XdrEncode for () {
+    fn encode(&self, _w: &mut XdrWriter) {}
+}
+
+impl XdrDecode for () {
+    fn decode(_r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: XdrEncode),+> XdrEncode for ($($name,)+) {
+            fn encode(&self, w: &mut XdrWriter) {
+                $(self.$idx.encode(w);)+
+            }
+        }
+        impl<$($name: XdrDecode),+> XdrDecode for ($($name,)+) {
+            fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                Ok(($($name::decode(r)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<T: XdrEncode + ?Sized> XdrEncode for &T {
+    fn encode(&self, w: &mut XdrWriter) {
+        (*self).encode(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_from_slice, encode_to_vec};
+
+    fn roundtrip<T: XdrEncode + XdrDecode + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = encode_to_vec(&v);
+        assert_eq!(buf.len() % 4, 0, "stream must stay aligned");
+        let back: T = decode_from_slice(&buf).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(i32::MIN);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f32);
+        roundtrip(-2.25f64);
+        roundtrip(255u8);
+        roundtrip(65535u16);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(String::from("open hpc++"));
+        roundtrip(String::new());
+        roundtrip(vec![1i32, -2, 3]);
+        roundtrip(Vec::<i32>::new());
+        roundtrip(vec![0u8, 1, 2, 3, 4]);
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec!["a".to_string(), String::new(), "ccc".to_string()]);
+        roundtrip((1u32, String::from("x"), vec![9i32]));
+    }
+
+    #[test]
+    fn u8_decode_rejects_out_of_range_word() {
+        let buf = encode_to_vec(&300u32);
+        assert!(decode_from_slice::<u8>(&buf).is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip_as_opaque() {
+        let b = Bytes::from_static(b"hello world");
+        let buf = encode_to_vec(&b);
+        // 4-byte length + 11 bytes + 1 pad
+        assert_eq!(buf.len(), 16);
+        let back: Bytes = decode_from_slice(&buf).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn lying_length_prefix_fails_without_huge_alloc() {
+        // claims 2^20 i32s but supplies none
+        let buf = encode_to_vec(&(1u32 << 20));
+        let err = decode_from_slice::<Vec<i32>>(&buf).unwrap_err();
+        assert!(matches!(err, XdrError::Truncated { .. }));
+    }
+
+    #[test]
+    fn int_array_wire_size_matches_xdr() {
+        // n ints encode to 4 + 4n bytes
+        let v = vec![7i32; 25];
+        assert_eq!(encode_to_vec(&v).len(), 4 + 100);
+    }
+}

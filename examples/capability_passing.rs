@@ -1,0 +1,86 @@
+//! Capability hand-off between processes: "capabilities can be exchanged
+//! between processes" (§1) — because capabilities are data inside Object
+//! References, passing an OR through the naming service passes the
+//! capability set with it.
+//!
+//! ```text
+//! cargo run -p ohpc-apps --example capability_passing
+//! ```
+//!
+//! The publisher binds two ORs for one weather object under different names:
+//! a full-access reference and a metered read-only reference. A consumer who
+//! only knows the registry name receives exactly the access the publisher
+//! chose to delegate — including the remaining request budget semantics.
+
+use std::sync::Arc;
+
+use ohpc_apps::{WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::SimDeployment;
+use ohpc_caps::{AclCap, TimeoutCap};
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{ObjectReference, OrbError, ProtocolId};
+use ohpc_registry::{LocalRegistry, RegistryApi};
+
+fn main() {
+    let (mut lab_m, mut alice_m, mut bob_m) = (MachineId(0), MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), LinkProfile::fast_ethernet())
+        .machine("lab", LanId(0), &mut lab_m)
+        .machine("alice", LanId(0), &mut alice_m)
+        .machine("bob", LanId(0), &mut bob_m)
+        .build();
+    let dep = SimDeployment::new(cluster);
+
+    // The lab hosts the weather object and a registry.
+    let server = dep.server(lab_m);
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let registry = LocalRegistry::new();
+
+    // Full-access OR, bound for trusted group members.
+    let full = server.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]).expect("full OR");
+    registry.bind("weather/full".into(), full.to_bytes()).expect("bind full");
+
+    // Delegated OR: read-only, three requests. This *is* the capability that
+    // gets passed around.
+    let metered = server.add_glue(vec![AclCap::spec(&[1, 3]), TimeoutCap::spec(3)]).unwrap();
+    let delegated = server
+        .make_or(object, &[OrRow::Glue { glue_id: metered, inner: ProtocolId::TCP }])
+        .expect("delegated OR");
+    registry.bind("weather/guest".into(), delegated.to_bytes()).expect("bind guest");
+
+    println!("published: {:?}\n", registry.list("weather/".into()).unwrap());
+
+    // Alice (trusted) resolves the full reference.
+    let alice_or = ObjectReference::from_bytes(&registry.resolve("weather/full".into()).unwrap())
+        .expect("decode");
+    let alice = WeatherClient::new(dep.client_gp(alice_m, alice_or));
+    alice.feed_data("midwest".into(), vec![21.0]).expect("alice writes");
+    println!("[alice] wrote a sample through weather/full");
+
+    // Bob receives only the guest name — the OR he resolves carries the ACL
+    // and the budget. The hand-off itself granted (limited) access.
+    let bob_or = ObjectReference::from_bytes(&registry.resolve("weather/guest".into()).unwrap())
+        .expect("decode");
+    println!(
+        "[bob]   resolved weather/guest: protocols {:?}, glue depth {}",
+        bob_or.offered(),
+        bob_or.protocols[0].glue_depth()
+    );
+    let bob = WeatherClient::new(dep.client_gp(bob_m, bob_or));
+    println!("[bob]   regions: {:?}", bob.regions().expect("read"));
+    match bob.feed_data("midwest".into(), vec![9.9]) {
+        Err(OrbError::Capability(e)) => println!("[bob]   write denied: {e}"),
+        other => panic!("expected denial, got {other:?}"),
+    }
+    // Budget: 3 requests total; regions() used one (the denied write spent
+    // a server-side slot too — budgets are conservative).
+    let mut reads = 0;
+    while bob.get_map("midwest".into()).is_ok() {
+        reads += 1;
+        assert!(reads < 10, "budget never enforced");
+    }
+    println!("[bob]   read {reads} maps before the delegated budget ran out");
+
+    server.shutdown();
+}

@@ -1,0 +1,156 @@
+//! Capstone demo: the paper's national-lab scenario end to end, combining
+//! every subsystem — naming, capabilities, collectives, load balancing,
+//! migration, and adaptive protocol selection.
+//!
+//! ```text
+//! cargo run -p ohpc-apps --example national_lab
+//! ```
+//!
+//! Timeline:
+//! 1. the lab boots a registry and three weather replicas (lab, campus,
+//!    partner site), publishing capability-scoped references;
+//! 2. a field team's client bootstraps purely from the registry and gathers
+//!    maps from all replicas collectively — each over its own protocol;
+//! 3. the lab machine's load spikes; the balancer evacuates the primary
+//!    replica; the client's next call transparently follows it and switches
+//!    protocol.
+
+use std::sync::Arc;
+
+use ohpc_apps::{weather_factory, WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::{SimDeployment, EXPERIMENT_KEY};
+use ohpc_caps::{AuthCap, CapScope, LoggingCap};
+use ohpc_migrate::{LoadBalancer, MigrationManager, WaterMarks};
+use ohpc_netsim::load::LoadTracker;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId, SiteId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{GpGroup, ProtocolId};
+use ohpc_registry::{LocalRegistry, RegistryClient, RegistrySkeleton};
+use ohpc_xdr::XdrWriter;
+
+fn main() {
+    // ---- topology: lab LAN + campus LAN (site 0), partner site (site 1) --
+    let (mut lab, mut campus, mut partner, mut field) =
+        (MachineId(0), MachineId(0), MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan_on_site(LanId(0), SiteId(0), LinkProfile::fast_ethernet())
+        .lan_on_site(LanId(1), SiteId(0), LinkProfile::fast_ethernet())
+        .lan_on_site(LanId(2), SiteId(1), LinkProfile::ethernet_10())
+        .machine("lab-super", LanId(0), &mut lab)
+        .machine("campus-node", LanId(1), &mut campus)
+        .machine("partner-node", LanId(2), &mut partner)
+        .machine("field-client", LanId(0), &mut field)
+        .build();
+    let dep = SimDeployment::new(cluster);
+
+    // ---- 1. boot servers + registry --------------------------------------
+    let manager = MigrationManager::new();
+    manager.register_factory("WeatherService", weather_factory);
+
+    let servers: Vec<_> = [lab, campus, partner].iter().map(|&m| dep.server(m)).collect();
+    let registry_ctx = &servers[0];
+    let registry_obj = registry_ctx.register(Arc::new(RegistrySkeleton(LocalRegistry::new())));
+    let registry_or = registry_ctx
+        .make_or(registry_obj, &[OrRow::Plain(ProtocolId::TCP)])
+        .unwrap();
+
+    let rows_for = |ctx: &ohpc_orb::Context| {
+        let auth = ctx
+            .add_glue(vec![
+                AuthCap::spec(EXPERIMENT_KEY, "field-team", CapScope::CrossSite),
+                LoggingCap::spec("lab-audit"),
+            ])
+            .unwrap();
+        vec![
+            OrRow::Plain(ProtocolId::SHM),
+            OrRow::Glue { glue_id: auth, inner: ProtocolId::TCP },
+            OrRow::Plain(ProtocolId::TCP),
+        ]
+    };
+
+    let names = ["weather/lab", "weather/campus", "weather/partner"];
+    let mut objects = Vec::new();
+    let registry_client = RegistryClient::new(dep.client_gp(field, registry_or));
+    for (i, server) in servers.iter().enumerate() {
+        let object =
+            manager.register(server, Arc::new(WeatherSkeleton(WeatherService::seeded())));
+        let or = server.make_or(object, &rows_for(server)).unwrap();
+        registry_client.bind_or(names[i], &or).unwrap();
+        objects.push(object);
+    }
+    println!("published: {:?}", registry_client.list("weather/".into()).unwrap());
+
+    // ---- 2. field team bootstraps and gathers collectively ---------------
+    let members: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let or = registry_client.resolve_or(n).unwrap();
+            Arc::new(dep.client_gp(field, or))
+        })
+        .collect();
+    let group = GpGroup::new(members);
+    let maps: Vec<Vec<f64>> = {
+        let mut a = XdrWriter::new();
+        use ohpc_xdr::XdrEncode;
+        "atlantic".to_string().encode(&mut a);
+        group.gather(1, &a).unwrap()
+    };
+    println!("\ncollective gather of 'atlantic' from {} replicas:", maps.len());
+    for (i, gp) in group.members().iter().enumerate() {
+        println!(
+            "  {:<17} {:>4} points via {}",
+            names[i],
+            maps[i].len(),
+            gp.last_protocol().unwrap()
+        );
+    }
+
+    // ---- 3. load spike on the lab machine → balancer evacuates -----------
+    let tracker = LoadTracker::new();
+    let balancer = LoadBalancer::new(WaterMarks::default_marks(), tracker.clone());
+    tracker.set_background(lab, 6.0); // other tenants hammer the lab machine
+    tracker.set_background(campus, 0.6); // the replicas keep their hosts warm
+    tracker.set_background(partner, 0.6);
+    let now = dep.net.clock().now();
+    let hosting = vec![
+        (lab, vec![objects[0]]),
+        (campus, vec![objects[1]]),
+        (partner, vec![objects[2]]),
+        (field, vec![]),
+    ];
+    let plans = balancer.plan(now, &hosting);
+    println!("\nload spike on lab-super (score {:.1}):", tracker.sample(lab, now).score());
+    let field_server = dep.server(field);
+    let field_rows = rows_for(&field_server);
+    for plan in plans {
+        println!("  balancer: move {} from M{} to M{}", plan.object, plan.from.0, plan.to.0);
+        // the least-loaded machine is the field client's own box
+        assert_eq!(plan.to, field);
+        let new_or = manager.migrate(plan.object, &field_server, &field_rows).unwrap();
+        registry_client.rebind_or("weather/lab", &new_or).unwrap();
+    }
+
+    // The client's existing GP chases the tombstone; selection flips to
+    // shared memory because the replica now lives on the client's machine.
+    let lab_gp = &group.members()[0];
+    let lab_client_view = WeatherClient::new(dep.client_gp(field, lab_gp.object_reference()));
+    let map = lab_client_view.get_map("midwest".into()).unwrap();
+    println!(
+        "  after migration: got {} points via {} (was {})",
+        map.len(),
+        lab_client_view.gp().last_protocol().unwrap(),
+        "tcp"
+    );
+    assert_eq!(lab_client_view.gp().last_protocol().unwrap(), "shm");
+
+    let (reqs, _, bytes_out, _) = dep.stats.snapshot();
+    println!(
+        "\naudit log: {reqs} authenticated cross-site requests, {bytes_out} payload bytes"
+    );
+    println!("virtual time elapsed: {}", dep.net.clock().now());
+
+    for s in &servers {
+        s.shutdown();
+    }
+    field_server.shutdown();
+}

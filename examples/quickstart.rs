@@ -1,0 +1,75 @@
+//! Quickstart: a complete Open HPC++ client/server round trip in one process.
+//!
+//! ```text
+//! cargo run -p ohpc-apps --example quickstart
+//! ```
+//!
+//! Demonstrates the minimum vocabulary: declare an interface, host an object
+//! in a context, mint an Object Reference, bind a Global Pointer, invoke.
+
+use std::sync::Arc;
+
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{
+    remote_interface, ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer,
+    Location, ProtoPool, ProtocolId, TransportProto,
+};
+use ohpc_transport::mem::MemFabric;
+
+remote_interface! {
+    type_name = "Greeter";
+    trait GreeterApi;
+    skeleton GreeterSkeleton;
+    client GreeterClient;
+    fn greet(name: String) -> String = 1;
+    fn add(a: i32, b: i32) -> i32 = 2;
+}
+
+struct Greeter;
+
+impl GreeterApi for Greeter {
+    fn greet(&self, name: String) -> Result<String, String> {
+        Ok(format!("hello, {name}! — served by an Open HPC++ context"))
+    }
+    fn add(&self, a: i32, b: i32) -> Result<i32, String> {
+        a.checked_add(b).ok_or_else(|| "overflow".to_string())
+    }
+}
+
+fn main() {
+    // ---- server side -----------------------------------------------------
+    // A context is the HPC++ "virtual address space". This one lives on
+    // machine 0 / LAN 0 and serves the in-process (shared-memory) transport.
+    let fabric = MemFabric::new();
+    let registry = Arc::new(CapabilityRegistry::new());
+    let server = Context::new(ContextId(1), Location::new(0, 0), registry);
+    let object = server.register(Arc::new(GreeterSkeleton(Greeter)));
+    server.serve(Box::new(fabric.listen()), ProtocolId::SHM);
+
+    // An Object Reference names the object plus the protocols to reach it,
+    // in preference order.
+    let or = server.make_or(object, &[OrRow::Plain(ProtocolId::SHM)]).expect("mint OR");
+    println!("minted OR: object={}, protocols={:?}", or.object, or.offered());
+
+    // ---- client side -----------------------------------------------------
+    // The client installs its proto-pool (local policy) and binds a GP.
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::SHM,
+        ApplicabilityRule::SameMachineOnly,
+        Arc::new(fabric),
+    ))));
+    let gp = GlobalPointer::new(or, pool, Location::new(0, 0));
+    let client = GreeterClient::new(gp);
+
+    println!("{}", client.greet("world".into()).expect("greet"));
+    println!("2 + 3 = {}", client.add(2, 3).expect("add"));
+    println!("selected protocol: {}", client.gp().last_protocol().unwrap());
+
+    // Remote exceptions come back typed:
+    match client.add(i32::MAX, 1) {
+        Err(e) => println!("expected failure: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    server.shutdown();
+}

@@ -1,0 +1,81 @@
+//! Collective invocations across heterogeneously-reachable members: the same
+//! GpGroup call reaches a co-located object over shared memory, a LAN object
+//! over plain TCP, and a remote-site object through an authenticated glue —
+//! each member's protocol chosen by ordinary selection.
+
+use std::sync::Arc;
+
+use ohpc_apps::{WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::{SimDeployment, EXPERIMENT_KEY};
+use ohpc_caps::{AuthCap, CapScope};
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId, SiteId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{GpGroup, ProtocolId};
+use ohpc_xdr::{XdrEncode, XdrWriter};
+
+#[test]
+fn one_collective_three_protocols() {
+    // client machine M0 (LAN0/site0), LAN peer M1 (LAN0), remote site M2.
+    let (mut m0, mut m1, mut m2) = (MachineId(0), MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan_on_site(LanId(0), SiteId(0), LinkProfile::fast_ethernet())
+        .lan_on_site(LanId(1), SiteId(1), LinkProfile::fast_ethernet())
+        .machine("client", LanId(0), &mut m0)
+        .machine("peer", LanId(0), &mut m1)
+        .machine("remote", LanId(1), &mut m2)
+        .build();
+    let dep = SimDeployment::new(cluster);
+
+    // One weather replica per machine.
+    let mut gps = Vec::new();
+    let mut servers = Vec::new();
+    for &machine in &[m0, m1, m2] {
+        let server = dep.server(machine);
+        let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+        let auth = server
+            .add_glue(vec![AuthCap::spec(EXPERIMENT_KEY, "collective", CapScope::CrossSite)])
+            .unwrap();
+        let or = server
+            .make_or(
+                object,
+                &[
+                    OrRow::Plain(ProtocolId::SHM),
+                    OrRow::Glue { glue_id: auth, inner: ProtocolId::TCP },
+                    OrRow::Plain(ProtocolId::TCP),
+                ],
+            )
+            .unwrap();
+        gps.push(Arc::new(dep.client_gp(m0, or)));
+        servers.push(server);
+    }
+
+    let group = GpGroup::new(gps);
+
+    // regions() = method 3 on the weather interface, no args.
+    let regions: Vec<Vec<String>> = group.gather(3, &XdrWriter::new()).unwrap();
+    assert_eq!(regions.len(), 3);
+    assert!(regions.iter().all(|r| r.len() == 3));
+
+    let selected: Vec<String> =
+        group.members().iter().map(|gp| gp.last_protocol().unwrap()).collect();
+    assert_eq!(selected[0], "shm", "co-located member over shared memory");
+    assert_eq!(selected[1], "tcp", "LAN member over plain TCP (auth scope is cross-site)");
+    assert_eq!(selected[2], "glue[auth]->tcp", "remote-site member authenticates");
+
+    // Broadcast a one-way feed to every replica, then verify all grew.
+    let mut args = XdrWriter::new();
+    "pacific".to_string().encode(&mut args);
+    vec![1.0f64, 2.0].encode(&mut args);
+    assert!(group.broadcast(2, &args).iter().all(Result::is_ok));
+
+    let maps: Vec<Vec<f64>> = {
+        let mut a = XdrWriter::new();
+        "pacific".to_string().encode(&mut a);
+        group.gather(1, &a).unwrap()
+    };
+    assert!(maps.iter().all(|m| m.len() == 98), "every replica absorbed the broadcast");
+
+    for s in &servers {
+        s.shutdown();
+    }
+}

@@ -1,0 +1,106 @@
+//! Discrete-event-scripted scenario: load spikes and decays scheduled on the
+//! virtual timeline drive the balancer through multiple migrations. The DES
+//! scheduler orchestrates *when* things happen; the balancer decides *what*
+//! happens — the test pins the resulting migration history.
+
+use ohpc_migrate::{LoadBalancer, MigrationPlan, WaterMarks};
+use ohpc_netsim::des::Scheduler;
+use ohpc_netsim::load::LoadTracker;
+use ohpc_netsim::{MachineId, SimTime};
+use ohpc_orb::ObjectId;
+
+const SEC: u64 = 1_000_000_000;
+
+struct World {
+    tracker: LoadTracker,
+    balancer: LoadBalancer,
+    /// index of the machine currently hosting the object
+    host: usize,
+    machines: Vec<MachineId>,
+    object: ObjectId,
+    history: Vec<(SimTime, MigrationPlan)>,
+}
+
+impl World {
+    fn hosting(&self) -> Vec<(MachineId, Vec<ObjectId>)> {
+        self.machines
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, if i == self.host { vec![self.object] } else { vec![] }))
+            .collect()
+    }
+}
+
+fn check_balance(s: &mut Scheduler<World>, w: &mut World) {
+    let now = s.now();
+    let plans = w.balancer.plan(now, &w.hosting());
+    for plan in plans {
+        w.host = w.machines.iter().position(|m| *m == plan.to).unwrap();
+        w.history.push((now, plan));
+    }
+    // re-check every 500ms of virtual time
+    s.after(SimTime(SEC / 2), check_balance);
+}
+
+#[test]
+fn scripted_spikes_produce_the_expected_migration_history() {
+    let tracker = LoadTracker::new();
+    let balancer = LoadBalancer::new(WaterMarks::default_marks(), tracker.clone());
+    let machines: Vec<MachineId> = (0..3).map(MachineId).collect();
+    let mut world = World {
+        tracker: tracker.clone(),
+        balancer,
+        host: 0,
+        machines: machines.clone(),
+        object: ObjectId(42),
+        history: Vec::new(),
+    };
+
+    let mut sched: Scheduler<World> = Scheduler::new();
+    // t=1s: machine 0 gets hot → expect migration to an idle machine.
+    sched.at(SimTime(SEC), |_, w| w.tracker.set_background(w.machines[0], 5.0));
+    // t=3s: machine 0 cools, machine 1 gets hot. If the object landed on
+    // machine 1, it must move again.
+    sched.at(SimTime(3 * SEC), |_, w| {
+        w.tracker.set_background(w.machines[0], 0.2);
+        w.tracker.set_background(w.machines[1], 6.0);
+    });
+    // periodic balancer checks, bounded by the experiment horizon
+    sched.at(SimTime(SEC / 2), check_balance);
+    sched.run_until(&mut world, SimTime(6 * SEC));
+
+    // Exactly two migrations: off machine 0 at the first spike, off machine 1
+    // (where the first migration put it, machines being scanned in id order)
+    // at the second.
+    assert_eq!(world.history.len(), 2, "history: {:?}", world.history);
+    let (t1, first) = &world.history[0];
+    assert_eq!(first.from, machines[0]);
+    assert_eq!(first.to, machines[1], "least-loaded idle machine by id order");
+    assert!(*t1 >= SimTime(SEC), "no migration before the spike");
+
+    let (t2, second) = &world.history[1];
+    assert_eq!(second.from, machines[1]);
+    assert_eq!(second.to, machines[2], "machine 0 has 0.2 load, machine 2 has 0 — both under the low mark; least loaded wins");
+    assert!(*t2 >= SimTime(3 * SEC));
+    assert_eq!(world.host, 2);
+}
+
+#[test]
+fn no_spike_means_no_migrations() {
+    let tracker = LoadTracker::new();
+    let balancer = LoadBalancer::new(WaterMarks::default_marks(), tracker.clone());
+    let machines: Vec<MachineId> = (0..3).map(MachineId).collect();
+    let mut world = World {
+        tracker,
+        balancer,
+        host: 0,
+        machines,
+        object: ObjectId(1),
+        history: Vec::new(),
+    };
+    let mut sched: Scheduler<World> = Scheduler::new();
+    sched.at(SimTime(SEC / 2), check_balance);
+    sched.run_until(&mut world, SimTime(5 * SEC));
+    assert!(world.history.is_empty());
+    assert_eq!(world.host, 0);
+}

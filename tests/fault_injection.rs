@@ -1,0 +1,105 @@
+//! Fault injection through the whole ORB stack: injected transport failures
+//! must surface as clean errors (or be absorbed by the reconnect logic) —
+//! never as panics, hangs, or corrupted results.
+
+use std::sync::Arc;
+
+use ohpc_apps::{WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_crypto::KeyStore;
+use ohpc_netsim::Location;
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{
+    ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer, ProtoPool,
+    ProtocolId, TransportProto,
+};
+use ohpc_transport::mem::MemFabric;
+use ohpc_transport::testing::{FaultPlan, FlakyDialer};
+
+fn served_context(fabric: &MemFabric) -> (Context, ohpc_orb::ObjectReference) {
+    let registry = Arc::new(CapabilityRegistry::new());
+    let mut keys = KeyStore::new();
+    keys.add_key("k", b"fault-injection");
+    ohpc_caps::register_standard(&registry, keys);
+    let ctx = Context::new(ContextId(1), Location::new(0, 0), registry);
+    let object = ctx.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    let or = ctx.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    (ctx, or)
+}
+
+fn flaky_client(
+    fabric: &MemFabric,
+    or: ohpc_orb::ObjectReference,
+    plan: Arc<FaultPlan>,
+) -> WeatherClient {
+    let dialer = FlakyDialer::new(Arc::new(fabric.clone()), plan);
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(dialer),
+    ))));
+    WeatherClient::new(GlobalPointer::new(or, pool, Location::new(1, 1)))
+}
+
+#[test]
+fn every_outcome_is_ok_or_clean_error_under_heavy_faults() {
+    let fabric = MemFabric::new();
+    let (ctx, or) = served_context(&fabric);
+    // Fail every 5th transport operation: brutal, but each call either
+    // succeeds (possibly via reconnect) or fails with a typed error.
+    let plan = FaultPlan::every(5);
+    let client = flaky_client(&fabric, or, plan.clone());
+
+    let mut ok = 0;
+    let mut failed = 0;
+    for _ in 0..200 {
+        match client.regions() {
+            Ok(r) => {
+                assert_eq!(r.len(), 3, "no partial/corrupt results ever");
+                ok += 1;
+            }
+            Err(e) => {
+                assert!(
+                    matches!(e, ohpc_orb::OrbError::Transport(_)),
+                    "unexpected error class: {e}"
+                );
+                failed += 1;
+            }
+        }
+    }
+    assert!(plan.injected() > 10, "faults were actually injected: {}", plan.injected());
+    assert!(ok > 100, "reconnect keeps most calls working: {ok} ok / {failed} failed");
+    ctx.shutdown();
+}
+
+#[test]
+fn rare_faults_are_fully_absorbed_by_reconnect() {
+    let fabric = MemFabric::new();
+    let (ctx, or) = served_context(&fabric);
+    // One fault every 50 operations: a fault kills the pooled connection on
+    // send or recv, and the single retry re-dials — unless the retry itself
+    // is unlucky, which at 1/50 it essentially never is.
+    let plan = FaultPlan::every(50);
+    let client = flaky_client(&fabric, or, plan.clone());
+
+    let mut failures = 0;
+    for _ in 0..300 {
+        if client.regions().is_err() {
+            failures += 1;
+        }
+    }
+    assert!(plan.injected() >= 10);
+    assert_eq!(failures, 0, "sparse faults must be invisible to the application");
+    ctx.shutdown();
+}
+
+#[test]
+fn fault_on_initial_dial_is_a_clean_refusal() {
+    let fabric = MemFabric::new();
+    let (ctx, or) = served_context(&fabric);
+    let plan = FaultPlan::every(1); // every operation fails, including dials
+    let client = flaky_client(&fabric, or, plan);
+    let err = client.regions().unwrap_err();
+    assert!(matches!(err, ohpc_orb::OrbError::Transport(_)));
+    ctx.shutdown();
+}

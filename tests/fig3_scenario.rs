@@ -1,0 +1,29 @@
+//! Integration test pinning the Figure 3 scenario: the selection sequence is
+//! part of the reproduction's contract, so it is asserted here as well as
+//! demonstrated by the `adaptive_clients` example.
+
+use ohpc_bench::fig3::run;
+use ohpc_netsim::LinkProfile;
+
+#[test]
+fn figure3_roles_swap_after_migration() {
+    let phases = run(LinkProfile::fast_ethernet());
+    assert_eq!(phases.len(), 2);
+
+    assert_eq!(phases[0].label, "before migration");
+    assert_eq!(phases[0].p1_selected, "nexus(nexus-tcp)");
+    assert_eq!(phases[0].p2_selected, "glue[auth]->tcp");
+
+    assert_eq!(phases[1].label, "after migration");
+    assert_eq!(phases[1].p1_selected, "glue[auth]->tcp");
+    assert_eq!(phases[1].p2_selected, "nexus(nexus-tcp)");
+}
+
+#[test]
+fn figure3_holds_on_slow_ethernet_too() {
+    // The adaptivity logic is topology-driven, not bandwidth-driven: the
+    // same swap happens regardless of the LAN technology.
+    let phases = run(LinkProfile::ethernet_10());
+    assert_eq!(phases[0].p1_selected, phases[1].p2_selected);
+    assert_eq!(phases[0].p2_selected, phases[1].p1_selected);
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration: the weather service over every transport, with
+//! glue chains built from the full standard capability set, over both the
+//! simulated network and the real in-process/TCP fabrics.
+
+use std::sync::Arc;
+
+use ohpc_apps::{WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::{SimDeployment, EXPERIMENT_KEY};
+use ohpc_caps::{AuthCap, CapScope, CompressionCap, EncryptionCap, LoggingCap};
+use ohpc_compress::CodecKind;
+use ohpc_crypto::KeyStore;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{
+    ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer, GlueProto, Location,
+    ProtoPool, ProtocolId, TransportProto,
+};
+use ohpc_transport::tcp::{TcpAcceptor, TcpDialer};
+
+fn two_machine_deployment() -> (SimDeployment, MachineId, MachineId) {
+    let (mut c, mut s) = (MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), LinkProfile::atm_155())
+        .machine("client", LanId(0), &mut c)
+        .machine("server", LanId(0), &mut s)
+        .build();
+    (SimDeployment::new(cluster), c, s)
+}
+
+#[test]
+fn weather_over_simulated_network_with_full_chain() {
+    let (dep, m_client, m_server) = two_machine_deployment();
+    let server = dep.server(m_server);
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+
+    // compress → encrypt → authenticate → log: a realistic full stack.
+    let glue_id = server
+        .add_glue(vec![
+            CompressionCap::spec(CodecKind::Lzss, 64),
+            EncryptionCap::spec(EXPERIMENT_KEY),
+            AuthCap::spec(EXPERIMENT_KEY, "integration", CapScope::Always),
+            LoggingCap::spec("full-stack"),
+        ])
+        .unwrap();
+    let or = server
+        .make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+
+    let client = WeatherClient::new(dep.client_gp(m_client, or));
+    let map = client.get_map("atlantic".into()).unwrap();
+    assert_eq!(map.len(), 128);
+    let n = client.feed_data("atlantic".into(), map.clone()).unwrap();
+    assert_eq!(n, 256);
+    assert_eq!(
+        client.gp().last_protocol().unwrap(),
+        "glue[compress+security+auth+log]->tcp"
+    );
+    // the log capability saw traffic on both sides
+    let (reqs, _, out_bytes, in_bytes) = dep.stats.snapshot();
+    assert!(reqs >= 2);
+    assert!(out_bytes > 0 && in_bytes > 0);
+    server.shutdown();
+}
+
+#[test]
+fn weather_over_real_tcp_with_encryption() {
+    let registry = Arc::new(CapabilityRegistry::new());
+    let mut keys = KeyStore::new();
+    keys.add_key(EXPERIMENT_KEY, b"open-hpc++-experiment-psk");
+    ohpc_caps::register_standard(&registry, keys);
+
+    let server = Context::new(ContextId(40), Location::new(0, 0), registry.clone());
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    server.serve(Box::new(TcpAcceptor::bind("127.0.0.1:0").unwrap()), ProtocolId::TCP);
+
+    let glue_id = server.add_glue(vec![EncryptionCap::spec(EXPERIMENT_KEY)]).unwrap();
+    let or = server
+        .make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(registry)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(TcpDialer),
+            ))),
+    );
+    let client = WeatherClient::new(GlobalPointer::new(or, pool, Location::new(3, 2)));
+    let regions = client.regions().unwrap();
+    assert_eq!(regions, vec!["midwest", "atlantic", "pacific"]);
+    let map = client.get_map("pacific".into()).unwrap();
+    assert_eq!(map.len(), 96);
+    server.shutdown();
+}
+
+#[test]
+fn wrong_key_client_cannot_use_secure_entry_but_falls_back() {
+    // A client whose key store has a DIFFERENT key can still construct the
+    // encryption capability (name matches), but decryption garbage fails the
+    // XDR decode — so real deployments pair encryption with auth. Here we
+    // verify the failure is an error, not silent corruption.
+    let (dep, m_client, m_server) = two_machine_deployment();
+    let server = dep.server(m_server);
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let glue_id = server
+        .add_glue(vec![AuthCap::spec(EXPERIMENT_KEY, "integration", CapScope::Always)])
+        .unwrap();
+    let or = server
+        .make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+
+    // client with wrong key material
+    let bad_registry = Arc::new(CapabilityRegistry::new());
+    let mut bad_keys = KeyStore::new();
+    bad_keys.add_key(EXPERIMENT_KEY, b"not-the-real-passphrase");
+    ohpc_caps::register_standard(&bad_registry, bad_keys);
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(bad_registry)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(dep.fabric.dialer(m_client)),
+            ))),
+    );
+    let location = dep.net.cluster().location_of(m_client);
+    let client = WeatherClient::new(GlobalPointer::new(or, pool, location));
+    let err = client.regions().unwrap_err();
+    assert!(
+        matches!(err, ohpc_orb::OrbError::Capability(_)),
+        "expected capability denial, got {err:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn many_objects_one_context() {
+    let (dep, m_client, m_server) = two_machine_deployment();
+    let server = dep.server(m_server);
+    let mut clients = Vec::new();
+    for _ in 0..10 {
+        let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+        let or = server.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+        clients.push(WeatherClient::new(dep.client_gp(m_client, or)));
+    }
+    assert_eq!(server.object_count(), 10);
+    for (i, c) in clients.iter().enumerate() {
+        let n = c.feed_data("pacific".into(), vec![i as f64]).unwrap();
+        assert_eq!(n, 97, "each object has independent state");
+    }
+    assert_eq!(server.requests_served(), 10);
+    server.shutdown();
+}
+
+#[test]
+fn virtual_time_accounts_for_server_compute() {
+    let (dep, m_client, m_server) = two_machine_deployment();
+    let server = dep.server(m_server);
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let or = server.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    let client = WeatherClient::new(dep.client_gp(m_client, or));
+
+    let t0 = dep.net.clock().now();
+    client.regions().unwrap();
+    let rpc_time = dep.net.clock().now().saturating_sub(t0);
+    // explicit application compute charging
+    server.charge_compute(std::time::Duration::from_millis(5));
+    let after_compute = dep.net.clock().now().saturating_sub(t0);
+    assert!(after_compute.0 >= rpc_time.0 + 5_000_000);
+    server.shutdown();
+}

@@ -1,0 +1,122 @@
+//! Ablation: capability chain ORDER is a real design decision.
+//!
+//! The glue protocol applies capabilities in the order the OR lists them.
+//! This matters: compress-then-encrypt shrinks the wire payload, while
+//! encrypt-then-compress cannot (ciphertext is incompressible) — and a MAC
+//! must be outermost to authenticate what actually travels. These tests pin
+//! the behaviours that justify the chain-order convention used throughout
+//! the experiments.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ohpc_caps::{register_standard, AuthCap, CapScope, CompressionCap, EncryptionCap};
+use ohpc_compress::CodecKind;
+use ohpc_crypto::KeyStore;
+use ohpc_orb::capability::{process_chain, unprocess_chain, CallInfo};
+use ohpc_orb::{CapabilityRegistry, CapabilitySpec, Direction, ObjectId, RequestId};
+
+fn registry() -> Arc<CapabilityRegistry> {
+    let reg = CapabilityRegistry::new();
+    let mut keys = KeyStore::new();
+    keys.add_key("k", b"ablation-key");
+    register_standard(&reg, keys);
+    Arc::new(reg)
+}
+
+fn call() -> CallInfo {
+    CallInfo { object: ObjectId(1), method: 1, request_id: RequestId(1) }
+}
+
+/// XDR-int-array-like payload: compresses well in the clear.
+fn payload(n: usize) -> Bytes {
+    (0..n).map(|i| if i % 4 == 3 { (i % 50) as u8 } else { 0 }).collect::<Vec<_>>().into()
+}
+
+fn wire_size(reg: &CapabilityRegistry, specs: &[CapabilitySpec], body: Bytes) -> usize {
+    let chain = reg.build_chain(specs).unwrap();
+    let (wire, metas) = process_chain(&chain, Direction::Request, &call(), body.clone()).unwrap();
+    // sanity: whatever the order, the inverse restores the plaintext
+    let back = unprocess_chain(&chain, Direction::Request, &call(), &metas, wire.clone()).unwrap();
+    assert_eq!(back, body);
+    wire.len()
+}
+
+#[test]
+fn compress_then_encrypt_shrinks_encrypt_then_compress_does_not() {
+    let reg = registry();
+    let body = payload(64 * 1024);
+
+    let good = wire_size(
+        &reg,
+        &[CompressionCap::spec(CodecKind::Lzss, 64), EncryptionCap::spec("k")],
+        body.clone(),
+    );
+    let bad = wire_size(
+        &reg,
+        &[EncryptionCap::spec("k"), CompressionCap::spec(CodecKind::Lzss, 64)],
+        body.clone(),
+    );
+
+    assert!(
+        good < body.len() / 2,
+        "compress-then-encrypt should halve the payload: {good} of {}",
+        body.len()
+    );
+    assert!(
+        bad >= body.len(),
+        "encrypt-then-compress cannot shrink ciphertext: {bad} of {}",
+        body.len()
+    );
+    assert!(good * 2 < bad, "ordering ablation should show a ≥2x wire-size gap");
+}
+
+#[test]
+fn both_orders_still_round_trip() {
+    // Order affects efficiency, never correctness — the chain inverse works
+    // for any permutation (the wire_size helper asserts the round trip).
+    let reg = registry();
+    for specs in [
+        vec![
+            CompressionCap::spec(CodecKind::Rle, 32),
+            EncryptionCap::spec("k"),
+            AuthCap::spec("k", "abl", CapScope::Always),
+        ],
+        vec![
+            AuthCap::spec("k", "abl", CapScope::Always),
+            EncryptionCap::spec("k"),
+            CompressionCap::spec(CodecKind::Rle, 32),
+        ],
+        vec![
+            EncryptionCap::spec("k"),
+            AuthCap::spec("k", "abl", CapScope::Always),
+            CompressionCap::spec(CodecKind::Rle, 32),
+        ],
+    ] {
+        let _ = wire_size(&reg, &specs, payload(4096));
+    }
+}
+
+#[test]
+fn outermost_auth_covers_the_actual_wire_bytes() {
+    // With [compress, auth], the MAC is computed over the *compressed* bytes
+    // — tampering with the wire is detected before decompression runs on
+    // attacker-controlled input. Verify the detection ordering by checking
+    // the error comes from auth, not from the codec.
+    let reg = registry();
+    let specs =
+        vec![CompressionCap::spec(CodecKind::Lzss, 32), AuthCap::spec("k", "abl", CapScope::Always)];
+    let chain = reg.build_chain(&specs).unwrap();
+    let body = payload(8192);
+    let (wire, metas) = process_chain(&chain, Direction::Request, &call(), body).unwrap();
+
+    let mut tampered = wire.to_vec();
+    tampered[0] ^= 0xFF;
+    let err = unprocess_chain(&chain, Direction::Request, &call(), &metas, Bytes::from(tampered))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("authentication failed"),
+        "tampering must be caught by the MAC, got: {msg}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Load balancing end to end: request load drives the high-water-mark policy,
+//! the policy drives migration, migration drives protocol re-selection —
+//! the full adaptive loop of the paper's §4.3.
+
+use std::sync::Arc;
+
+use ohpc_apps::{weather_factory, WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::SimDeployment;
+use ohpc_migrate::{LoadBalancer, MigrationManager, WaterMarks};
+use ohpc_netsim::load::LoadTracker;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{Context, ProtocolId};
+
+struct TestBed {
+    dep: SimDeployment,
+    machines: Vec<MachineId>,
+    contexts: Vec<Context>,
+}
+
+fn testbed(n_machines: usize) -> TestBed {
+    let mut builder = Cluster::builder().lan(LanId(0), LinkProfile::fast_ethernet());
+    let mut machines = Vec::new();
+    for i in 0..n_machines {
+        let mut m = MachineId(0);
+        builder = builder.machine(&format!("node{i}"), LanId(0), &mut m);
+        machines.push(m);
+    }
+    let dep = SimDeployment::new(builder.build());
+    let contexts: Vec<Context> = machines.iter().map(|&m| dep.server(m)).collect();
+    TestBed { dep, machines, contexts }
+}
+
+#[test]
+fn hot_machine_sheds_an_object_and_clients_follow() {
+    let bed = testbed(3);
+    let tracker = LoadTracker::new();
+    let balancer = LoadBalancer::new(WaterMarks::default_marks(), tracker.clone());
+    let manager = MigrationManager::new();
+    manager.register_factory("WeatherService", weather_factory);
+
+    // Feed the tracker from real dispatches on node0's context.
+    let m0 = bed.machines[0];
+    {
+        let tracker = tracker.clone();
+        let net = bed.dep.net.clone();
+        bed.contexts[0].set_request_hook(Box::new(move |_, _| {
+            tracker.record_request(m0, net.clock().now());
+        }));
+    }
+
+    let object = manager
+        .register(&bed.contexts[0], Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let or = bed.contexts[0]
+        .make_or(object, &[OrRow::Plain(ProtocolId::TCP)])
+        .unwrap();
+    let client = WeatherClient::new(bed.dep.client_gp(bed.machines[1], or));
+
+    // Hammer the object: virtual time advances per request, so the tracker
+    // sees a genuine request *rate*.
+    for _ in 0..400 {
+        client.regions().unwrap();
+    }
+    let now = bed.dep.net.clock().now();
+    let score = tracker.sample(m0, now).score();
+    assert!(score > 2.0, "request storm must cross the high mark, got {score}");
+
+    // Policy: plan and execute.
+    let hosting = vec![
+        (bed.machines[0], vec![object]),
+        (bed.machines[1], vec![]),
+        (bed.machines[2], vec![]),
+    ];
+    let plans = balancer.plan(now, &hosting);
+    assert_eq!(plans.len(), 1);
+    let plan = &plans[0];
+    assert_eq!(plan.from, bed.machines[0]);
+    let dst_idx = bed.machines.iter().position(|m| *m == plan.to).unwrap();
+    manager
+        .migrate(plan.object, &bed.contexts[dst_idx], &[OrRow::Plain(ProtocolId::TCP)])
+        .unwrap();
+
+    // The client keeps working and lands on the new home transparently.
+    assert_eq!(client.regions().unwrap().len(), 3);
+    assert_eq!(client.gp().forwards_seen(), 1);
+    assert!(bed.contexts[dst_idx].hosts(object));
+    assert!(!bed.contexts[0].hosts(object));
+
+    for c in &bed.contexts {
+        c.shutdown();
+    }
+}
+
+#[test]
+fn balanced_cluster_stays_put() {
+    let bed = testbed(2);
+    let tracker = LoadTracker::new();
+    let balancer = LoadBalancer::new(WaterMarks::default_marks(), tracker.clone());
+    // modest background load everywhere, below the high mark
+    for &m in &bed.machines {
+        tracker.set_background(m, 0.5);
+    }
+    let hosting: Vec<_> = bed.machines.iter().map(|&m| (m, vec![])).collect();
+    assert!(balancer.plan(bed.dep.net.clock().now(), &hosting).is_empty());
+    for c in &bed.contexts {
+        c.shutdown();
+    }
+}
+
+#[test]
+fn migration_to_client_machine_switches_to_shared_memory() {
+    // The payoff the paper highlights: after load-driven migration to the
+    // client's own machine, selection flips to the shared-memory protocol
+    // and bandwidth jumps by an order of magnitude.
+    let bed = testbed(2);
+    let manager = MigrationManager::new();
+    manager.register_factory("WeatherService", weather_factory);
+
+    let object = manager
+        .register(&bed.contexts[0], Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let rows =
+        [OrRow::Plain(ProtocolId::SHM), OrRow::Plain(ProtocolId::TCP)];
+    let or = bed.contexts[0].make_or(object, &rows).unwrap();
+    let client_machine = bed.machines[1];
+    let client = WeatherClient::new(bed.dep.client_gp(client_machine, or));
+
+    client.regions().unwrap();
+    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+
+    let t0 = bed.dep.net.clock().now();
+    client.get_map("atlantic".into()).unwrap();
+    let remote_time = bed.dep.net.clock().now().saturating_sub(t0);
+
+    manager.migrate(object, &bed.contexts[1], &rows).unwrap();
+
+    client.regions().unwrap(); // chases the tombstone, reselects
+    assert_eq!(client.gp().last_protocol().unwrap(), "shm");
+    let t1 = bed.dep.net.clock().now();
+    client.get_map("atlantic".into()).unwrap();
+    let local_time = bed.dep.net.clock().now().saturating_sub(t1);
+
+    assert!(
+        remote_time.0 > 5 * local_time.0,
+        "shared memory should be much faster: remote {remote_time} vs local {local_time}"
+    );
+    for c in &bed.contexts {
+        c.shutdown();
+    }
+}

@@ -1,0 +1,103 @@
+//! The naming service served as a remote object: processes bootstrap from a
+//! single well-known registry endpoint, then resolve everything else —
+//! including capability-bearing references — over RMI.
+
+use std::sync::Arc;
+
+use ohpc_apps::{WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::SimDeployment;
+use ohpc_caps::TimeoutCap;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{GlobalPointer, ProtocolId};
+use ohpc_registry::{LocalRegistry, RegistryClient, RegistrySkeleton};
+
+fn deployment() -> (SimDeployment, MachineId, MachineId) {
+    let (mut c, mut s) = (MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), LinkProfile::fast_ethernet())
+        .machine("client", LanId(0), &mut c)
+        .machine("server", LanId(0), &mut s)
+        .build();
+    (SimDeployment::new(cluster), c, s)
+}
+
+#[test]
+fn bootstrap_everything_through_a_remote_registry() {
+    let (dep, m_client, m_server) = deployment();
+    let server = dep.server(m_server);
+
+    // The registry itself is a remote object in the server context.
+    let registry_obj = server.register(Arc::new(RegistrySkeleton(LocalRegistry::new())));
+    let registry_or = server
+        .make_or(registry_obj, &[OrRow::Plain(ProtocolId::TCP)])
+        .unwrap();
+
+    // The weather service binds itself (server-side, via the remote API).
+    let weather_obj = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let glue_id = server.add_glue(vec![TimeoutCap::spec(100)]).unwrap();
+    let weather_or = server
+        .make_or(weather_obj, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+
+    // Client knows ONLY the registry OR.
+    let reg_client = RegistryClient::new(dep.client_gp(m_client, registry_or));
+    assert!(reg_client.bind_or("svc/weather", &weather_or).unwrap());
+    assert!(!reg_client.bind_or("svc/weather", &weather_or).unwrap(), "double bind refused");
+
+    // Resolve over RMI and use the resolved, capability-bearing OR.
+    let resolved = reg_client.resolve_or("svc/weather").unwrap();
+    assert_eq!(resolved, weather_or);
+    let weather = WeatherClient::new(GlobalPointer::new(
+        resolved,
+        // reuse the registry client's pool machinery via deployment helper
+        dep.client_pool(m_client),
+        dep.net.cluster().location_of(m_client),
+    ));
+    assert_eq!(weather.regions().unwrap().len(), 3);
+    assert_eq!(weather.gp().last_protocol().unwrap(), "glue[timeout]->tcp");
+
+    // Listing and unbinding over RMI.
+    assert_eq!(reg_client.list("svc/".into()).unwrap(), vec!["svc/weather"]);
+    assert!(reg_client.unbind("svc/weather".into()).unwrap());
+    assert!(reg_client.resolve_or("svc/weather").is_err());
+
+    server.shutdown();
+}
+
+#[test]
+fn rebind_updates_after_migration_style_change() {
+    let (dep, m_client, m_server) = deployment();
+    let server = dep.server(m_server);
+    let registry_obj = server.register(Arc::new(RegistrySkeleton(LocalRegistry::new())));
+    let registry_or = server.make_or(registry_obj, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    let reg_client = RegistryClient::new(dep.client_gp(m_client, registry_or));
+
+    let weather_obj = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let or_v1 = server.make_or(weather_obj, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    reg_client.bind_or("w", &or_v1).unwrap();
+
+    // The service re-publishes with an extra protocol row (e.g. after
+    // gaining a shared-memory endpoint).
+    let or_v2 = server
+        .make_or(weather_obj, &[OrRow::Plain(ProtocolId::SHM), OrRow::Plain(ProtocolId::TCP)])
+        .unwrap();
+    assert!(reg_client.rebind_or("w", &or_v2).unwrap());
+    let resolved = reg_client.resolve_or("w").unwrap();
+    assert_eq!(resolved.offered(), vec![ProtocolId::SHM, ProtocolId::TCP]);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_or_bytes_rejected_remotely() {
+    let (dep, m_client, m_server) = deployment();
+    let server = dep.server(m_server);
+    let registry_obj = server.register(Arc::new(RegistrySkeleton(LocalRegistry::new())));
+    let registry_or = server.make_or(registry_obj, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    let reg_client = RegistryClient::new(dep.client_gp(m_client, registry_or));
+
+    let err = reg_client.bind("bad".into(), vec![1, 2, 3]).unwrap_err();
+    assert!(matches!(err, ohpc_orb::OrbError::RemoteException(_)));
+    assert!(reg_client.list("".into()).unwrap().is_empty());
+    server.shutdown();
+}
