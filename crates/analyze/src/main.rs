@@ -1,0 +1,127 @@
+//! `ohpc-analyze`: the workspace's own static-analysis pass.
+//!
+//! Parses every first-party crate and enforces four invariants the compiler
+//! cannot check but the paper's communication model depends on:
+//!
+//! * `lock-order` — no cycles in the static lock-acquisition graph
+//!   (potential deadlocks), including through intra-crate helper calls.
+//! * `panic-freedom` — no `unwrap`/`expect`/panicking macros/slice indexing
+//!   in the non-test code of the wire-facing crates (`ohpc-orb`,
+//!   `ohpc-transport`, `ohpc-caps`, `ohpc-xdr`).
+//! * `cap-symmetry` — capability impls handle both `Direction` arms
+//!   explicitly, and every capability `NAME` is registered in
+//!   `register_standard`.
+//! * `xdr-pairing` — every `XdrEncode` impl has a matching `XdrDecode` and
+//!   a round-trip property test.
+//!
+//! Output is one machine-readable line per finding
+//! (`file:line: [rule] severity: message`); the exit code is non-zero when
+//! any `deny` finding exists. CI runs `--deny-all`, which promotes every
+//! finding to `deny`.
+//!
+//! Infallible sites are suppressed with
+//! `// ohpc-analyze: allow(<rule>) — <reason>`; an annotation without a
+//! reason is itself a deny finding.
+
+mod lexer;
+mod rules;
+mod source;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rules::Severity;
+
+const USAGE: &str = "\
+usage: ohpc-analyze [--deny-all] [--root <dir>] [--rule <id>]...
+
+  --deny-all    promote every finding to deny (the CI configuration)
+  --root <dir>  workspace root (default: nearest ancestor with [workspace])
+  --rule <id>   run only the named rule(s); repeatable.
+                ids: lock-order, panic-freedom, cap-symmetry, xdr-pairing,
+                annotation
+";
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut root: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-all" => deny_all = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root requires a path"),
+            },
+            "--rule" => match args.next() {
+                Some(r) if rules::ALL_RULES.contains(&r.as_str()) => only.push(r),
+                Some(r) => return usage_error(&format!("unknown rule '{r}'")),
+                None => return usage_error("--rule requires a rule id"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("ohpc-analyze: cannot find a workspace root (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match source::load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ohpc-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let diags = rules::run_all(&files, deny_all, &only);
+    for d in &diags {
+        println!("{d}");
+    }
+    let denies = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+    let warns = diags.len() - denies;
+    eprintln!(
+        "ohpc-analyze: scanned {} files, {} findings ({} deny, {} warn)",
+        files.len(),
+        diags.len(),
+        denies,
+        warns
+    );
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("ohpc-analyze: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Nearest ancestor of the current directory whose Cargo.toml declares
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Rule `cap-symmetry`: capability implementations must treat the two
+//! transfer directions explicitly, and every capability the `ohpc-caps`
+//! crate defines must be constructible through the standard registry.
+//!
+//! Two checks:
+//!
+//! 1. Inside any `impl Capability for …` block, a `match` whose arms name
+//!    `Direction::…` must not also have a `_ =>` arm. `Direction` has
+//!    exactly two variants (`Request`, `Reply`); a wildcard there silently
+//!    swallows one side of the protocol, which is how asymmetric
+//!    process/unprocess bugs are born (the receiver cannot undo what the
+//!    sender did).
+//! 2. Every `pub const NAME: …` a capability module declares must appear as
+//!    `<module>::NAME` inside `register_standard` — otherwise the crate
+//!    ships a capability spec that no peer can actually build from an OR,
+//!    and chains carrying it fail at the receiver.
+
+use std::collections::HashMap;
+
+use crate::lexer::TokKind;
+use crate::rules::{fn_bodies, Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "cap-symmetry";
+
+/// Crates that define or implement capabilities.
+const TARGET_CRATES: &[&str] = &["ohpc-caps", "ohpc-orb"];
+
+/// Entry point.
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        if !TARGET_CRATES.contains(&f.crate_name.as_str()) || f.in_tests_dir {
+            continue;
+        }
+        check_direction_matches(f, diags);
+    }
+    check_registration(files, diags);
+}
+
+/// Check 1: no `_ =>` in matches over `Direction` inside Capability impls.
+fn check_direction_matches(f: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        // `impl Capability for <Type>` (the trait is not generic).
+        if !(toks[i].is_ident("impl")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("Capability"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("for")))
+        {
+            continue;
+        }
+        if f.is_test_tok(i) || f.in_macro_def(i) {
+            continue;
+        }
+        // Find the impl body.
+        let Some(open) = (i + 3..toks.len()).find(|&j| toks[j].is_punct('{')) else { continue };
+        let Some(&close) = f.close_of.get(&open) else { continue };
+
+        let mut j = open + 1;
+        while j < close {
+            if toks[j].is_ident("match") {
+                if let Some((arms_open, arms_close)) = match_arms_block(f, j, close) {
+                    check_one_match(f, arms_open, arms_close, diags);
+                    j = arms_open; // nested matches still visited
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// From a `match` keyword, find the `{` of its arms (the first `{` outside
+/// any parens/brackets opened by the scrutinee expression).
+fn match_arms_block(f: &SourceFile, match_tok: usize, limit: usize) -> Option<(usize, usize)> {
+    let toks = &f.tokens;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(limit).skip(match_tok + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth <= 0 {
+            return f.close_of.get(&j).map(|&c| (j, c));
+        }
+    }
+    None
+}
+
+/// Inside one match-arms block, report a wildcard arm if any arm pattern
+/// names `Direction::…`.
+fn check_one_match(f: &SourceFile, open: usize, close: usize, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut has_direction_pattern = false;
+    let mut wildcard_at: Option<usize> = None;
+
+    for j in open + 1..close {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            _ => {}
+        }
+        if brace > 0 {
+            continue; // inside an arm body
+        }
+        // `Direction :: X` in pattern position (followed by `=>`, `|` or
+        // `if` guard) at arm level.
+        if t.is_ident("Direction")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 3).map(|t| t.kind) == Some(TokKind::Ident)
+        {
+            let after = toks.get(j + 4);
+            let arrow = after.is_some_and(|t| t.is_punct('='))
+                && toks.get(j + 5).is_some_and(|t| t.is_punct('>'));
+            let alt = after.is_some_and(|t| t.is_punct('|') || t.is_ident("if"));
+            if arrow || alt {
+                has_direction_pattern = true;
+            }
+        }
+        // `_ =>` at arm level.
+        if paren <= 0
+            && t.is_ident("_")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('>'))
+        {
+            wildcard_at = Some(j);
+        }
+    }
+
+    if has_direction_pattern {
+        if let Some(w) = wildcard_at {
+            let line = toks[w].line;
+            if f.allowed(RULE, line) {
+                return;
+            }
+            diags.push(Diagnostic {
+                file: f.path.clone(),
+                line,
+                rule: RULE,
+                severity: Severity::Deny,
+                message: "match on Direction inside a Capability impl uses a `_` wildcard; \
+                          handle Direction::Request and Direction::Reply explicitly"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Check 2: every capability `NAME` const is registered in
+/// `register_standard`.
+fn check_registration(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // Collect `pub const NAME` declarations from ohpc-caps modules:
+    // module stem -> (file path, line, literal value if found).
+    let mut names: HashMap<String, (String, u32, String)> = HashMap::new();
+    for f in files {
+        if f.crate_name != "ohpc-caps" || f.in_tests_dir {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if !(toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.is_ident("NAME")))
+            {
+                continue;
+            }
+            if f.is_test_tok(i) || f.in_macro_def(i) {
+                continue;
+            }
+            let value = (i + 2..(i + 12).min(toks.len()))
+                .find(|&j| toks[j].kind == TokKind::Str)
+                .map(|j| toks[j].text.clone())
+                .unwrap_or_default();
+            let stem = f
+                .path
+                .rsplit('/')
+                .next()
+                .unwrap_or(&f.path)
+                .trim_end_matches(".rs")
+                .to_string();
+            names.insert(stem, (f.path.clone(), toks[i].line, value));
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+
+    // Find register_standard's body tokens in ohpc-caps.
+    let mut reg: Option<(&SourceFile, usize, usize, u32)> = None;
+    for f in files {
+        if f.crate_name != "ohpc-caps" || f.in_tests_dir {
+            continue;
+        }
+        for (name, fn_tok, open, close) in fn_bodies(f) {
+            if name == "register_standard" && !f.is_test_tok(fn_tok) {
+                reg = Some((f, open, close, f.tokens[fn_tok].line));
+            }
+        }
+    }
+    let Some((reg_file, open, close, reg_line)) = reg else {
+        let (path, line, _) = names.values().next().cloned().unwrap_or_default();
+        diags.push(Diagnostic {
+            file: path,
+            line,
+            rule: RULE,
+            severity: Severity::Deny,
+            message: "ohpc-caps declares capability NAME consts but has no register_standard \
+                      function to install their constructors"
+                .to_string(),
+        });
+        return;
+    };
+
+    // A module is registered when `module :: NAME` appears in the body.
+    let toks = &reg_file.tokens;
+    let mut stems: Vec<&String> = names.keys().collect();
+    stems.sort();
+    for stem in stems {
+        let (path, line, value) = &names[stem];
+        let mut found = false;
+        for j in open..close.saturating_sub(2) {
+            if toks[j].is_ident(stem)
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].is_punct(':')
+                && toks.get(j + 3).is_some_and(|t| t.is_ident("NAME"))
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found && !reg_file.allowed(RULE, reg_line) {
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line: *line,
+                rule: RULE,
+                severity: Severity::Deny,
+                message: format!(
+                    "capability '{}' ({}::NAME) has no registry constructor in \
+                     register_standard; peers cannot build chains that carry it",
+                    value, stem
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps_file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, "ohpc-caps", false, src)
+    }
+
+    const ONE_SIDED_IMPL: &str = r#"
+        impl Capability for BrokenCap {
+            fn process(&self, dir: Direction, body: Bytes) -> Result<Bytes, CapError> {
+                match dir {
+                    Direction::Request => Ok(transform(body)),
+                    _ => Ok(body),
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn wildcard_direction_arm_is_flagged() {
+        let f = caps_file("crates/caps/src/broken.rs", ONE_SIDED_IMPL);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn explicit_both_arms_is_clean() {
+        let src = r#"
+            impl Capability for GoodCap {
+                fn process(&self, dir: Direction, body: Bytes) -> Result<Bytes, CapError> {
+                    match dir {
+                        Direction::Request => Ok(transform(body)),
+                        Direction::Reply => Ok(body),
+                    }
+                }
+            }
+        "#;
+        let f = caps_file("crates/caps/src/good.rs", src);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wildcard_on_other_enums_is_fine() {
+        let src = r#"
+            impl Capability for OkCap {
+                fn process(&self, dir: Direction, body: Bytes) -> Result<Bytes, CapError> {
+                    match classify(&body) {
+                        Kind::Big => Ok(shrink(body)),
+                        _ => Ok(body),
+                    }
+                }
+            }
+        "#;
+        let f = caps_file("crates/caps/src/okcap.rs", src);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn impl_outside_capability_is_ignored() {
+        let src = r#"
+            impl Widget for W {
+                fn f(&self, dir: Direction) -> u32 {
+                    match dir { Direction::Request => 1, _ => 2 }
+                }
+            }
+        "#;
+        let f = caps_file("crates/caps/src/w.rs", src);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unregistered_capability_is_flagged() {
+        let module = caps_file(
+            "crates/caps/src/ghost.rs",
+            r#"pub const NAME: &str = "ghost";"#,
+        );
+        let lib = caps_file(
+            "crates/caps/src/lib.rs",
+            r#"
+            pub const OTHER: u32 = 0;
+            pub fn register_standard(registry: &CapabilityRegistry) {
+                registry.register(logging::NAME, |_| Ok(Box::new(LogCap)));
+            }
+            "#,
+        );
+        let logging = caps_file(
+            "crates/caps/src/logging.rs",
+            r#"pub const NAME: &str = "log";"#,
+        );
+        let mut diags = Vec::new();
+        check_registration(&[module, lib, logging], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("ghost"), "{}", diags[0].message);
+        assert!(diags[0].file.contains("ghost.rs"));
+    }
+
+    #[test]
+    fn fully_registered_is_clean() {
+        let module = caps_file(
+            "crates/caps/src/timeout.rs",
+            r#"pub const NAME: &str = "timeout";"#,
+        );
+        let lib = caps_file(
+            "crates/caps/src/lib.rs",
+            r#"
+            pub fn register_standard(registry: &CapabilityRegistry) {
+                registry.register(timeout::NAME, |s| TimeoutCap::build(s));
+            }
+            "#,
+        );
+        let mut diags = Vec::new();
+        check_registration(&[module, lib], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

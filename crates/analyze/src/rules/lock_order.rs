@@ -1,0 +1,620 @@
+//! Rule `lock-order`: static lock-acquisition ordering.
+//!
+//! Builds, per crate, a directed graph whose nodes are the crate's
+//! `parking_lot::Mutex` / `RwLock` *fields* and whose edges mean "some
+//! function acquires B while holding A". A cycle in that graph is a
+//! potential deadlock: two threads entering the cycle from different points
+//! can each hold the lock the other wants. Re-entrant acquisition of the
+//! same field (a self-edge) is reported too — `parking_lot` locks are not
+//! re-entrant, so `lock(); …; lock()` on one field deadlocks a single
+//! thread.
+//!
+//! The approximation, stated honestly:
+//!
+//! * A guard bound with `let` is considered held to the end of its enclosing
+//!   block; a temporary guard to the end of its statement; a guard created
+//!   in an `if let`/`while let`/`match` head to the end of the associated
+//!   block (Rust's pre-2024 temporary-scope rule, the edition this
+//!   workspace uses).
+//! * Calls are followed one level deep *within the crate*, and only for
+//!   `self.helper(…)`, `Self::helper(…)` and bare `helper(…)` callees —
+//!   calls on other receivers would need type inference to resolve. Callee
+//!   lock sets are propagated to a fixpoint, so chains of helpers are seen.
+//! * Fields are identified by name per crate. Two structs in one crate with
+//!   identically named lock fields share a node, which can only make the
+//!   analysis stricter (extra edges), never miss a cycle among the fields
+//!   it models.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::TokKind;
+use crate::rules::{fn_bodies, Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "lock-order";
+
+/// One lock acquisition inside a function body.
+#[derive(Debug)]
+struct Acq {
+    field: String,
+    tok: usize,
+    line: u32,
+    /// Token index through which the guard is considered held.
+    until: usize,
+}
+
+/// How a call site names its callee; determines which functions it can
+/// resolve to (methods take `self`, free functions do not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallKind {
+    /// `self.helper(…)` — resolves to same-crate methods only.
+    SelfMethod,
+    /// `Self::helper(…)` — could be either.
+    SelfAssoc,
+    /// `helper(…)` — resolves to same-crate free functions only.
+    Bare,
+}
+
+/// One resolvable call inside a function body.
+#[derive(Debug)]
+struct Call {
+    callee: String,
+    kind: CallKind,
+    tok: usize,
+    line: u32,
+}
+
+/// Per-function facts.
+struct FnFacts {
+    name: String,
+    /// True when the parameter list contains `self` (a method).
+    has_self: bool,
+    file_idx: usize,
+    acqs: Vec<Acq>,
+    calls: Vec<Call>,
+}
+
+/// A lock-order edge with one example site.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: String,
+    file: String,
+    line: u32,
+    note: String,
+}
+
+/// Entry point.
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    let mut crates: HashSet<&str> = HashSet::new();
+    for f in files {
+        crates.insert(&f.crate_name);
+    }
+    let mut names: Vec<&str> = crates.into_iter().collect();
+    names.sort();
+    for name in names {
+        run_crate(name, files, diags);
+    }
+}
+
+fn run_crate(crate_name: &str, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    let fields = lock_fields(crate_name, files);
+    if fields.is_empty() {
+        return;
+    }
+
+    // Collect per-function facts across the crate's source files.
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.crate_name != crate_name || f.in_tests_dir {
+            continue;
+        }
+        for (name, fn_tok, open, close) in fn_bodies(f) {
+            if f.is_test_tok(fn_tok) || f.in_macro_def(fn_tok) {
+                continue;
+            }
+            let has_self = param_list_has_self(f, fn_tok, open);
+            facts.push(scan_fn(f, fi, name, has_self, open, close, &fields));
+        }
+    }
+
+    // Callee lock sets, keyed by (name, is-method). Same-named functions of
+    // the same kind are merged — strictly an over-approximation.
+    let mut reach: HashMap<(String, bool), HashSet<String>> = HashMap::new();
+    for ff in &facts {
+        let entry = reach.entry((ff.name.clone(), ff.has_self)).or_default();
+        for a in &ff.acqs {
+            entry.insert(a.field.clone());
+        }
+    }
+
+    // A call site's candidate summaries, respecting the method/free split.
+    let resolve = |reach: &HashMap<(String, bool), HashSet<String>>,
+                   c: &Call|
+     -> HashSet<String> {
+        let mut out = HashSet::new();
+        let kinds: &[bool] = match c.kind {
+            CallKind::SelfMethod => &[true],
+            CallKind::Bare => &[false],
+            CallKind::SelfAssoc => &[true, false],
+        };
+        for &k in kinds {
+            if let Some(set) = reach.get(&(c.callee.clone(), k)) {
+                out.extend(set.iter().cloned());
+            }
+        }
+        out
+    };
+
+    // Propagate callee lock sets to a fixpoint, so a helper that calls
+    // another helper that locks is still seen by the caller.
+    loop {
+        let mut changed = false;
+        for ff in &facts {
+            let mut add: HashSet<String> = HashSet::new();
+            for c in &ff.calls {
+                add.extend(resolve(&reach, c));
+            }
+            let entry = reach.entry((ff.name.clone(), ff.has_self)).or_default();
+            for x in add {
+                if entry.insert(x) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Build the edge set.
+    let mut edges: HashMap<String, Vec<Edge>> = HashMap::new();
+    for ff in &facts {
+        let file = &files[ff.file_idx];
+        for a in &ff.acqs {
+            for b in &ff.acqs {
+                if b.tok > a.tok && b.tok <= a.until {
+                    edges.entry(a.field.clone()).or_default().push(Edge {
+                        to: b.field.clone(),
+                        file: file.path.clone(),
+                        line: b.line,
+                        note: format!("in fn {}", ff.name),
+                    });
+                }
+            }
+            for c in &ff.calls {
+                if c.tok > a.tok && c.tok <= a.until {
+                    for to in resolve(&reach, c) {
+                        edges.entry(a.field.clone()).or_default().push(Edge {
+                            to,
+                            file: file.path.clone(),
+                            line: c.line,
+                            note: format!("in fn {} via call to {}", ff.name, c.callee),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    report_cycles(crate_name, &edges, files, diags);
+}
+
+/// Gather `name: Mutex<…>` / `name: RwLock<…>` field names declared in the
+/// crate's non-test source (including through wrappers like `Arc<Mutex<…>>`).
+fn lock_fields(crate_name: &str, files: &[SourceFile]) -> HashSet<String> {
+    let mut fields = HashSet::new();
+    for f in files {
+        if f.crate_name != crate_name || f.in_tests_dir {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len().saturating_sub(2) {
+            if toks[i].kind != TokKind::Ident || !toks[i + 1].is_punct(':') {
+                continue;
+            }
+            // Exclude path segments (`a::b`) and `::` on either side.
+            if toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+                continue;
+            }
+            if i > 0 && toks[i - 1].is_punct(':') {
+                continue;
+            }
+            if f.is_test_tok(i) || f.in_macro_def(i) {
+                continue;
+            }
+            // Look a few tokens ahead for Mutex/RwLock before the type ends.
+            for j in i + 2..(i + 10).min(toks.len()) {
+                let t = &toks[j];
+                if t.is_punct(',') || t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                    break;
+                }
+                if t.is_ident("Mutex") || t.is_ident("RwLock") {
+                    fields.insert(toks[i].text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Keywords that look like call syntax but are not calls.
+const NOT_CALLEES: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "else", "in", "as", "box", "await",
+    "fn", "impl", "where", "unsafe", "Some", "Ok", "Err", "None",
+];
+
+/// Does the parameter list between the fn name and the body contain `self`?
+fn param_list_has_self(f: &SourceFile, fn_tok: usize, body_open: usize) -> bool {
+    let toks = &f.tokens;
+    let Some(popen) = (fn_tok + 2..body_open).find(|&j| toks[j].is_punct('(')) else {
+        return false;
+    };
+    let pclose = f.close_of.get(&popen).copied().unwrap_or(body_open);
+    toks[popen + 1..pclose.min(body_open)].iter().any(|t| t.is_ident("self"))
+}
+
+/// Scan one function body for acquisitions and resolvable calls.
+fn scan_fn(
+    f: &SourceFile,
+    file_idx: usize,
+    name: String,
+    has_self: bool,
+    open: usize,
+    close: usize,
+    fields: &HashSet<String>,
+) -> FnFacts {
+    let toks = &f.tokens;
+    let mut acqs = Vec::new();
+    let mut calls = Vec::new();
+    // Stack of open-brace token indices enclosing the current position.
+    let mut braces: Vec<usize> = vec![open];
+
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            braces.push(j);
+        } else if t.is_punct('}') {
+            braces.pop();
+        } else if t.kind == TokKind::Ident {
+            // `.lock()` / `.read()` / `.write()` with a known field receiver.
+            let is_acquire = matches!(t.text.as_str(), "lock" | "read" | "write")
+                && j >= 2
+                && toks[j - 1].is_punct('.')
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct(')'));
+            if is_acquire {
+                let recv = &toks[j - 2];
+                if recv.kind == TokKind::Ident && fields.contains(&recv.text) {
+                    let until = guard_scope(f, j, close, &braces);
+                    acqs.push(Acq {
+                        field: recv.text.clone(),
+                        tok: j,
+                        line: t.line,
+                        until,
+                    });
+                }
+            } else if toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && !NOT_CALLEES.contains(&t.text.as_str())
+            {
+                // Resolvable callees: `self.h(…)`, `Self::h(…)`, bare `h(…)`.
+                let prev_dot = j >= 1 && toks[j - 1].is_punct('.');
+                let kind = if prev_dot && j >= 2 && toks[j - 2].is_ident("self") {
+                    Some(CallKind::SelfMethod)
+                } else if j >= 3
+                    && toks[j - 1].is_punct(':')
+                    && toks[j - 2].is_punct(':')
+                    && toks[j - 3].is_ident("Self")
+                {
+                    Some(CallKind::SelfAssoc)
+                } else if !prev_dot && (j == 0 || !toks[j - 1].is_punct(':')) {
+                    Some(CallKind::Bare)
+                } else {
+                    None
+                };
+                if let Some(kind) = kind {
+                    calls.push(Call {
+                        callee: t.text.clone(),
+                        kind,
+                        tok: j,
+                        line: t.line,
+                    });
+                }
+            }
+        }
+        j += 1;
+    }
+    FnFacts { name, has_self, file_idx, acqs, calls }
+}
+
+/// Decide how long the guard produced at token `j` (the `lock`/`read`/
+/// `write` ident) stays alive, as a token index bound.
+fn guard_scope(f: &SourceFile, j: usize, body_close: usize, braces: &[usize]) -> usize {
+    let toks = &f.tokens;
+
+    // Walk back over the receiver path (`self . inner . field`).
+    let mut k = j - 2; // receiver field ident
+    while k >= 2 && toks[k - 1].is_punct('.') && toks[k - 2].kind == TokKind::Ident {
+        k -= 2;
+    }
+    // Inspect the statement prefix back to the nearest `;`, `{` or `}`.
+    let mut has_let = false;
+    let mut in_cond = false; // `if let` / `while let` / `match` head
+    let mut b = k;
+    while b > 0 {
+        b -= 1;
+        let t = &toks[b];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            has_let = true;
+        }
+        if t.is_ident("if") || t.is_ident("while") || t.is_ident("match") {
+            in_cond = true;
+        }
+    }
+
+    if has_let && !in_cond {
+        // Plain `let g = …lock();` — held to the end of the enclosing block.
+        let open = braces.last().copied().unwrap_or(0);
+        return f.close_of.get(&open).copied().unwrap_or(body_close).min(body_close);
+    }
+
+    // Temporary (or condition-head) guard: held to the end of the statement,
+    // extended through the attached block if one opens first (`if let`,
+    // `while let`, `match` — the pre-2024 temporary scope).
+    let mut depth: i32 = 0;
+    let mut m = j + 3; // token after `( )`
+    while m <= body_close {
+        let t = &toks[m];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth <= 0 {
+            return f.close_of.get(&m).copied().unwrap_or(body_close).min(body_close);
+        } else if (t.is_punct(';') || t.is_punct('}')) && depth <= 0 {
+            return m;
+        }
+        m += 1;
+    }
+    body_close
+}
+
+/// Find and report cycles (including self-edges) via DFS over each crate's
+/// edge map.
+fn report_cycles(
+    crate_name: &str,
+    edges: &HashMap<String, Vec<Edge>>,
+    _files: &[SourceFile],
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Deduplicate parallel edges, keeping the first example site.
+    let mut adj: HashMap<&str, Vec<&Edge>> = HashMap::new();
+    for (from, es) in edges {
+        let mut seen = HashSet::new();
+        for e in es {
+            if seen.insert(e.to.as_str()) {
+                adj.entry(from.as_str()).or_default().push(e);
+            }
+        }
+    }
+    for v in adj.values_mut() {
+        v.sort_by(|a, b| a.to.cmp(&b.to));
+    }
+
+    // DFS from each node; report each cycle once, keyed by its node set.
+    let mut nodes: Vec<&str> = adj.keys().copied().collect();
+    nodes.sort();
+    let mut reported: HashSet<Vec<String>> = HashSet::new();
+
+    for &start in &nodes {
+        // Path-based DFS, small graphs only.
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<(&str, &Edge)> = Vec::new();
+        while let Some((node, next)) = stack.pop() {
+            let succ = adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if next >= succ.len() {
+                if !path.is_empty() {
+                    path.pop();
+                }
+                continue;
+            }
+            stack.push((node, next + 1));
+            let edge = succ[next];
+            if edge.to == start {
+                // Cycle start → … → node → start found.
+                let mut cycle: Vec<String> =
+                    path.iter().map(|(n, _)| n.to_string()).collect();
+                cycle.push(node.to_string());
+                let mut key = cycle.clone();
+                key.sort();
+                if reported.insert(key) {
+                    let mut hops: Vec<String> = Vec::new();
+                    for (_, e) in &path {
+                        hops.push(format!("{} ({}:{} {})", e.to, e.file, e.line, e.note));
+                    }
+                    hops.push(format!("{} ({}:{} {})", edge.to, edge.file, edge.line, edge.note));
+                    diags.push(Diagnostic {
+                        file: edge.file.clone(),
+                        line: edge.line,
+                        rule: RULE,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "potential deadlock in {}: lock-order cycle {} -> {}",
+                            crate_name,
+                            start,
+                            hops.join(" -> "),
+                        ),
+                    });
+                }
+                continue;
+            }
+            if path.iter().any(|(n, _)| *n == edge.to) {
+                continue; // already on path; the DFS from that node reports it
+            }
+            if adj.contains_key(edge.to.as_str()) {
+                path.push((node, edge));
+                stack.push((edge.to.as_str(), 0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::run_all;
+
+    fn analyze(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", "x", false, src);
+        let mut diags = Vec::new();
+        run(&[f], &mut diags);
+        diags
+    }
+
+    const CYCLE_SRC: &str = r#"
+        use parking_lot::Mutex;
+        struct S { a: Mutex<u32>, b: Mutex<u32> }
+        impl S {
+            fn ab(&self) {
+                let g = self.a.lock();
+                *self.b.lock() += *g;
+            }
+            fn ba(&self) {
+                let g = self.b.lock();
+                *self.a.lock() += *g;
+            }
+        }
+    "#;
+
+    #[test]
+    fn direct_cycle_detected() {
+        let diags = analyze(CYCLE_SRC);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE);
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("cycle"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn sequential_acquisition_is_clean() {
+        let src = r#"
+            use parking_lot::Mutex;
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn ab(&self) {
+                    { let g = self.a.lock(); drop(g); }
+                    let h = self.b.lock();
+                }
+                fn ba(&self) {
+                    let n = *self.b.lock();
+                    let g = self.a.lock();
+                }
+            }
+        "#;
+        // `ba` holds only a temporary on b (dropped at the `;`), so there is
+        // a b-edge in neither direction: a->b exists in neither fn; no cycle.
+        assert!(analyze(src).is_empty(), "{:?}", analyze(src));
+    }
+
+    #[test]
+    fn cycle_through_helper_call_detected() {
+        let src = r#"
+            use parking_lot::Mutex;
+            struct S { a: Mutex<u32>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    let g = self.a.lock();
+                    self.helper();
+                }
+                fn helper(&self) {
+                    let h = self.b.lock();
+                }
+                fn g(&self) {
+                    let h = self.b.lock();
+                    let g = self.a.lock();
+                }
+            }
+        "#;
+        let diags = analyze(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("via call to helper"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn reentrant_same_lock_is_a_self_cycle() {
+        let src = r#"
+            use parking_lot::Mutex;
+            struct S { a: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    let g = self.a.lock();
+                    let h = self.a.lock();
+                }
+            }
+        "#;
+        let diags = analyze(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("a -> a"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = format!("#[cfg(test)]\nmod tests {{ {} }}", CYCLE_SRC);
+        assert!(analyze(&src).is_empty());
+    }
+
+    #[test]
+    fn if_let_head_guard_extends_through_block() {
+        // The temporary guard in the `if let` head lives through the block
+        // (pre-2024 scoping), so b is acquired while a is held; with the
+        // reverse order elsewhere this is a cycle.
+        let src = r#"
+            use parking_lot::Mutex;
+            struct S { a: Mutex<Vec<u32>>, b: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    if let Some(x) = self.a.lock().first() {
+                        let g = self.b.lock();
+                    }
+                }
+                fn g(&self) {
+                    let g = self.b.lock();
+                    self.a.lock().clear();
+                }
+            }
+        "#;
+        let diags = analyze(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn method_does_not_resolve_to_same_named_free_fn() {
+        // `S::select` (a method) calls the free fn `select` while holding
+        // `a`; resolving that call back to the *method* would fabricate an
+        // a -> a self-cycle.
+        let src = r#"
+            use parking_lot::Mutex;
+            struct S { a: Mutex<u32> }
+            impl S {
+                fn select(&self) -> u32 {
+                    let g = self.a.lock();
+                    select(&g)
+                }
+            }
+            fn select(v: &u32) -> u32 { *v }
+        "#;
+        assert!(analyze(src).is_empty(), "{:?}", analyze(src));
+    }
+
+    #[test]
+    fn deny_all_promotion_applies() {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", "x", false, CYCLE_SRC);
+        let diags = run_all(&[f], true, &[]);
+        assert!(diags.iter().all(|d| d.severity == Severity::Deny));
+    }
+}

@@ -1,0 +1,199 @@
+//! Rule `panic-freedom`: no panicking constructs in the wire-facing crates.
+//!
+//! The ORB, transports, capability implementations and the XDR codec all
+//! process bytes that arrived from another process. A panic there is a
+//! remote crash trigger, so in those crates' non-test code we deny
+//! `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!` and slice indexing (`x[i]`, which panics out of
+//! bounds). Sites that are infallible by construction carry a
+//! `// ohpc-analyze: allow(panic-freedom) — <reason>` annotation.
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "panic-freedom";
+
+/// Crates whose non-test code must be panic-free.
+pub const TARGET_CRATES: &[&str] = &["ohpc-orb", "ohpc-transport", "ohpc-caps", "ohpc-xdr"];
+
+/// Panicking macros (matched as `name !`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Identifiers before `[` that are *not* an indexing expression.
+const NOT_INDEX_PREV: &[&str] = &[
+    "return", "in", "break", "else", "mut", "ref", "move", "let", "as", "where", "dyn", "impl",
+    "const", "static", "use", "pub", "enum", "struct", "fn", "for", "while", "loop", "if",
+    "match", "unsafe", "crate", "mod", "type",
+];
+
+/// Entry point.
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        if !TARGET_CRATES.contains(&f.crate_name.as_str()) || f.in_tests_dir {
+            continue;
+        }
+        scan_file(f, diags);
+    }
+}
+
+fn scan_file(f: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if f.is_test_tok(i) || f.in_macro_def(i) {
+            continue;
+        }
+        let t = &toks[i];
+
+        let finding: Option<String> = if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            Some(format!(
+                "`.{}(…)` may panic on data from the wire; return a typed error instead",
+                t.text
+            ))
+        } else if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            Some(format!("`{}!` in non-test code; return a typed error instead", t.text))
+        } else if t.is_punct('[') && is_indexing(f, i) {
+            Some(
+                "slice/array indexing panics when out of bounds; use `get`/`get_mut` or annotate an infallible site"
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+
+        if let Some(message) = finding {
+            if f.allowed(RULE, t.line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: f.path.clone(),
+                line: t.line,
+                rule: RULE,
+                severity: Severity::Warn,
+                message,
+            });
+        }
+    }
+}
+
+/// Heuristic: is the `[` at `i` an indexing expression (as opposed to an
+/// attribute, array literal, array type or slice pattern)?
+fn is_indexing(f: &SourceFile, i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &f.tokens[i - 1];
+    let indexes = match prev.kind {
+        // `foo[…]` — but not `return [...]`, `let [a, b] = …`, etc.
+        TokKind::Ident => !NOT_INDEX_PREV.contains(&prev.text.as_str()),
+        // `call()[…]`, `a[0][1]`, `x?[…]`.
+        TokKind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+        _ => false,
+    };
+    if !indexes {
+        return false;
+    }
+    // `x[..]` takes the full slice and cannot panic.
+    let toks = &f.tokens;
+    if toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct(']'))
+    {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", crate_name, false, src);
+        let mut diags = Vec::new();
+        run(&[f], &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unannotated_unwrap_in_orb_is_flagged() {
+        let diags = analyze("ohpc-orb", "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RULE);
+        assert!(diags[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn non_target_crate_is_ignored() {
+        assert!(analyze("ohpc-netsim", "fn f(x: Option<u32>) -> u32 { x.unwrap() }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { None::<u32>.unwrap(); } }";
+        assert!(analyze("ohpc-orb", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_asserts_are_not() {
+        let src = r#"
+            fn f(ok: bool) {
+                assert!(ok);
+                debug_assert!(ok);
+                if !ok { panic!("boom"); }
+            }
+        "#;
+        let diags = analyze("ohpc-xdr", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn indexing_flagged_except_full_range_and_types() {
+        let src = r#"
+            fn f(v: &[u8], w: [u8; 4]) -> u8 {
+                let _all = &v[..];
+                let _head = &v[..2];
+                let _arr: [u8; 2] = [0, 1];
+                v[0]
+            }
+        "#;
+        let diags = analyze("ohpc-transport", src);
+        // `v[..2]` and `v[0]` are findings; `v[..]`, the type and the array
+        // literal are not.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(w: [u8; 4]) -> u8 {\n    // ohpc-analyze: allow(panic-freedom) — constant index into fixed-size array\n    w[0]\n}";
+        assert!(analyze("ohpc-orb", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let src = "fn f(w: [u8; 4]) -> u8 {\n    // ohpc-analyze: allow(panic-freedom)\n    w[0]\n}";
+        assert_eq!(analyze("ohpc-orb", src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(analyze("ohpc-orb", src).is_empty());
+    }
+
+    #[test]
+    fn vec_macro_is_not_indexing() {
+        let src = "fn f() -> Vec<u8> { vec![0u8; 8] }";
+        assert!(analyze("ohpc-orb", src).is_empty());
+    }
+}

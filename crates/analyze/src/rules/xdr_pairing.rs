@@ -1,0 +1,274 @@
+//! Rule `xdr-pairing`: every XDR-encodable type must be decodable, and
+//! every codec pair must be exercised by a round-trip property test.
+//!
+//! The wire format only works if `decode(encode(x)) == x` holds for every
+//! type that crosses it. An `XdrEncode` impl without a matching `XdrDecode`
+//! is a type the sender can emit but no receiver can read; a pair with no
+//! round-trip test is an invariant nobody is checking. Round-trip coverage
+//! is looked for in `crates/xdr/tests/`, `crates/orb/tests/`, and
+//! `crates/caps/tests/` (the proptest suites that own wire-format
+//! properties; codecs defined in `ohpc-caps` can only be exercised from the
+//! caps suite, since the lower crates cannot depend on it).
+//!
+//! Borrowed encode-only impls (`&T`, `str`, `[u8]`) are exempt by design:
+//! they exist so call sites can encode without cloning, and their owned
+//! counterparts (`String`, `Vec<u8>`, `Bytes`) carry the decode half.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "xdr-pairing";
+
+/// Directories whose test files count as round-trip coverage.
+const ROUNDTRIP_DIRS: &[&str] =
+    &["crates/xdr/tests/", "crates/orb/tests/", "crates/caps/tests/"];
+
+/// Entry point.
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // type name -> first impl site, per trait.
+    let mut encodes: HashMap<String, (String, u32)> = HashMap::new();
+    let mut decodes: HashMap<String, (String, u32)> = HashMap::new();
+
+    for f in files {
+        if f.in_tests_dir {
+            continue;
+        }
+        collect_impls(f, &mut encodes, &mut decodes);
+    }
+
+    // Idents appearing in the round-trip test suites.
+    let mut covered: HashSet<&str> = HashSet::new();
+    for f in files {
+        if !ROUNDTRIP_DIRS.iter().any(|d| f.path.starts_with(d)) {
+            continue;
+        }
+        for t in &f.tokens {
+            if t.kind == TokKind::Ident {
+                covered.insert(t.text.as_str());
+            }
+        }
+    }
+    let have_suites = files.iter().any(|f| ROUNDTRIP_DIRS.iter().any(|d| f.path.starts_with(d)));
+
+    let mut enc_names: Vec<&String> = encodes.keys().collect();
+    enc_names.sort();
+    for ty in enc_names {
+        let (file, line) = &encodes[ty];
+        let push_finding = |d: &mut Vec<Diagnostic>, msg: String| {
+            d.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: RULE,
+                severity: Severity::Warn,
+                message: msg,
+            });
+        };
+        let f = files.iter().find(|f| &f.path == file);
+        if f.is_some_and(|f| f.allowed(RULE, *line)) {
+            continue;
+        }
+        if !decodes.contains_key(ty) {
+            push_finding(
+                diags,
+                format!(
+                    "`impl XdrEncode for {ty}` has no matching XdrDecode impl; \
+                     receivers cannot read what senders emit"
+                ),
+            );
+        } else if have_suites && !covered.contains(ty.as_str()) {
+            push_finding(
+                diags,
+                format!(
+                    "XDR codec pair for `{ty}` has no round-trip property test under \
+                     crates/xdr/tests/, crates/orb/tests/, or crates/caps/tests/"
+                ),
+            );
+        }
+    }
+
+    // Decode-only impls are the mirror defect: bytes nobody can produce.
+    let mut dec_names: Vec<&String> = decodes.keys().collect();
+    dec_names.sort();
+    for ty in dec_names {
+        if encodes.contains_key(ty) {
+            continue;
+        }
+        let (file, line) = &decodes[ty];
+        let f = files.iter().find(|f| &f.path == file);
+        if f.is_some_and(|f| f.allowed(RULE, *line)) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: file.clone(),
+            line: *line,
+            rule: RULE,
+            severity: Severity::Warn,
+            message: format!(
+                "`impl XdrDecode for {ty}` has no matching XdrEncode impl; \
+                 nothing can produce these bytes"
+            ),
+        });
+    }
+}
+
+/// Record `impl XdrEncode for T` / `impl XdrDecode for T` sites in one file.
+fn collect_impls(
+    f: &SourceFile,
+    encodes: &mut HashMap<String, (String, u32)>,
+    decodes: &mut HashMap<String, (String, u32)>,
+) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("impl") || f.in_macro_def(i) || f.is_test_tok(i) {
+            continue;
+        }
+        // Skip generic parameters: `impl<T: XdrEncode> XdrEncode for Vec<T>`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 1i32;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+        }
+        let Some(trait_tok) = toks.get(j) else { continue };
+        let which = match trait_tok.text.as_str() {
+            "XdrEncode" => true,
+            "XdrDecode" => false,
+            _ => continue,
+        };
+        if !toks.get(j + 1).is_some_and(|t| t.is_ident("for")) {
+            continue;
+        }
+        let Some(ty_tok) = toks.get(j + 2) else { continue };
+        // Borrowed / unsized / tuple heads are encode-only by design.
+        if ty_tok.is_punct('&') || ty_tok.is_punct('[') || ty_tok.is_punct('(') {
+            continue;
+        }
+        if ty_tok.kind != TokKind::Ident || ty_tok.text == "str" {
+            continue;
+        }
+        let entry = (f.path.clone(), ty_tok.line);
+        if which {
+            encodes.entry(ty_tok.text.clone()).or_insert(entry);
+        } else {
+            decodes.entry(ty_tok.text.clone()).or_insert(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, "ohpc-xdr", false, src)
+    }
+
+    fn test_file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, "ohpc-xdr", true, src)
+    }
+
+    #[test]
+    fn encode_without_decode_is_flagged() {
+        let f = src_file(
+            "crates/xdr/src/traits.rs",
+            r#"
+            impl XdrEncode for OneWay { fn encode(&self, w: &mut XdrWriter) {} }
+            impl XdrEncode for Both { fn encode(&self, w: &mut XdrWriter) {} }
+            impl XdrDecode for Both { fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> { Ok(Both) } }
+            "#,
+        );
+        let tests = test_file("crates/xdr/tests/roundtrip.rs", "fn t() { both_roundtrip::<Both>(); }");
+        let mut diags = Vec::new();
+        run(&[f, tests], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("OneWay"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("no matching XdrDecode"));
+    }
+
+    #[test]
+    fn missing_roundtrip_coverage_is_flagged() {
+        let f = src_file(
+            "crates/xdr/src/traits.rs",
+            r#"
+            impl XdrEncode for Quiet { fn encode(&self, w: &mut XdrWriter) {} }
+            impl XdrDecode for Quiet { fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> { Ok(Quiet) } }
+            "#,
+        );
+        let tests = test_file("crates/xdr/tests/roundtrip.rs", "fn t() { other::<u32>(); }");
+        let mut diags = Vec::new();
+        run(&[f, tests], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("round-trip"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn borrowed_encode_only_impls_are_exempt() {
+        let f = src_file(
+            "crates/xdr/src/traits.rs",
+            r#"
+            impl XdrEncode for str { fn encode(&self, w: &mut XdrWriter) {} }
+            impl XdrEncode for [u8] { fn encode(&self, w: &mut XdrWriter) {} }
+            impl<T: XdrEncode + ?Sized> XdrEncode for &T { fn encode(&self, w: &mut XdrWriter) {} }
+            "#,
+        );
+        let tests = test_file("crates/xdr/tests/roundtrip.rs", "fn t() {}");
+        let mut diags = Vec::new();
+        run(&[f, tests], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn generic_impl_type_head_is_used() {
+        let f = src_file(
+            "crates/xdr/src/traits.rs",
+            r#"
+            impl<T: XdrEncode> XdrEncode for Vec<T> { fn encode(&self, w: &mut XdrWriter) {} }
+            impl<T: XdrDecode> XdrDecode for Vec<T> { fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> { Ok(Vec::new()) } }
+            "#,
+        );
+        let tests = test_file("crates/xdr/tests/roundtrip.rs", "fn t() { roundtrip::<Vec<u8>>(); }");
+        let mut diags = Vec::new();
+        run(&[f, tests], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn decode_only_is_flagged() {
+        let f = src_file(
+            "crates/xdr/src/traits.rs",
+            "impl XdrDecode for Phantom { fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> { Ok(Phantom) } }",
+        );
+        let mut diags = Vec::new();
+        run(&[f], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("no matching XdrEncode"));
+    }
+
+    #[test]
+    fn macro_template_impls_are_skipped() {
+        let f = src_file(
+            "crates/xdr/src/macros.rs",
+            r#"
+            macro_rules! xdr_struct {
+                ($name:ident) => {
+                    impl XdrEncode for $name { fn encode(&self, w: &mut XdrWriter) {} }
+                };
+            }
+            "#,
+        );
+        let mut diags = Vec::new();
+        run(&[f], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,360 @@
+//! Source model: lexed workspace files plus the region and annotation
+//! metadata the rules share (test regions, `macro_rules!` bodies, brace
+//! matching, `// ohpc-analyze: allow(...)` annotations).
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// Marker prefix for suppression annotations.
+pub const ANNOTATION: &str = "ohpc-analyze:";
+
+/// A parsed suppression annotation:
+/// `// ohpc-analyze: allow(<rule>) — <reason>`.
+///
+/// The annotation suppresses findings of `<rule>` on its own line and on the
+/// line directly below it, so it can trail a statement or sit above one.
+/// Annotations without a reason are themselves reported (the reason is the
+/// reviewable artifact; a bare `allow` is just a muzzle).
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// Whether a non-empty reason follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// A malformed `ohpc-analyze:` comment (not `allow(<rule>)` shaped).
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Description of what is wrong.
+    pub what: String,
+}
+
+/// One lexed workspace file plus derived metadata.
+pub struct SourceFile {
+    /// Workspace-relative path, e.g. `crates/orb/src/glue.rs`.
+    pub path: String,
+    /// Cargo package name, e.g. `ohpc-orb`.
+    pub crate_name: String,
+    /// True for files under `tests/`, `benches/` or `examples/` (integration
+    /// test code — exempt from the src-only rules, but consulted by the XDR
+    /// pairing rule when looking for round-trip coverage).
+    pub in_tests_dir: bool,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Token ranges (inclusive start, inclusive end) of `#[cfg(test)]` /
+    /// `#[test]` items.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token ranges of `macro_rules!` bodies. Rules skip these: the token
+    /// patterns inside are templates, not code.
+    pub macro_ranges: Vec<(usize, usize)>,
+    /// Parsed suppression annotations.
+    pub allows: Vec<Allow>,
+    /// Malformed `ohpc-analyze:` comments.
+    pub bad_annotations: Vec<BadAnnotation>,
+    /// For every opening `(`/`[`/`{` token index, the index of its match.
+    pub close_of: HashMap<usize, usize>,
+}
+
+impl SourceFile {
+    /// Lex and index one file. `path` is only a label; `src` is the content.
+    pub fn from_source(path: &str, crate_name: &str, in_tests_dir: bool, src: &str) -> Self {
+        let (tokens, comments) = lex(src);
+        let close_of = match_brackets(&tokens);
+        let test_ranges = find_attr_ranges(&tokens, &close_of);
+        let macro_ranges = find_macro_ranges(&tokens, &close_of);
+        let (allows, bad_annotations) = parse_annotations(&comments);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            in_tests_dir,
+            tokens,
+            test_ranges,
+            macro_ranges,
+            allows,
+            bad_annotations,
+            close_of,
+        }
+    }
+
+    /// True when token `i` falls in a `#[cfg(test)]`/`#[test]` region.
+    pub fn is_test_tok(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// True when token `i` falls inside a `macro_rules!` body.
+    pub fn in_macro_def(&self, i: usize) -> bool {
+        self.macro_ranges.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// True when a well-formed allow annotation for `rule` covers `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.has_reason && a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Compute the matching close index for every open bracket token.
+fn match_brackets(tokens: &[Token]) -> HashMap<usize, usize> {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut map = HashMap::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push(i),
+            ")" | "]" | "}" => {
+                if let Some(open) = stack.pop() {
+                    map.insert(open, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Find token ranges covered by `#[cfg(test)]` or `#[test]` attributes: the
+/// attribute itself through the end of the item's `{…}` block (or its `;`).
+fn find_attr_ranges(tokens: &[Token], close_of: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let Some(&attr_end) = close_of.get(&(i + 1)) else {
+            i += 1;
+            continue;
+        };
+        let body: Vec<&str> = tokens[i + 2..attr_end].iter().map(|t| t.text.as_str()).collect();
+        let is_test_attr = body == ["test"] || body == ["cfg", "(", "test", ")"];
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // The item runs to the matching `}` of its first block, or to a `;`
+        // for block-less items. Skip over any further attributes first.
+        let mut j = attr_end + 1;
+        let mut end = attr_end;
+        while j < tokens.len() {
+            if tokens[j].is_punct('{') {
+                end = close_of.get(&j).copied().unwrap_or(tokens.len() - 1);
+                break;
+            }
+            if tokens[j].is_punct(';') {
+                end = j;
+                break;
+            }
+            j += 1;
+        }
+        ranges.push((i, end));
+        i = end + 1;
+    }
+    ranges
+}
+
+/// Find token ranges of `macro_rules! name { … }` bodies.
+fn find_macro_ranges(tokens: &[Token], close_of: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("macro_rules") {
+            continue;
+        }
+        // macro_rules ! name {
+        let Some(open) = tokens[i..].iter().position(|t| t.is_punct('{')).map(|p| p + i) else {
+            continue;
+        };
+        if open > i + 4 {
+            continue; // `{` too far away to be this macro's body
+        }
+        if let Some(&end) = close_of.get(&open) {
+            ranges.push((i, end));
+        }
+    }
+    ranges
+}
+
+/// Parse `ohpc-analyze:` comments into allows and malformed reports.
+fn parse_annotations(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAnnotation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Only comments that *begin* with the marker are annotations; prose
+        // that merely mentions `ohpc-analyze:` (like this crate's own docs)
+        // is not. Leading doc-comment punctuation is stripped first.
+        let lead = c
+            .text
+            .trim_start_matches(['/', '!', '*'])
+            .trim_start();
+        let Some(rest) = lead.strip_prefix(ANNOTATION) else { continue };
+        let rest = rest.trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad.push(BadAnnotation {
+                line: c.line,
+                what: format!("expected `allow(<rule>)` after `{ANNOTATION}`"),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad.push(BadAnnotation {
+                line: c.line,
+                what: "unclosed `allow(` in annotation".to_string(),
+            });
+            continue;
+        };
+        let rule = args[..close].trim().to_string();
+        // The reason follows the `)`, conventionally after an em dash.
+        let reason = args[close + 1..]
+            .trim_start_matches(|ch: char| {
+                ch.is_whitespace() || ch == '—' || ch == '–' || ch == '-' || ch == ':'
+            })
+            .trim();
+        allows.push(Allow {
+            line: c.line,
+            rule,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    (allows, bad)
+}
+
+/// Walk the workspace rooted at `root` and lex every first-party crate.
+/// `third_party/` (offline dependency stand-ins) and `target/` are skipped.
+pub fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<std::path::PathBuf> = Vec::new();
+    for member_parent in ["crates", "apps"] {
+        let dir = root.join(member_parent);
+        if member_parent == "apps" && dir.join("Cargo.toml").exists() {
+            crate_dirs.push(dir);
+            continue;
+        }
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.join("Cargo.toml").exists() {
+                crate_dirs.push(p);
+            }
+        }
+    }
+    if crate_dirs.is_empty() {
+        return Err(format!("no workspace crates found under {}", root.display()));
+    }
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let manifest = fs::read_to_string(dir.join("Cargo.toml"))
+            .map_err(|e| format!("{}: {e}", dir.join("Cargo.toml").display()))?;
+        let crate_name = manifest
+            .lines()
+            .find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("name")
+                    .map(|r| r.trim_start_matches(['=', ' ', '\t']).trim_matches('"').to_string())
+            })
+            .ok_or_else(|| format!("{}: no package name", dir.display()))?;
+        for (sub, is_tests) in [("src", false), ("tests", true), ("benches", true), ("examples", true)] {
+            collect_rs(&dir.join(sub), root, &crate_name, is_tests, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+/// Recursively lex `.rs` files under `dir` into `out`.
+fn collect_rs(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    in_tests_dir: bool,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let Ok(entries) = fs::read_dir(dir) else { return Ok(()) };
+    let mut paths: Vec<std::path::PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, root, crate_name, in_tests_dir, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            let src = fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let rel = p.strip_prefix(root).unwrap_or(&p).display().to_string();
+            out.push(SourceFile::from_source(&rel, crate_name, in_tests_dir, &src));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let src = r#"
+            fn real() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+        "#;
+        let f = SourceFile::from_source("a.rs", "c", false, src);
+        let unwrap_idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let real_idx = f.tokens.iter().position(|t| t.is_ident("real")).unwrap();
+        assert!(f.is_test_tok(unwrap_idx));
+        assert!(!f.is_test_tok(real_idx));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_excluded() {
+        let src = "macro_rules! m { ($x:expr) => { $x.unwrap() }; }\nfn after() {}";
+        let f = SourceFile::from_source("a.rs", "c", false, src);
+        let unwrap_idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        let after_idx = f.tokens.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(f.in_macro_def(unwrap_idx));
+        assert!(!f.in_macro_def(after_idx));
+    }
+
+    #[test]
+    fn allow_annotation_with_reason_suppresses_same_and_next_line() {
+        let src = "// ohpc-analyze: allow(panic-freedom) — index is in bounds by construction\nlet x = v[0];";
+        let f = SourceFile::from_source("a.rs", "c", false, src);
+        assert!(f.allowed("panic-freedom", 1));
+        assert!(f.allowed("panic-freedom", 2));
+        assert!(!f.allowed("panic-freedom", 3));
+        assert!(!f.allowed("lock-order", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let src = "let x = v[0]; // ohpc-analyze: allow(panic-freedom)";
+        let f = SourceFile::from_source("a.rs", "c", false, src);
+        assert!(!f.allowed("panic-freedom", 1));
+        assert_eq!(f.allows.len(), 1);
+        assert!(!f.allows[0].has_reason);
+    }
+
+    #[test]
+    fn malformed_annotation_is_reported() {
+        let src = "// ohpc-analyze: silence everything please";
+        let f = SourceFile::from_source("a.rs", "c", false, src);
+        assert_eq!(f.bad_annotations.len(), 1);
+    }
+
+    #[test]
+    fn hyphen_reason_accepted() {
+        let src = "// ohpc-analyze: allow(xdr-pairing) -- encode-only by design\nimpl X {}";
+        let f = SourceFile::from_source("a.rs", "c", false, src);
+        assert!(f.allowed("xdr-pairing", 2));
+    }
+}

@@ -8,7 +8,9 @@ use bytes::Bytes;
 use ohpc_caps::register_standard;
 use ohpc_compress::CodecKind;
 use ohpc_crypto::KeyStore;
+use ohpc_caps::CapScope;
 use ohpc_orb::capability::{process_chain, unprocess_chain, CallInfo};
+use ohpc_orb::message::{CapWireMeta, GlueWire};
 use ohpc_orb::{CapabilityRegistry, CapabilitySpec, Direction, ObjectId, RequestId};
 use proptest::prelude::*;
 
@@ -42,12 +44,21 @@ fn arb_body() -> impl Strategy<Value = Vec<u8>> {
     ]
 }
 
+/// Arbitrary glue metadata: any capability names (including duplicates and
+/// the empty string) with any opaque payloads.
+fn arb_glue_wire() -> impl Strategy<Value = GlueWire> {
+    let entry = ("[a-z.]{0,24}", proptest::collection::vec(any::<u8>(), 0..128))
+        .prop_map(|(name, meta)| CapWireMeta { name, meta: Bytes::from(meta) });
+    (any::<u64>(), proptest::collection::vec(entry, 0..6))
+        .prop_map(|(glue_id, caps)| GlueWire { glue_id, caps })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn chain_identity_request_direction(
-        specs in proptest::collection::vec(arb_spec(), 1..5),
+        specs in proptest::collection::vec(arb_spec(), 0..5),
         body in arb_body(),
         method in 0u32..16,
     ) {
@@ -66,7 +77,7 @@ proptest! {
 
     #[test]
     fn chain_identity_reply_direction(
-        specs in proptest::collection::vec(arb_spec(), 1..5),
+        specs in proptest::collection::vec(arb_spec(), 0..5),
         body in arb_body(),
     ) {
         let reg = registry();
@@ -76,6 +87,45 @@ proptest! {
         let (wire, metas) = process_chain(&chain, Direction::Reply, &call, body.clone()).unwrap();
         let back = unprocess_chain(&chain, Direction::Reply, &call, &metas, wire).unwrap();
         prop_assert_eq!(back, body);
+    }
+
+    /// The degenerate chains deserve their own guaranteed coverage: the
+    /// empty chain is the identity transform, and a single-element chain
+    /// must invert itself without neighbors.
+    #[test]
+    fn empty_and_single_chains_are_identity(spec in arb_spec(), body in arb_body()) {
+        let reg = registry();
+        let call = CallInfo { object: ObjectId(3), method: 2, request_id: RequestId(9) };
+        let body = Bytes::from(body);
+        for specs in [vec![], vec![spec]] {
+            let chain = reg.build_chain(&specs).unwrap();
+            let (wire, metas) =
+                process_chain(&chain, Direction::Request, &call, body.clone()).unwrap();
+            if specs.is_empty() {
+                prop_assert_eq!(&wire, &body);
+                prop_assert!(metas.is_empty(), "empty chain must emit no metadata");
+            }
+            let back =
+                unprocess_chain(&chain, Direction::Request, &call, &metas, wire).unwrap();
+            prop_assert_eq!(back, body.clone());
+        }
+    }
+
+    /// The glue section round-trips through XDR for arbitrary metadata,
+    /// including empty names, empty payloads, and duplicate entries.
+    #[test]
+    fn glue_wire_metadata_roundtrip(gw in arb_glue_wire()) {
+        let buf = ohpc_xdr::encode_to_vec(&gw);
+        prop_assert_eq!(buf.len() % 4, 0); // glue section must stay word-aligned
+        prop_assert_eq!(ohpc_xdr::decode_from_slice::<GlueWire>(&buf).unwrap(), gw);
+    }
+
+    /// Every `CapScope` survives its wire encoding.
+    #[test]
+    fn cap_scope_roundtrip(tag in 0u32..3) {
+        let scope = CapScope::from_tag(tag).unwrap();
+        let buf = ohpc_xdr::encode_to_vec(&scope);
+        prop_assert_eq!(ohpc_xdr::decode_from_slice::<CapScope>(&buf).unwrap(), scope);
     }
 
     /// Tampering with the wire body after an auth-containing chain always

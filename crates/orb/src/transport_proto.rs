@@ -92,7 +92,9 @@ impl TransportProto {
                 }
             }
         }
-        unreachable!("exchange loop always returns within two attempts")
+        // Both iterations return above; keep a typed error rather than a
+        // panic in case the retry policy ever changes shape.
+        Err(OrbError::Protocol("exchange retry loop exhausted".into()))
     }
 
     fn forget(&self, ep: &Endpoint) {
@@ -161,7 +163,9 @@ impl ProtoObject for TransportProto {
                 }
             }
         }
-        unreachable!("oneway loop always returns within two attempts")
+        // Both iterations return above; keep a typed error rather than a
+        // panic in case the retry policy ever changes shape.
+        Err(OrbError::Protocol("oneway retry loop exhausted".into()))
     }
 }
 

@@ -48,6 +48,7 @@ impl<'a> XdrReader<'a> {
         if self.remaining() < n {
             return Err(XdrError::Truncated { needed: n, available: self.remaining() });
         }
+        // ohpc-analyze: allow(panic-freedom) — range is bounds-checked by the remaining() guard above
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -57,7 +58,9 @@ impl<'a> XdrReader<'a> {
     #[inline]
     pub fn get_u32(&mut self) -> Result<u32, XdrError> {
         let b = self.take(4)?;
-        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_be_bytes(a))
     }
 
     /// Decodes a signed 32-bit integer.

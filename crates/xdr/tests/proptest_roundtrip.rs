@@ -11,6 +11,13 @@ proptest! {
     }
 
     #[test]
+    fn u16_roundtrip(v: u16) {
+        let buf = encode_to_vec(&v);
+        prop_assert_eq!(buf.len() % 4, 0); // XDR pads shorts to a full word
+        prop_assert_eq!(decode_from_slice::<u16>(&buf).unwrap(), v);
+    }
+
+    #[test]
     fn i64_roundtrip(v: i64) {
         prop_assert_eq!(decode_from_slice::<i64>(&encode_to_vec(&v)).unwrap(), v);
     }

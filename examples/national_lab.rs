@@ -136,10 +136,9 @@ fn main() {
     let lab_client_view = WeatherClient::new(dep.client_gp(field, lab_gp.object_reference()));
     let map = lab_client_view.get_map("midwest".into()).unwrap();
     println!(
-        "  after migration: got {} points via {} (was {})",
+        "  after migration: got {} points via {} (was tcp)",
         map.len(),
         lab_client_view.gp().last_protocol().unwrap(),
-        "tcp"
     );
     assert_eq!(lab_client_view.gp().last_protocol().unwrap(), "shm");
 

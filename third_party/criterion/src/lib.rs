@@ -1,0 +1,204 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the bench-definition API the workspace uses
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, throughput,
+//! `BenchmarkId`, `Bencher::iter`) with a simple warmup-then-measure timing
+//! loop instead of criterion's statistical machinery. Results are printed as
+//! `name ... time/iter (throughput)` lines; there is no HTML report.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark, used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `{function}/{parameter}`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { name: format!("{function}/{parameter}") }
+    }
+
+    /// Builds from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs ~40ms.
+        let mut n: u64 = 1;
+        let target = Duration::from_millis(40);
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(4) || n >= 1 << 28 {
+                let per_iter = took.as_nanos() as f64 / n as f64;
+                let measured = (target.as_nanos() as f64 / per_iter.max(0.1)).max(1.0) as u64;
+                let start = Instant::now();
+                for _ in 0..measured {
+                    std::hint::black_box(routine());
+                }
+                self.ns_per_iter = start.elapsed().as_nanos() as f64 / measured as f64;
+                self.iters = measured;
+                return;
+            }
+            n = n.saturating_mul(8);
+        }
+    }
+
+    /// Batched timing; setup cost is excluded per batch, not per iteration,
+    /// which is close enough for this harness.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the declared throughput for subsequent benches in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0, iters: 0 };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0, iters: 0 };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                let gib_s = n as f64 / b.ns_per_iter * 1e9 / (1u64 << 30) as f64;
+                format!("  {gib_s:.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                let me_s = n as f64 / b.ns_per_iter * 1e9 / 1e6;
+                format!("  {me_s:.3} Melem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {} ns/iter ({} iters){rate}",
+            self.name, b.ns_per_iter as u64, b.iters
+        );
+    }
+
+    /// Ends the group (printing is immediate; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0, iters: 0 };
+        f(&mut b);
+        println!("{id}: {} ns/iter ({} iters)", b.ns_per_iter as u64, b.iters);
+        self
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export of std's).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` passes args; this harness runs all.
+            $($group();)+
+        }
+    };
+}
