@@ -1,7 +1,8 @@
 //! Rule `panic-freedom`: no panicking constructs in the wire-facing crates.
 //!
 //! The ORB, transports, capability implementations and the XDR codec all
-//! process bytes that arrived from another process. A panic there is a
+//! process bytes that arrived from another process, and the telemetry
+//! registry runs inside every one of those paths. A panic there is a
 //! remote crash trigger, so in those crates' non-test code we deny
 //! `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!`,
 //! `unimplemented!` and slice indexing (`x[i]`, which panics out of
@@ -16,7 +17,8 @@ use crate::source::SourceFile;
 pub const RULE: &str = "panic-freedom";
 
 /// Crates whose non-test code must be panic-free.
-pub const TARGET_CRATES: &[&str] = &["ohpc-orb", "ohpc-transport", "ohpc-caps", "ohpc-xdr"];
+pub const TARGET_CRATES: &[&str] =
+    &["ohpc-orb", "ohpc-transport", "ohpc-caps", "ohpc-xdr", "ohpc-telemetry"];
 
 /// Panicking macros (matched as `name !`).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -1,0 +1,165 @@
+//! Machine-readable experiment artifact (`BENCH_overhead.json`).
+//!
+//! Runs scaled-down versions of the fig3/fig4/fig5 and overhead harnesses and
+//! serialises their headline numbers (per-figure medians) as a single JSON
+//! document. The JSON is hand-rolled — the workspace is offline and keeps
+//! zero serialization dependencies — and is stable enough for CI to archive
+//! and diff across runs.
+
+use std::fmt::Write as _;
+
+use ohpc_netsim::LinkProfile;
+
+use crate::fig5::Network;
+use crate::{fig3, fig4, fig5, overhead};
+
+/// Array sizes probed per hop in the fig4 walk (kept small for CI).
+pub const FIG4_PROBE_SIZES: &[usize] = &[256, 4096];
+
+/// Array sizes swept per configuration in fig5 (kept small for CI).
+pub const FIG5_SIZES: &[usize] = &[64, 4096];
+
+/// Payload sizes measured by the overhead harness.
+pub const OVERHEAD_SIZES: &[usize] = &[1024];
+
+/// Iterations per overhead measurement.
+pub const OVERHEAD_ITERS: u32 = 16;
+
+/// Median of a sample set; 0.0 for an empty set.
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs the three figure harnesses plus the overhead table and renders the
+/// per-figure medians as a JSON document.
+pub fn overhead_artifact() -> String {
+    let mut j = String::new();
+    j.push_str("{\n  \"artifact\": \"BENCH_overhead\",\n");
+    j.push_str("  \"source\": \"ohpc-bench (fig3, fig4, fig5, overhead harnesses)\",\n");
+
+    // Figure 3: the selection outcomes per phase are the result.
+    j.push_str("  \"fig3\": { \"phases\": [\n");
+    let phases = fig3::run(LinkProfile::ethernet_10());
+    for (i, p) in phases.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"label\": \"{}\", \"p1_selected\": \"{}\", \"p2_selected\": \"{}\" }}{}",
+            esc(&p.label),
+            esc(&p.p1_selected),
+            esc(&p.p2_selected),
+            if i + 1 < phases.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ] },\n");
+
+    // Figure 4: median bandwidth across probe sizes, per hop.
+    j.push_str("  \"fig4\": { \"hops\": [\n");
+    let hops = fig4::run(LinkProfile::ethernet_10(), FIG4_PROBE_SIZES);
+    for (i, h) in hops.iter().enumerate() {
+        let med = median(h.bandwidth.iter().map(|(_, mbps)| *mbps).collect());
+        let _ = writeln!(
+            j,
+            "    {{ \"machine\": \"{}\", \"selected\": \"{}\", \"served_before\": {}, \"median_mbps\": {:.4} }}{}",
+            esc(&h.machine_name),
+            esc(&h.selected),
+            h.served_before,
+            med,
+            if i + 1 < hops.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ] },\n");
+
+    // Figure 5: median bandwidth across the size sweep, per configuration.
+    j.push_str("  \"fig5\": { \"network\": \"");
+    j.push_str(Network::Atm.name());
+    j.push_str("\", \"configs\": [\n");
+    let measurements = fig5::run(Network::Atm, FIG5_SIZES);
+    let configs = fig5::Config::all();
+    for (i, cfg) in configs.iter().enumerate() {
+        let med = median(
+            measurements
+                .iter()
+                .filter(|m| m.config == *cfg)
+                .map(|m| m.bandwidth_mbps)
+                .collect(),
+        );
+        let _ = writeln!(
+            j,
+            "    {{ \"config\": \"{}\", \"median_mbps\": {:.4} }}{}",
+            cfg.label(),
+            med,
+            if i + 1 < configs.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ] },\n");
+
+    // Overhead: median CPU microseconds per capability chain.
+    j.push_str("  \"overhead\": { \"chains\": [\n");
+    let rows = overhead::run(OVERHEAD_SIZES, OVERHEAD_ITERS);
+    let labels: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in &rows {
+            if !seen.contains(&r.label) {
+                seen.push(r.label.clone());
+            }
+        }
+        seen
+    };
+    for (i, label) in labels.iter().enumerate() {
+        let med = median(rows.iter().filter(|r| &r.label == label).map(|r| r.cpu_us).collect());
+        let _ = writeln!(
+            j,
+            "    {{ \"chain\": \"{}\", \"median_cpu_us\": {:.3} }}{}",
+            esc(label),
+            med,
+            if i + 1 < labels.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ] }\n}\n");
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust() {
+        assert_eq!(median(vec![]), 0.0);
+        assert_eq!(median(vec![3.0]), 3.0);
+        assert_eq!(median(vec![1.0, 9.0]), 5.0);
+        assert_eq!(median(vec![9.0, 1.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

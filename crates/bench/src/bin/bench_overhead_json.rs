@@ -1,0 +1,16 @@
+//! Emits `BENCH_overhead.json`: per-figure medians from the fig3/fig4/fig5
+//! and capability-overhead harnesses, as one machine-readable artifact.
+//!
+//! Usage: `cargo run --release -p ohpc-bench --bin bench_overhead_json [path]`
+//! (default output path: `BENCH_overhead.json` in the current directory).
+
+fn main() {
+    let path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_overhead.json".to_string());
+    let json = ohpc_bench::artifact::overhead_artifact();
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} ({} bytes)", json.len());
+}

@@ -10,6 +10,7 @@
 //!   authenticating and one not, with roles swapping after migration;
 //! * [`overhead`] — the §5 capability-overhead claim quantified per
 //!   capability and payload size;
+//! * [`artifact`] — per-figure medians rendered as `BENCH_overhead.json`;
 //! * [`workload`] — the echo-array service all experiments call;
 //! * [`setup`] — deployment plumbing (simulated cluster, contexts, pools);
 //! * [`plot`] — ASCII log-log plotting for terminal output.
@@ -19,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod contention;
 pub mod fig3;
 pub mod fig4;

@@ -5,13 +5,13 @@
 //! number of accesses basis" policies and doubles as the measurement probe
 //! for the capability-overhead experiments.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
 use ohpc_orb::capability::{CallInfo, CapMeta};
 use ohpc_orb::{CapError, Capability, CapabilitySpec, Direction};
+use ohpc_telemetry::{Counter, Registry};
 use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
 
 use crate::bad_config;
@@ -19,28 +19,48 @@ use crate::bad_config;
 /// Wire name of this capability.
 pub const NAME: &str = "log";
 
-/// Shared traffic counters.
-#[derive(Debug, Default)]
+/// Shared traffic counters — a thin view over telemetry-registry counters.
+///
+/// Since PR 2 these are handles into an `ohpc_telemetry::Registry` (metric
+/// names `caps_log_{requests,replies,bytes_out,bytes_in}_total{chain=…}`), so
+/// the capability's accounting and the telemetry snapshot cannot drift apart:
+/// the same atomic backs both. `LogStats::default()` registers in the global
+/// registry under `chain=""`, which means *default instances share counters
+/// process-wide*; use [`in_registry`](LogStats::in_registry) with a distinct
+/// registry or chain label for isolated accounting.
+#[derive(Debug, Clone)]
 pub struct LogStats {
     /// Requests processed (sender side).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Replies processed (sender side).
-    pub replies: AtomicU64,
+    pub replies: Arc<Counter>,
     /// Total body bytes seen outbound.
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Arc<Counter>,
     /// Total body bytes seen inbound.
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Arc<Counter>,
+}
+
+impl Default for LogStats {
+    fn default() -> Self {
+        Self::in_registry(Registry::global(), "")
+    }
 }
 
 impl LogStats {
+    /// Counters registered in `registry`, labelled `chain=<chain>`.
+    pub fn in_registry(registry: &Registry, chain: &str) -> Self {
+        let labels = [("chain", chain)];
+        Self {
+            requests: registry.counter("caps_log_requests_total", &labels),
+            replies: registry.counter("caps_log_replies_total", &labels),
+            bytes_out: registry.counter("caps_log_bytes_out_total", &labels),
+            bytes_in: registry.counter("caps_log_bytes_in_total", &labels),
+        }
+    }
+
     /// Snapshot as (requests, replies, bytes_out, bytes_in).
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
-        (
-            self.requests.load(Ordering::Relaxed),
-            self.replies.load(Ordering::Relaxed),
-            self.bytes_out.load(Ordering::Relaxed),
-            self.bytes_in.load(Ordering::Relaxed),
-        )
+        (self.requests.get(), self.replies.get(), self.bytes_out.get(), self.bytes_in.get())
     }
 }
 
@@ -84,15 +104,10 @@ impl Capability for LoggingCap {
         body: Bytes,
     ) -> Result<Bytes, CapError> {
         match dir {
-            Direction::Request => {
-                self.stats.requests.fetch_add(1, Ordering::Relaxed);
-                self.stats.bytes_out.fetch_add(body.len() as u64, Ordering::Relaxed);
-            }
-            Direction::Reply => {
-                self.stats.replies.fetch_add(1, Ordering::Relaxed);
-                self.stats.bytes_out.fetch_add(body.len() as u64, Ordering::Relaxed);
-            }
+            Direction::Request => self.stats.requests.inc(),
+            Direction::Reply => self.stats.replies.inc(),
         }
+        self.stats.bytes_out.add(body.len() as u64);
         Ok(body)
     }
 
@@ -103,7 +118,7 @@ impl Capability for LoggingCap {
         _meta: &CapMeta,
         body: Bytes,
     ) -> Result<Bytes, CapError> {
-        self.stats.bytes_in.fetch_add(body.len() as u64, Ordering::Relaxed);
+        self.stats.bytes_in.add(body.len() as u64);
         Ok(body)
     }
 }
@@ -119,7 +134,10 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let stats = Arc::new(LogStats::default());
+        // Isolated registry: the global one is shared by every test in the
+        // process, so exact-value assertions are only safe on a private one.
+        let registry = Registry::new();
+        let stats = Arc::new(LogStats::in_registry(&registry, "chain-a"));
         let cap = LoggingCap::from_spec(&LoggingCap::spec("chain-a"), stats.clone()).unwrap();
         assert_eq!(cap.label(), "chain-a");
 
@@ -130,11 +148,17 @@ mod tests {
 
         let (reqs, reps, out, inb) = stats.snapshot();
         assert_eq!((reqs, reps, out, inb), (1, 1, 150, 30));
+
+        // The same atomics are visible through the registry snapshot.
+        let snap = registry.snapshot();
+        let labels = [("chain", "chain-a")];
+        assert_eq!(snap.counter("caps_log_requests_total", &labels), Some(1));
+        assert_eq!(snap.counter("caps_log_bytes_out_total", &labels), Some(150));
     }
 
     #[test]
     fn body_is_untouched() {
-        let stats = Arc::new(LogStats::default());
+        let stats = Arc::new(LogStats::in_registry(&Registry::new(), "untouched"));
         let cap = LoggingCap::from_spec(&LoggingCap::spec(""), stats).unwrap();
         let body = Bytes::from_static(b"do not change me");
         let mut meta = CapMeta::new();

@@ -145,6 +145,7 @@ impl MigrationManager {
         self.objects
             .write()
             .insert(id, ManagedObject { instance: fresh, home: dst.clone() });
+        ohpc_telemetry::inc("migrate_migrations_total", &[]);
         Ok(new_or)
     }
 }

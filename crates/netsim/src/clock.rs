@@ -31,6 +31,12 @@ impl VirtualClock {
         SimTime(self.nanos.fetch_add(dt.0, Ordering::AcqRel) + dt.0)
     }
 
+    /// Installs this clock as the span clock of a telemetry registry, so
+    /// span durations are measured in virtual (simulated) nanoseconds.
+    pub fn drive_telemetry(&self, registry: &ohpc_telemetry::Registry) {
+        registry.set_clock(Arc::new(self.clone()));
+    }
+
     /// Moves the clock forward to at least `t` (no-op if already past),
     /// returning the resulting time. Used when a transfer completes at an
     /// absolute arrival time computed under a lock.
@@ -43,6 +49,14 @@ impl VirtualClock {
             }
         }
         SimTime(cur)
+    }
+}
+
+/// Virtual time doubles as the telemetry span clock: spans timed against a
+/// `VirtualClock` measure simulated nanoseconds, deterministically.
+impl ohpc_telemetry::Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now().0
     }
 }
 
@@ -65,6 +79,16 @@ mod tests {
         assert_eq!(c.advance_to(SimTime(300)), SimTime(500), "must not go backwards");
         assert_eq!(c.advance_to(SimTime(700)), SimTime(700));
         assert_eq!(c.now(), SimTime(700));
+    }
+
+    #[test]
+    fn drives_telemetry_spans_in_virtual_time() {
+        let c = VirtualClock::new();
+        let registry = ohpc_telemetry::Registry::new();
+        c.drive_telemetry(&registry);
+        let span = registry.span("sim_op_ns", &[]);
+        c.advance(SimTime(2_000));
+        assert_eq!(span.finish(), 2_000);
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub enum Direction {
     Reply,
 }
 
+impl Direction {
+    /// Stable label used as the `dir` telemetry label value.
+    pub fn as_label(self) -> &'static str {
+        match self {
+            Direction::Request => "request",
+            Direction::Reply => "reply",
+        }
+    }
+}
+
 /// Capability failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CapError {
@@ -292,16 +302,26 @@ impl CapabilityRegistry {
 
 /// Sender side: applies `caps` in chain order, returning the transformed body
 /// and each capability's metadata (in chain order) for the glue section.
+///
+/// Each transform is timed into `orb_cap_process_ns{cap,dir}` (including
+/// denials — a rejected budget check still costs time worth seeing).
 pub fn process_chain(
     caps: &[Arc<dyn Capability>],
     dir: Direction,
     call: &CallInfo,
     mut body: Bytes,
 ) -> Result<(Bytes, Vec<(String, Bytes)>), CapError> {
+    let registry = ohpc_telemetry::Registry::global();
+    let clock = registry.clock();
     let mut metas = Vec::with_capacity(caps.len());
     for cap in caps {
         let mut meta = CapMeta::new();
-        body = cap.process(dir, call, &mut meta, body)?;
+        let t0 = clock.now_ns();
+        let result = cap.process(dir, call, &mut meta, body);
+        registry
+            .histogram("orb_cap_process_ns", &[("cap", cap.name()), ("dir", dir.as_label())])
+            .observe(clock.now_ns().saturating_sub(t0));
+        body = result?;
         metas.push((cap.name().to_string(), meta.to_bytes()));
     }
     Ok((body, metas))
@@ -309,6 +329,8 @@ pub fn process_chain(
 
 /// Receiver side: applies inverses in reverse chain order. `metas` must be
 /// the sender's chain-order metadata.
+///
+/// Each inverse transform is timed into `orb_cap_unprocess_ns{cap,dir}`.
 pub fn unprocess_chain(
     caps: &[Arc<dyn Capability>],
     dir: Direction,
@@ -323,6 +345,8 @@ pub fn unprocess_chain(
             metas.len()
         )));
     }
+    let registry = ohpc_telemetry::Registry::global();
+    let clock = registry.clock();
     for (cap, (name, meta_bytes)) in caps.iter().zip(metas.iter()).rev() {
         if cap.name() != name {
             return Err(CapError::Failed(format!(
@@ -332,7 +356,12 @@ pub fn unprocess_chain(
         }
         let meta = CapMeta::from_bytes(meta_bytes)
             .map_err(|e| CapError::Failed(format!("bad capability metadata: {e}")))?;
-        body = cap.unprocess(dir, call, &meta, body)?;
+        let t0 = clock.now_ns();
+        let result = cap.unprocess(dir, call, &meta, body);
+        registry
+            .histogram("orb_cap_unprocess_ns", &[("cap", cap.name()), ("dir", dir.as_label())])
+            .observe(clock.now_ns().saturating_sub(t0));
+        body = result?;
     }
     Ok(body)
 }

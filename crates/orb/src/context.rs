@@ -98,14 +98,25 @@ pub type ContextHandle = Context;
 
 impl Context {
     /// Creates a context at `location` with the given capability registry.
+    ///
+    /// Every context hosts a first-party introspection object under the
+    /// well-known id `ObjectId::compose(id, 0)` (see [`crate::introspect`]),
+    /// so clients can fetch the process's telemetry snapshot over the ORB.
     pub fn new(id: ContextId, location: Location, registry: Arc<CapabilityRegistry>) -> Self {
+        let mut objects: HashMap<ObjectId, Arc<dyn RemoteObject>> = HashMap::new();
+        objects.insert(
+            crate::introspect::introspection_object_id(id),
+            Arc::new(crate::introspect::IntrospectionSkeleton(
+                crate::introspect::ContextIntrospection::new(id),
+            )),
+        );
         Self {
             inner: Arc::new(ContextInner {
                 id,
                 location: RwLock::new(location),
                 next_local: AtomicU32::new(1),
                 next_glue: AtomicU64::new(1),
-                objects: RwLock::new(HashMap::new()),
+                objects: RwLock::new(objects),
                 tombstones: RwLock::new(HashMap::new()),
                 glues: RwLock::new(HashMap::new()),
                 registry,
@@ -180,9 +191,21 @@ impl Context {
         self.inner.tombstones.write().insert(id, new_or);
     }
 
-    /// Number of live objects.
+    /// Number of live application objects (the auto-registered introspection
+    /// object is infrastructure and is not counted).
     pub fn object_count(&self) -> usize {
-        self.inner.objects.read().len()
+        self.inner
+            .objects
+            .read()
+            .keys()
+            .filter(|id| id.local() != crate::introspect::INTROSPECTION_LOCAL_ID)
+            .count()
+    }
+
+    /// The id of this context's introspection object (always hosted; see
+    /// [`crate::introspect`]).
+    pub fn introspection_id(&self) -> ObjectId {
+        crate::introspect::introspection_object_id(self.inner.id)
     }
 
     /// Whether `id` is resident here (not a tombstone).
@@ -329,9 +352,13 @@ impl Context {
     pub fn handle_request(&self, req: RequestMessage) -> ReplyMessage {
         let rid = req.request_id;
         let call = CallInfo { object: req.object, method: req.method, request_id: rid };
+        // Drop-guard: records server-side handling latency on every return
+        // path, including tombstone forwards and capability denials.
+        let _span = ohpc_telemetry::span("orb_request_ns", &[]);
 
         // Tombstone? Forward the client to the object's new home.
         if let Some(new_or) = self.inner.tombstones.read().get(&req.object) {
+            ohpc_telemetry::inc("orb_tombstone_hops_total", &[]);
             return ReplyMessage::status(rid, ReplyStatus::Moved(Box::new(new_or.clone())));
         }
 
@@ -371,6 +398,7 @@ impl Context {
             hook(req.object, req.method);
         }
         self.inner.requests_served.fetch_add(1, Ordering::Relaxed);
+        ohpc_telemetry::inc("orb_requests_total", &[]);
 
         let mut out = XdrWriter::new();
         let mut args = XdrReader::new(&body);

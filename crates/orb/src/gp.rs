@@ -54,6 +54,7 @@ impl GlobalPointer {
 
     /// Replaces the OR (capability hand-off, explicit rebind).
     pub fn rebind(&self, or: ObjectReference) {
+        ohpc_telemetry::inc("orb_rebinds_total", &[]);
         *self.or.write() = or;
     }
 
@@ -152,6 +153,7 @@ impl GlobalPointer {
                 ReplyStatus::Ok => return Ok(reply.body),
                 ReplyStatus::Moved(new_or) => {
                     self.forwards_seen.fetch_add(1, Ordering::Relaxed);
+                    ohpc_telemetry::inc("orb_forwards_total", &[]);
                     self.rebind(*new_or);
                     continue;
                 }

@@ -53,6 +53,11 @@ impl ObjectId {
     pub fn context(self) -> ContextId {
         ContextId(self.0 >> 32)
     }
+
+    /// The context-local counter part of this id.
+    pub fn local(self) -> u32 {
+        self.0 as u32
+    }
 }
 
 /// Identifies a communication protocol in OR tables and proto-pools.
@@ -111,6 +116,7 @@ mod tests {
         let ctx = ContextId(7);
         let id = ObjectId::compose(ctx, 42);
         assert_eq!(id.context(), ctx);
+        assert_eq!(id.local(), 42);
         assert_eq!(id.0 & 0xFFFF_FFFF, 42);
     }
 

@@ -46,6 +46,7 @@ pub mod glue;
 pub mod gp;
 pub mod group;
 pub mod ids;
+pub mod introspect;
 pub mod message;
 pub mod objref;
 pub mod proto;
@@ -60,6 +61,10 @@ pub use glue::GlueProto;
 pub use gp::GlobalPointer;
 pub use group::GpGroup;
 pub use ids::{ContextId, ObjectId, ProtocolId, RequestId};
+pub use introspect::{
+    introspection_object_id, ContextIntrospection, IntrospectionApi, IntrospectionClient,
+    IntrospectionSkeleton, INTROSPECTION_LOCAL_ID,
+};
 pub use message::{ReplyMessage, ReplyStatus, RequestMessage};
 pub use objref::{ObjectReference, ProtoData, ProtoEntry};
 pub use proto::{ApplicabilityRule, ProtoObject, ProtoPool};

@@ -41,17 +41,39 @@ impl std::fmt::Debug for Selection {
 }
 
 /// Selects the protocol for one request, or reports that nothing matched.
+///
+/// Every entry considered leaves a telemetry trace: the winner increments
+/// `orb_selection_total{protocol,outcome="selected"}`, each skipped entry
+/// increments `orb_selection_rejected_total{protocol,reason}` with the reason
+/// the paper's rule rejected it (`not-in-pool` vs. `inapplicable`), and an
+/// empty result increments `orb_selection_failed_total`.
 pub fn select(
     or: &ObjectReference,
     pool: &ProtoPool,
     client: &Location,
 ) -> Result<Selection, OrbError> {
     for (index, entry) in or.protocols.iter().enumerate() {
-        let Some(proto) = pool.find(entry.id) else { continue };
+        let proto_name = entry.id.to_string();
+        let Some(proto) = pool.find(entry.id) else {
+            ohpc_telemetry::inc(
+                "orb_selection_rejected_total",
+                &[("protocol", &proto_name), ("reason", "not-in-pool")],
+            );
+            continue;
+        };
         if proto.applicable(pool, client, &or.location, entry) {
+            ohpc_telemetry::inc(
+                "orb_selection_total",
+                &[("protocol", &proto_name), ("outcome", "selected")],
+            );
             return Ok(Selection { proto, entry: entry.clone(), index });
         }
+        ohpc_telemetry::inc(
+            "orb_selection_rejected_total",
+            &[("protocol", &proto_name), ("reason", "inapplicable")],
+        );
     }
+    ohpc_telemetry::inc("orb_selection_failed_total", &[]);
     Err(OrbError::NoApplicableProtocol { offered: or.offered() })
 }
 

@@ -89,6 +89,10 @@ impl TransportProto {
                     if !(was_cached && attempt == 0) {
                         return Err(e.into());
                     }
+                    ohpc_telemetry::inc(
+                        "orb_transport_retries_total",
+                        &[("protocol", &self.id.to_string())],
+                    );
                 }
             }
         }
@@ -160,6 +164,10 @@ impl ProtoObject for TransportProto {
                     if !(was_cached && attempt == 0) {
                         return Err(e.into());
                     }
+                    ohpc_telemetry::inc(
+                        "orb_transport_retries_total",
+                        &[("protocol", &self.id.to_string())],
+                    );
                 }
             }
         }

@@ -21,6 +21,59 @@ pub mod sim;
 pub mod tcp;
 pub mod testing;
 
+/// Fabric-level telemetry: every fabric funnels its send/recv outcomes
+/// through these helpers so the metric names and label sets cannot drift
+/// between mem/tcp/sim. Recording is wait-free (atomic adds into
+/// `ohpc_telemetry::Registry::global()`), so it is safe on the hot path.
+pub(crate) mod telem {
+    use super::TransportError;
+    use bytes::Bytes;
+
+    fn fail(fabric: &'static str, op: &'static str, err: &TransportError) {
+        ohpc_telemetry::inc("transport_errors_total", &[("fabric", fabric), ("op", op)]);
+        // TCP read/connect timeouts surface as Io errors; count them
+        // separately so a flaky link is distinguishable from a dead one.
+        if matches!(err, TransportError::Io(msg) if msg.contains("timed out")) {
+            ohpc_telemetry::inc("transport_timeouts_total", &[("fabric", fabric)]);
+        }
+    }
+
+    /// Record the outcome of a send of `n` bytes and pass the result through.
+    pub(crate) fn track_send(
+        fabric: &'static str,
+        n: usize,
+        r: Result<(), TransportError>,
+    ) -> Result<(), TransportError> {
+        match &r {
+            Ok(()) => {
+                ohpc_telemetry::add("transport_send_bytes_total", &[("fabric", fabric)], n as u64);
+                ohpc_telemetry::inc("transport_send_frames_total", &[("fabric", fabric)]);
+            }
+            Err(e) => fail(fabric, "send", e),
+        }
+        r
+    }
+
+    /// Record the outcome of a recv and pass the result through.
+    pub(crate) fn track_recv(
+        fabric: &'static str,
+        r: Result<Bytes, TransportError>,
+    ) -> Result<Bytes, TransportError> {
+        match &r {
+            Ok(frame) => {
+                ohpc_telemetry::add(
+                    "transport_recv_bytes_total",
+                    &[("fabric", fabric)],
+                    frame.len() as u64,
+                );
+                ohpc_telemetry::inc("transport_recv_frames_total", &[("fabric", fabric)]);
+            }
+            Err(e) => fail(fabric, "recv", e),
+        }
+        r
+    }
+}
+
 use bytes::Bytes;
 use std::fmt;
 

@@ -14,7 +14,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::{Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+use crate::{telem, Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
 
 /// One side of an established connection.
 pub struct MemConnection {
@@ -24,16 +24,18 @@ pub struct MemConnection {
 
 impl Connection for MemConnection {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        if frame.len() > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge(frame.len()));
-        }
-        self.tx
-            .send(Bytes::copy_from_slice(frame))
-            .map_err(|_| TransportError::Closed)
+        let r = if frame.len() > MAX_FRAME {
+            Err(TransportError::FrameTooLarge(frame.len()))
+        } else {
+            self.tx
+                .send(Bytes::copy_from_slice(frame))
+                .map_err(|_| TransportError::Closed)
+        };
+        telem::track_send("mem", frame.len(), r)
     }
 
     fn recv(&mut self) -> Result<Bytes, TransportError> {
-        self.rx.recv().map_err(|_| TransportError::Closed)
+        telem::track_recv("mem", self.rx.recv().map_err(|_| TransportError::Closed))
     }
 }
 
@@ -41,10 +43,13 @@ impl MemConnection {
     /// Zero-copy send: hands the buffer to the peer without copying. The
     /// shared-memory protocol object uses this for large payloads.
     pub fn send_bytes(&mut self, frame: Bytes) -> Result<(), TransportError> {
-        if frame.len() > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge(frame.len()));
-        }
-        self.tx.send(frame).map_err(|_| TransportError::Closed)
+        let n = frame.len();
+        let r = if n > MAX_FRAME {
+            Err(TransportError::FrameTooLarge(n))
+        } else {
+            self.tx.send(frame).map_err(|_| TransportError::Closed)
+        };
+        telem::track_send("mem", n, r)
     }
 }
 

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 
 use ohpc_netsim::{MachineId, SimNet};
 
-use crate::{Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+use crate::{telem, Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
 
 /// Per-frame protocol envelope charged to the wire in addition to payload
 /// bytes (IP + TCP header class of overhead).
@@ -149,20 +149,22 @@ pub struct SimConnection {
 
 impl Connection for SimConnection {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        if frame.len() > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge(frame.len()));
-        }
-        // Charge the wire before delivery: the receiver cannot see the frame
-        // earlier than its simulated arrival because the sender only enqueues
-        // it after advancing the clock.
-        self.net.transfer(self.local, self.remote, frame.len() + FRAME_WIRE_OVERHEAD);
-        self.tx
-            .send(Bytes::copy_from_slice(frame))
-            .map_err(|_| TransportError::Closed)
+        let r = if frame.len() > MAX_FRAME {
+            Err(TransportError::FrameTooLarge(frame.len()))
+        } else {
+            // Charge the wire before delivery: the receiver cannot see the
+            // frame earlier than its simulated arrival because the sender only
+            // enqueues it after advancing the clock.
+            self.net.transfer(self.local, self.remote, frame.len() + FRAME_WIRE_OVERHEAD);
+            self.tx
+                .send(Bytes::copy_from_slice(frame))
+                .map_err(|_| TransportError::Closed)
+        };
+        telem::track_send("sim", frame.len(), r)
     }
 
     fn recv(&mut self) -> Result<Bytes, TransportError> {
-        self.rx.recv().map_err(|_| TransportError::Closed)
+        telem::track_recv("sim", self.rx.recv().map_err(|_| TransportError::Closed))
     }
 }
 

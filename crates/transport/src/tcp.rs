@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use crate::{Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+use crate::{telem, Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
 
 /// A framed TCP connection.
 pub struct TcpConnection {
@@ -22,8 +22,8 @@ impl TcpConnection {
     }
 }
 
-impl Connection for TcpConnection {
-    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+impl TcpConnection {
+    fn send_inner(&mut self, frame: &[u8]) -> Result<(), TransportError> {
         if frame.len() > MAX_FRAME {
             return Err(TransportError::FrameTooLarge(frame.len()));
         }
@@ -33,7 +33,7 @@ impl Connection for TcpConnection {
         Ok(())
     }
 
-    fn recv(&mut self) -> Result<Bytes, TransportError> {
+    fn recv_inner(&mut self) -> Result<Bytes, TransportError> {
         let mut len_buf = [0u8; 4];
         self.stream.read_exact(&mut len_buf)?;
         let len = u32::from_be_bytes(len_buf) as usize;
@@ -43,6 +43,18 @@ impl Connection for TcpConnection {
         let mut buf = vec![0u8; len];
         self.stream.read_exact(&mut buf)?;
         Ok(Bytes::from(buf))
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        let r = self.send_inner(frame);
+        telem::track_send("tcp", frame.len(), r)
+    }
+
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        let r = self.recv_inner();
+        telem::track_recv("tcp", r)
     }
 }
 

@@ -5,14 +5,15 @@
 //! ```
 //!
 //! Demonstrates the minimum vocabulary: declare an interface, host an object
-//! in a context, mint an Object Reference, bind a Global Pointer, invoke.
+//! in a context, mint an Object Reference, bind a Global Pointer, invoke —
+//! then fetch the context's own metrics through its introspection object.
 
 use std::sync::Arc;
 
 use ohpc_orb::context::OrRow;
 use ohpc_orb::{
     remote_interface, ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer,
-    Location, ProtoPool, ProtocolId, TransportProto,
+    IntrospectionClient, Location, ProtoPool, ProtocolId, TransportProto,
 };
 use ohpc_transport::mem::MemFabric;
 
@@ -58,7 +59,7 @@ fn main() {
         ApplicabilityRule::SameMachineOnly,
         Arc::new(fabric),
     ))));
-    let gp = GlobalPointer::new(or, pool, Location::new(0, 0));
+    let gp = GlobalPointer::new(or, pool.clone(), Location::new(0, 0));
     let client = GreeterClient::new(gp);
 
     println!("{}", client.greet("world".into()).expect("greet"));
@@ -70,6 +71,16 @@ fn main() {
         Err(e) => println!("expected failure: {e}"),
         Ok(_) => unreachable!(),
     }
+
+    // ---- introspection ---------------------------------------------------
+    // Every context hosts a telemetry object at a well-known id; fetching it
+    // over the ORB returns the metrics the calls above just recorded.
+    let intro_or = server
+        .make_or(server.introspection_id(), &[OrRow::Plain(ProtocolId::SHM)])
+        .expect("mint introspection OR");
+    let intro = IntrospectionClient::new(GlobalPointer::new(intro_or, pool, Location::new(0, 0)));
+    println!("--- metrics snapshot (fetched over the ORB) ---");
+    print!("{}", intro.metrics_text().expect("metrics"));
 
     server.shutdown();
 }

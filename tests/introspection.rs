@@ -1,0 +1,92 @@
+//! End-to-end telemetry: fetch a remote context's metrics snapshot through
+//! the ORB itself, via a glue entry carrying an encryption capability.
+//!
+//! The fetch is its own evidence: reaching the introspection object exercises
+//! protocol selection, the capability chain, and the simulated transport —
+//! and all three record into the very snapshot the call returns.
+
+use std::sync::Arc;
+
+use ohpc_apps::{WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_bench::setup::{SimDeployment, EXPERIMENT_KEY};
+use ohpc_caps::EncryptionCap;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{IntrospectionClient, ProtocolId};
+
+fn two_machine_deployment() -> (SimDeployment, MachineId, MachineId) {
+    let (mut c, mut s) = (MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), LinkProfile::atm_155())
+        .machine("client", LanId(0), &mut c)
+        .machine("server", LanId(0), &mut s)
+        .build();
+    (SimDeployment::new(cluster), c, s)
+}
+
+#[test]
+fn remote_metrics_snapshot_through_encrypted_glue() {
+    let (dep, m_client, m_server) = two_machine_deployment();
+    // Spans measure in virtual nanoseconds from here on.
+    dep.net.clock().drive_telemetry(ohpc_telemetry::Registry::global());
+    let server = dep.server(m_server);
+
+    // Some real traffic first, so selection, the capability chain, and the
+    // transport all have events to report.
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let glue_id = server.add_glue(vec![EncryptionCap::spec(EXPERIMENT_KEY)]).unwrap();
+    let or = server
+        .make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+    let weather = WeatherClient::new(dep.client_gp(m_client, or));
+    assert_eq!(weather.get_map("atlantic".into()).unwrap().len(), 128);
+
+    // Fetch the server's introspection object over the same encrypted entry.
+    let intro_or = server
+        .make_or(server.introspection_id(), &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+    let intro = IntrospectionClient::new(dep.client_gp(m_client, intro_or));
+
+    let info = intro.context_info().unwrap();
+    assert!(info.contains("scope=process"), "{info}");
+
+    let text = intro.metrics_text().unwrap();
+    assert!(!text.is_empty(), "snapshot must not be empty");
+    assert_eq!(intro.gp().last_protocol().unwrap(), "glue[security]->tcp");
+
+    // ≥1 selection event from this test's own calls.
+    let selections = intro.counter_total("orb_selection_total".into()).unwrap();
+    assert!(selections >= 1, "expected selection events, got {selections}");
+
+    // ≥1 capability timing for the security cap the chain ran.
+    assert!(
+        text.contains("orb_cap_process_ns_bucket{cap=\"security\""),
+        "expected security capability timings in:\n{text}"
+    );
+
+    // ≥1 transport send over the simulated fabric.
+    assert!(
+        text.contains("transport_send_bytes_total{fabric=\"sim\"}"),
+        "expected sim transport send bytes in:\n{text}"
+    );
+    let frames = intro.counter_total("transport_send_frames_total".into()).unwrap();
+    assert!(frames >= 1, "expected sim transport frames, got {frames}");
+
+    // The request spans the server timed for us are in the same snapshot.
+    assert!(text.contains("orb_request_ns_count"), "expected request spans in:\n{text}");
+    let served = intro.counter_total("orb_requests_total".into()).unwrap();
+    assert!(served >= 1, "expected served requests, got {served}");
+
+    server.shutdown();
+}
+
+#[test]
+fn introspection_object_is_present_but_uncounted() {
+    let (dep, _m_client, m_server) = two_machine_deployment();
+    let server = dep.server(m_server);
+    // The well-known object is reserved and live from birth, yet invisible to
+    // the application-object count.
+    assert_eq!(server.object_count(), 0);
+    assert!(server.hosts(server.introspection_id()));
+    server.shutdown();
+}
