@@ -4,6 +4,7 @@
 pub mod cap_symmetry;
 pub mod lock_order;
 pub mod panic_free;
+pub mod transport_unwrap;
 pub mod xdr_pairing;
 
 use crate::source::SourceFile;
@@ -61,6 +62,7 @@ pub const ALL_RULES: &[&str] = &[
     panic_free::RULE,
     cap_symmetry::RULE,
     xdr_pairing::RULE,
+    transport_unwrap::RULE,
     RULE_ANNOTATION,
 ];
 
@@ -81,6 +83,9 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
     }
     if want(xdr_pairing::RULE) {
         xdr_pairing::run(files, &mut diags);
+    }
+    if want(transport_unwrap::RULE) {
+        transport_unwrap::run(files, &mut diags);
     }
     if want(RULE_ANNOTATION) {
         annotation_hygiene(files, &mut diags);

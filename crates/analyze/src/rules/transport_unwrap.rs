@@ -1,0 +1,171 @@
+//! Rule `transport-unwrap`: no `unwrap()`/`expect()` on transport results.
+//!
+//! A `Result` produced by a dial, send, receive, or simulated transfer
+//! carries a [`TransportError`] that fault injection, partitions, and peer
+//! crashes make *routinely* inhabited — unwrapping one turns an expected
+//! network condition into a process abort. `panic-freedom` already denies
+//! all unwraps inside the wire-facing crates; this rule extends the
+//! guarantee to every crate in the workspace (netsim drivers, experiment
+//! harnesses, apps) for the specific case of transport-carrying results,
+//! where "it cannot fail here" is never true. Non-test code only; sites
+//! that are genuinely infallible carry a
+//! `// ohpc-analyze: allow(transport-unwrap) — <reason>` annotation.
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "transport-unwrap";
+
+/// Identifiers that mark the statement as producing a transport result:
+/// the `Connection`/`Dialer`/`SimNet`/Nexus fallible operations, plus any
+/// literal mention of the error type.
+const TRANSPORT_SOURCES: &[&str] =
+    &["dial", "recv", "try_transfer", "rsr", "rsr_reply", "TransportError"];
+
+/// Entry point.
+pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        if f.in_tests_dir {
+            continue;
+        }
+        scan_file(f, diags);
+    }
+}
+
+fn scan_file(f: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        if f.is_test_tok(i) || f.in_macro_def(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let is_unwrap = t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_unwrap {
+            continue;
+        }
+        let Some(source) = transport_source_in_statement(f, i) else { continue };
+        if f.allowed(RULE, t.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: f.path.clone(),
+            line: t.line,
+            rule: RULE,
+            severity: Severity::Warn,
+            message: format!(
+                "`.{}(…)` on a transport result (`{}` in this statement) panics on \
+                 routine network faults; match on the error or propagate it",
+                t.text, source
+            ),
+        });
+    }
+}
+
+/// Walks backwards from the `.unwrap`/`.expect` token to the start of the
+/// statement (`;`, `{` or `}`), looking for an identifier that produces a
+/// transport result. The window deliberately stops at statement boundaries:
+/// a transport call two statements earlier does not taint this unwrap.
+fn transport_source_in_statement(f: &SourceFile, unwrap_idx: usize) -> Option<String> {
+    let toks = &f.tokens;
+    let mut j = unwrap_idx;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        // Only method calls / paths count: `dial(` or `TransportError`.
+        if t.kind == TokKind::Ident && TRANSPORT_SOURCES.contains(&t.text.as_str()) {
+            let is_call = toks.get(j + 1).is_some_and(|n| n.is_punct('('));
+            if is_call || t.text == "TransportError" {
+                return Some(t.text.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::from_source("crates/x/src/lib.rs", crate_name, false, src);
+        let mut diags = Vec::new();
+        run(&[f], &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unwrapped_dial_is_flagged_in_any_crate() {
+        let src = "fn f(d: &dyn Dialer, ep: &Endpoint) { let _c = d.dial(ep).unwrap(); }";
+        for krate in ["ohpc-netsim", "ohpc-apps", "ohpc-orb"] {
+            let diags = analyze(krate, src);
+            assert_eq!(diags.len(), 1, "{krate}: {diags:?}");
+            assert_eq!(diags[0].rule, RULE);
+            assert!(diags[0].message.contains("dial"));
+        }
+    }
+
+    #[test]
+    fn expect_on_recv_is_flagged() {
+        let src = r#"fn f(c: &mut dyn Connection) { let _ = c.recv().expect("fine"); }"#;
+        let diags = analyze("ohpc-apps", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("recv"));
+    }
+
+    #[test]
+    fn unwrap_without_a_transport_source_is_not_this_rules_business() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(analyze("ohpc-apps", src).is_empty());
+    }
+
+    #[test]
+    fn statement_boundary_ends_the_taint() {
+        let src = r#"
+            fn f(d: &dyn Dialer, ep: &Endpoint, x: Option<u32>) -> u32 {
+                let _c = d.dial(ep);
+                x.unwrap()
+            }
+        "#;
+        assert!(analyze("ohpc-apps", src).is_empty(), "prior statement must not taint");
+    }
+
+    #[test]
+    fn test_code_and_tests_dirs_are_ignored() {
+        let src = "#[cfg(test)]\nmod tests { fn f(d: &dyn Dialer, ep: &Endpoint) { d.dial(ep).unwrap(); } }";
+        assert!(analyze("ohpc-apps", src).is_empty());
+        let f = SourceFile::from_source(
+            "crates/x/tests/e2e.rs",
+            "ohpc-apps",
+            true,
+            "fn f(d: &dyn Dialer, ep: &Endpoint) { d.dial(ep).unwrap(); }",
+        );
+        let mut diags = Vec::new();
+        run(&[f], &mut diags);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(d: &dyn Dialer, ep: &Endpoint) {\n    // ohpc-analyze: allow(transport-unwrap) — loopback dial in a doc example\n    let _c = d.dial(ep).unwrap();\n}";
+        assert!(analyze("ohpc-apps", src).is_empty());
+    }
+
+    #[test]
+    fn mention_of_the_error_type_taints() {
+        // Outside the statement window (the `{` boundary): not flagged.
+        let src = "fn f(r: Result<(), TransportError>) { r.unwrap(); }";
+        assert_eq!(analyze("ohpc-apps", src).len(), 0, "body unwrap is after `{{`");
+        // Inside the same statement: flagged.
+        let src2 = "fn f(r: Result<u32, u32>) { let _x = r.map_err(TransportError::Io).unwrap(); }";
+        assert_eq!(analyze("ohpc-apps", src2).len(), 1);
+    }
+}

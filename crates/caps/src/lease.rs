@@ -2,18 +2,18 @@
 //!
 //! "Some clients … may be given access to the weather data only for the time
 //! they have paid for." The lease starts when the capability instance is
-//! built and denies once the paid duration elapses. Time flows through a
-//! [`TimeSource`] so the simulation harness and tests can drive it
-//! deterministically; the default is the process monotonic clock.
+//! built and denies once the paid duration elapses. Time flows through the
+//! repo-wide [`Clock`] abstraction from `ohpc-telemetry` — the default is
+//! the process-global registry clock, which netsim experiments drive from
+//! virtual time, so lease expiry is deterministic under simulation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use bytes::Bytes;
 
 use ohpc_orb::capability::{CallInfo, CapMeta};
 use ohpc_orb::{CapError, Capability, CapabilitySpec, Direction};
+use ohpc_telemetry::{Clock, Registry};
 use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
 
 use crate::bad_config;
@@ -21,51 +21,13 @@ use crate::bad_config;
 /// Wire name of this capability.
 pub const NAME: &str = "lease";
 
-/// Where a lease gets its notion of "now" (milliseconds since some epoch).
-pub trait TimeSource: Send + Sync {
-    /// Current time in milliseconds.
-    fn now_ms(&self) -> u64;
-}
-
-/// Monotonic wall-clock time source.
-pub struct MonotonicTime {
-    origin: Instant,
-}
-
-impl Default for MonotonicTime {
-    fn default() -> Self {
-        Self { origin: Instant::now() }
-    }
-}
-
-impl TimeSource for MonotonicTime {
-    fn now_ms(&self) -> u64 {
-        self.origin.elapsed().as_millis() as u64
-    }
-}
-
-/// Manually driven time source for tests and simulations.
-#[derive(Default)]
-pub struct ManualTime(AtomicU64);
-
-impl ManualTime {
-    /// Advances time by `ms` milliseconds.
-    pub fn advance_ms(&self, ms: u64) {
-        self.0.fetch_add(ms, Ordering::Relaxed);
-    }
-}
-
-impl TimeSource for ManualTime {
-    fn now_ms(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
+const NS_PER_MS: u64 = 1_000_000;
 
 /// Paid-time lease capability.
 pub struct LeaseCap {
     duration_ms: u64,
-    started_at_ms: u64,
-    time: Arc<dyn TimeSource>,
+    started_at_ns: u64,
+    clock: Arc<dyn Clock>,
 }
 
 impl LeaseCap {
@@ -76,26 +38,28 @@ impl LeaseCap {
         CapabilitySpec::with_config(NAME, w.finish())
     }
 
-    /// Builds from a spec with the default monotonic clock.
+    /// Builds from a spec on the process-global telemetry clock (virtual
+    /// time when a netsim experiment drives the global registry).
     pub fn from_spec(spec: &CapabilitySpec) -> Result<Self, CapError> {
-        Self::from_spec_with_time(spec, Arc::new(MonotonicTime::default()))
+        Self::from_spec_with_clock(spec, Registry::global().clock())
     }
 
-    /// Builds from a spec with an explicit time source.
-    pub fn from_spec_with_time(
+    /// Builds from a spec with an explicit clock.
+    pub fn from_spec_with_clock(
         spec: &CapabilitySpec,
-        time: Arc<dyn TimeSource>,
+        clock: Arc<dyn Clock>,
     ) -> Result<Self, CapError> {
         let mut r = XdrReader::new(&spec.config);
         let duration_ms = u64::decode(&mut r).map_err(|e| bad_config(NAME, e))?;
-        let started_at_ms = time.now_ms();
-        Ok(Self { duration_ms, started_at_ms, time })
+        let started_at_ns = clock.now_ns();
+        Ok(Self { duration_ms, started_at_ns, clock })
     }
 
     /// Milliseconds of lease remaining (0 when expired).
     pub fn remaining_ms(&self) -> u64 {
-        let elapsed = self.time.now_ms().saturating_sub(self.started_at_ms);
-        self.duration_ms.saturating_sub(elapsed)
+        let elapsed_ms =
+            self.clock.now_ns().saturating_sub(self.started_at_ns) / NS_PER_MS;
+        self.duration_ms.saturating_sub(elapsed_ms)
     }
 
     fn check(&self) -> Result<(), CapError> {
@@ -143,25 +107,27 @@ impl Capability for LeaseCap {
 mod tests {
     use super::*;
     use ohpc_orb::{ObjectId, RequestId};
+    use ohpc_telemetry::ManualClock;
 
     fn call() -> CallInfo {
         CallInfo { object: ObjectId(1), method: 1, request_id: RequestId(1) }
     }
 
-    fn leased(ms: u64) -> (LeaseCap, Arc<ManualTime>) {
-        let time = Arc::new(ManualTime::default());
-        let cap = LeaseCap::from_spec_with_time(&LeaseCap::spec(ms), time.clone()).unwrap();
-        (cap, time)
+    fn leased(ms: u64) -> (LeaseCap, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let cap =
+            LeaseCap::from_spec_with_clock(&LeaseCap::spec(ms), clock.clone()).unwrap();
+        (cap, clock)
     }
 
     #[test]
     fn lease_allows_until_expiry() {
-        let (cap, time) = leased(1000);
+        let (cap, clock) = leased(1000);
         let mut meta = CapMeta::new();
         assert!(cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).is_ok());
-        time.advance_ms(999);
+        clock.advance(999 * NS_PER_MS);
         assert!(cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).is_ok());
-        time.advance_ms(1);
+        clock.advance(NS_PER_MS);
         let err =
             cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).unwrap_err();
         assert!(matches!(err, CapError::Denied(_)));
@@ -170,8 +136,8 @@ mod tests {
 
     #[test]
     fn server_side_also_checks() {
-        let (cap, time) = leased(10);
-        time.advance_ms(20);
+        let (cap, clock) = leased(10);
+        clock.advance(20 * NS_PER_MS);
         let meta = CapMeta::new();
         assert!(cap.unprocess(Direction::Request, &call(), &meta, Bytes::new()).is_err());
     }
@@ -179,8 +145,8 @@ mod tests {
     #[test]
     fn replies_unaffected_by_expiry() {
         // A reply in flight when the lease lapses still decodes.
-        let (cap, time) = leased(10);
-        time.advance_ms(20);
+        let (cap, clock) = leased(10);
+        clock.advance(20 * NS_PER_MS);
         let mut meta = CapMeta::new();
         assert!(cap.process(Direction::Reply, &call(), &mut meta, Bytes::new()).is_ok());
         assert!(cap.unprocess(Direction::Reply, &call(), &meta, Bytes::new()).is_ok());
@@ -188,14 +154,17 @@ mod tests {
 
     #[test]
     fn remaining_reports_budget() {
-        let (cap, time) = leased(500);
+        let (cap, clock) = leased(500);
         assert_eq!(cap.remaining_ms(), 500);
-        time.advance_ms(100);
+        clock.advance(100 * NS_PER_MS);
+        assert_eq!(cap.remaining_ms(), 400);
+        // Sub-millisecond progress does not round a live lease down to 0.
+        clock.advance(NS_PER_MS / 2);
         assert_eq!(cap.remaining_ms(), 400);
     }
 
     #[test]
-    fn monotonic_default_builds() {
+    fn global_clock_default_builds() {
         let cap = LeaseCap::from_spec(&LeaseCap::spec(1_000_000)).unwrap();
         let mut meta = CapMeta::new();
         assert!(cap.process(Direction::Request, &call(), &mut meta, Bytes::new()).is_ok());

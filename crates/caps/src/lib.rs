@@ -9,6 +9,7 @@
 //! | [`AuthCap`] | `auth` | "use authentication for clients connecting over the Internet" |
 //! | [`TimeoutCap`] | `timeout` | "lets the client make only a certain maximum number of requests" |
 //! | [`LeaseCap`] | `lease` | "given access to the weather data only for the time they have paid for" |
+//! | [`DeadlineCap`] | `deadline` | per-request time budgets: servers shed requests that arrive past their caller's deadline |
 //! | [`CompressionCap`] | `compress` | "data compression (and encryption) … encapsulated under … capabilities" |
 //! | [`LoggingCap`] | `log` | auditing/accounting side of "access restrictions" |
 //! | [`AclCap`] | `acl` | "some clients may need access only to a subset of the interface" |
@@ -25,6 +26,7 @@ mod acl;
 mod auth;
 mod scope;
 mod compresscap;
+mod deadline;
 mod encrypt;
 mod lease;
 mod logging;
@@ -33,8 +35,9 @@ mod timeout;
 pub use acl::AclCap;
 pub use auth::AuthCap;
 pub use compresscap::CompressionCap;
+pub use deadline::DeadlineCap;
 pub use encrypt::EncryptionCap;
-pub use lease::{LeaseCap, ManualTime, MonotonicTime, TimeSource};
+pub use lease::LeaseCap;
 pub use logging::{LogStats, LoggingCap};
 pub use scope::CapScope;
 pub use timeout::TimeoutCap;
@@ -67,6 +70,9 @@ pub fn register_standard(registry: &CapabilityRegistry, keys: KeyStore) -> Arc<L
         TimeoutCap::from_spec(spec).map(|c| Arc::new(c) as _)
     });
     registry.register(lease::NAME, |spec| LeaseCap::from_spec(spec).map(|c| Arc::new(c) as _));
+    registry.register(deadline::NAME, |spec| {
+        DeadlineCap::from_spec(spec).map(|c| Arc::new(c) as _)
+    });
     registry.register(compresscap::NAME, |spec| {
         CompressionCap::from_spec(spec).map(|c| Arc::new(c) as _)
     });
@@ -96,7 +102,7 @@ mod tests {
         let mut keys = KeyStore::new();
         keys.add_key("k", b"secret");
         register_standard(&reg, keys);
-        for name in ["security", "auth", "timeout", "lease", "compress", "log", "acl"] {
+        for name in ["security", "auth", "timeout", "lease", "deadline", "compress", "log", "acl"] {
             assert!(reg.knows(name), "{name} not registered");
         }
     }

@@ -33,7 +33,7 @@ mod profile;
 
 pub use clock::VirtualClock;
 pub use cluster::{figure4_cluster, Cluster, ClusterBuilder, LanId, LinkKey, Location, MachineId, SiteId};
-pub use net::{SimNet, TransferReceipt};
+pub use net::{LinkFault, SimNet, TransferReceipt};
 pub use profile::{LinkClass, LinkProfile};
 
 use std::time::Duration;

@@ -36,6 +36,37 @@ impl TransferReceipt {
     }
 }
 
+/// Why a fault-aware transfer could not happen (see
+/// [`SimNet::try_transfer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The machine pair is partitioned: no path in either direction.
+    Partitioned {
+        /// Sending machine.
+        from: MachineId,
+        /// Destination machine.
+        to: MachineId,
+    },
+    /// The machine is crashed: everything to or from it fails.
+    MachineDown(MachineId),
+}
+
+impl std::fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkFault::Partitioned { from, to } => {
+                write!(f, "link M{}->M{} partitioned", from.0, to.0)
+            }
+            LinkFault::MachineDown(m) => write!(f, "machine M{} down", m.0),
+        }
+    }
+}
+
+/// Unordered machine pair: partitions are bidirectional.
+fn pair(a: MachineId, b: MachineId) -> (u32, u32) {
+    (a.0.min(b.0), a.0.max(b.0))
+}
+
 #[derive(Default)]
 struct NetState {
     /// Virtual time each queueing domain is busy until.
@@ -44,9 +75,15 @@ struct NetState {
     /// Ablation switch: when false, transfers never wait for the medium
     /// (an idealized infinite-capacity network).
     no_queuing: bool,
+    /// Partitioned machine pairs → optional heal time (virtual ns; `None`
+    /// means until explicitly healed).
+    partitions: HashMap<(u32, u32), Option<u64>>,
+    /// Crashed machines → optional restart time.
+    down: HashMap<u32, Option<u64>>,
     /// Totals for stats.
     transfers: u64,
     bytes: u64,
+    faults: u64,
 }
 
 /// Simulated network over a [`Cluster`]. Cheap to clone (shared state).
@@ -147,6 +184,95 @@ impl SimNet {
 
         self.clock.advance_to(arrived);
         TransferReceipt { submitted, started, arrived, bytes }
+    }
+
+    /// Cuts the link between `a` and `b` (both directions) until
+    /// [`heal`](Self::heal) is called.
+    pub fn partition(&self, a: MachineId, b: MachineId) {
+        self.state.lock().partitions.insert(pair(a, b), None);
+    }
+
+    /// Cuts the link between `a` and `b` until virtual time reaches
+    /// `heal_at` — a heal schedule, checked lazily against the clock.
+    pub fn partition_until(&self, a: MachineId, b: MachineId, heal_at: SimTime) {
+        self.state.lock().partitions.insert(pair(a, b), Some(heal_at.0));
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal(&self, a: MachineId, b: MachineId) {
+        self.state.lock().partitions.remove(&pair(a, b));
+    }
+
+    /// Crashes machine `m`: every transfer to or from it faults until
+    /// [`restart`](Self::restart).
+    pub fn crash(&self, m: MachineId) {
+        self.state.lock().down.insert(m.0, None);
+    }
+
+    /// Crashes machine `m` until virtual time reaches `restart_at`.
+    pub fn crash_until(&self, m: MachineId, restart_at: SimTime) {
+        self.state.lock().down.insert(m.0, Some(restart_at.0));
+    }
+
+    /// Restarts a crashed machine.
+    pub fn restart(&self, m: MachineId) {
+        self.state.lock().down.remove(&m.0);
+    }
+
+    /// The fault currently affecting a `from → to` transfer, if any. Expired
+    /// heal/restart schedules are pruned against the current virtual time.
+    pub fn link_fault(&self, from: MachineId, to: MachineId) -> Option<LinkFault> {
+        let now = self.clock.now().0;
+        let mut st = self.state.lock();
+        for m in [from, to] {
+            if let Some(&until) = st.down.get(&m.0) {
+                match until {
+                    Some(t) if now >= t => {
+                        st.down.remove(&m.0);
+                    }
+                    _ => return Some(LinkFault::MachineDown(m)),
+                }
+            }
+        }
+        if let Some(&until) = st.partitions.get(&pair(from, to)) {
+            match until {
+                Some(t) if now >= t => {
+                    st.partitions.remove(&pair(from, to));
+                }
+                _ => return Some(LinkFault::Partitioned { from, to }),
+            }
+        }
+        None
+    }
+
+    /// Fault-aware transfer: like [`transfer`](Self::transfer) but a
+    /// partitioned link or crashed machine fails instead of delivering.
+    /// Detecting the failure is not free — the sender burns one link latency
+    /// of virtual time (its timeout) before the error is observable, so
+    /// retry/backoff loops make progress on the virtual timeline.
+    ///
+    /// `transfer` itself stays infallible and fault-oblivious: experiment
+    /// harnesses that never inject faults keep their exact semantics.
+    pub fn try_transfer(
+        &self,
+        from: MachineId,
+        to: MachineId,
+        bytes: usize,
+    ) -> Result<TransferReceipt, LinkFault> {
+        if let Some(fault) = self.link_fault(from, to) {
+            let timeout = self.cluster.profile_between(from, to).latency;
+            self.clock.advance(SimTime(timeout.as_nanos() as u64));
+            self.state.lock().faults += 1;
+            ohpc_telemetry::inc("netsim_link_faults_total", &[]);
+            return Err(fault);
+        }
+        Ok(self.transfer(from, to, bytes))
+    }
+
+    /// Number of transfers refused by [`try_transfer`](Self::try_transfer)
+    /// due to injected faults.
+    pub fn fault_count(&self) -> u64 {
+        self.state.lock().faults
     }
 
     /// Charges `dt` of *computation* (capability processing, marshaling) to
@@ -292,6 +418,72 @@ mod tests {
             let r = h.join().unwrap();
             assert_eq!(r.queued(), SimTime::ZERO, "no queuing when disabled");
         }
+    }
+
+    #[test]
+    fn partition_faults_both_directions_until_heal() {
+        let (net, [m0, _, _, m3]) = net();
+        net.partition(m0, m3);
+        assert_eq!(
+            net.try_transfer(m0, m3, 100).unwrap_err(),
+            LinkFault::Partitioned { from: m0, to: m3 }
+        );
+        assert!(net.try_transfer(m3, m0, 100).is_err(), "partitions are bidirectional");
+        // Unaffected pairs still flow.
+        let (_, _, m1) = (m0, m3, MachineId(1));
+        assert!(net.try_transfer(m0, m1, 100).is_ok());
+        net.heal(m0, m3);
+        assert!(net.try_transfer(m0, m3, 100).is_ok());
+        assert_eq!(net.fault_count(), 2);
+    }
+
+    #[test]
+    fn fault_detection_costs_virtual_time() {
+        let (net, [m0, _, _, m3]) = net();
+        net.partition(m0, m3);
+        let t0 = net.clock().now();
+        let _ = net.try_transfer(m0, m3, 1000);
+        assert!(net.clock().now() > t0, "a failed transfer must burn its timeout");
+    }
+
+    #[test]
+    fn heal_schedule_restores_link_at_virtual_time() {
+        let (net, [m0, _, _, m3]) = net();
+        net.partition_until(m0, m3, SimTime(1_000_000));
+        assert!(net.try_transfer(m0, m3, 10).is_err());
+        net.clock().advance_to(SimTime(1_000_000));
+        assert!(net.try_transfer(m0, m3, 10).is_ok(), "heal schedule elapsed");
+        assert!(net.link_fault(m0, m3).is_none());
+    }
+
+    #[test]
+    fn crashed_machine_faults_every_direction_until_restart() {
+        let (net, [m0, m1, _, m3]) = net();
+        net.crash(m3);
+        assert_eq!(net.try_transfer(m0, m3, 10).unwrap_err(), LinkFault::MachineDown(m3));
+        assert_eq!(net.try_transfer(m3, m1, 10).unwrap_err(), LinkFault::MachineDown(m3));
+        assert!(net.try_transfer(m0, m1, 10).is_ok());
+        net.restart(m3);
+        assert!(net.try_transfer(m0, m3, 10).is_ok());
+    }
+
+    #[test]
+    fn crash_schedule_restarts_at_virtual_time() {
+        let (net, [m0, _, _, m3]) = net();
+        net.crash_until(m3, SimTime(500_000));
+        assert!(net.try_transfer(m0, m3, 10).is_err());
+        net.clock().advance_to(SimTime(500_000));
+        assert!(net.try_transfer(m0, m3, 10).is_ok());
+    }
+
+    #[test]
+    fn plain_transfer_ignores_faults_by_design() {
+        // The experiment harnesses use `transfer` and never inject faults;
+        // it must stay infallible even if someone partitions underneath.
+        let (net, [m0, _, _, m3]) = net();
+        net.partition(m0, m3);
+        let r = net.transfer(m0, m3, 100);
+        assert_eq!(r.bytes, 100);
     }
 
     #[test]

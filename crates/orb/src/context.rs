@@ -296,6 +296,35 @@ impl Context {
         self.inner.nexus_services.lock().clear();
     }
 
+    /// Abrupt crash, for fault injection: stops serving immediately —
+    /// listeners close and in-flight requests are abandoned mid-connection —
+    /// but unlike [`shutdown`](Self::shutdown) it is meant to be followed by
+    /// [`restart`](Self::restart): the object table survives, the way
+    /// on-disk state survives a real process crash. Clients observe dropped
+    /// connections and refused dials.
+    pub fn crash(&self) {
+        ohpc_telemetry::inc("orb_context_crashes_total", &[]);
+        self.inner.stopping.store(true, Ordering::Release);
+        for h in self.inner.servers.lock().iter() {
+            (h.shutdown)();
+        }
+        for mut h in self.inner.servers.lock().drain(..) {
+            if let Some(j) = h.join.take() {
+                let _ = j.join();
+            }
+        }
+        self.inner.nexus_services.lock().clear();
+        // Advertised endpoints died with the listeners.
+        self.inner.adverts.write().clear();
+    }
+
+    /// Re-arms a crashed context: serving works again once fresh listeners
+    /// are attached with [`serve`](Self::serve).
+    pub fn restart(&self) {
+        ohpc_telemetry::inc("orb_context_restarts_total", &[]);
+        self.inner.stopping.store(false, Ordering::Release);
+    }
+
     fn serve_connection(&self, mut conn: Box<dyn Connection>) {
         while let Ok(frame) = conn.recv() {
             if self.inner.stopping.load(Ordering::Acquire) {

@@ -2,6 +2,7 @@
 
 use crate::capability::CapError;
 use crate::ids::{ObjectId, ProtocolId};
+use ohpc_resilience::{classify, ErrorClass};
 use ohpc_transport::TransportError;
 use ohpc_xdr::XdrError;
 
@@ -14,8 +15,23 @@ pub enum OrbError {
         /// Protocols the OR offered.
         offered: Vec<ProtocolId>,
     },
-    /// Transport failure underneath the selected protocol.
+    /// Transport failure underneath the selected protocol, observed *before*
+    /// the request frame was handed to the fabric: the server provably never
+    /// saw the request, so retrying is always safe.
     Transport(TransportError),
+    /// Transport failure *after* the request frame was sent but before a
+    /// reply arrived: the server may or may not have executed the request.
+    /// The retry policy only re-sends such requests when they are flagged
+    /// idempotent.
+    AmbiguousTransport(TransportError),
+    /// The per-request deadline elapsed before an attempt succeeded. Carries
+    /// how many attempts ran and the error that exhausted the budget.
+    DeadlineExceeded {
+        /// Attempts made before the deadline cut retries short.
+        attempts: u32,
+        /// The last attempt's failure.
+        last: Box<OrbError>,
+    },
     /// Marshaling failure.
     Xdr(XdrError),
     /// A capability refused or failed to transform the request.
@@ -41,6 +57,12 @@ impl std::fmt::Display for OrbError {
                 write!(f, "no applicable protocol among {offered:?}")
             }
             OrbError::Transport(e) => write!(f, "transport: {e}"),
+            OrbError::AmbiguousTransport(e) => {
+                write!(f, "transport (request possibly delivered): {e}")
+            }
+            OrbError::DeadlineExceeded { attempts, last } => {
+                write!(f, "deadline exceeded after {attempts} attempt(s); last error: {last}")
+            }
             OrbError::Xdr(e) => write!(f, "marshal: {e}"),
             OrbError::Capability(e) => write!(f, "capability: {e}"),
             OrbError::RemoteException(m) => write!(f, "remote exception: {m}"),
@@ -54,6 +76,33 @@ impl std::fmt::Display for OrbError {
 }
 
 impl std::error::Error for OrbError {}
+
+impl OrbError {
+    /// How this error relates to the retry budget (see
+    /// [`ohpc_resilience::ErrorClass`]).
+    ///
+    /// Transport failures classify by kind; ambiguous transport failures are
+    /// at best [`ErrorClass::Ambiguous`] (idempotent-only retry), and
+    /// everything else — application exceptions, capability denials,
+    /// marshaling failures, selection failures — is permanent: retrying the
+    /// same request cannot change the outcome.
+    pub fn retry_class(&self) -> ErrorClass {
+        match self {
+            OrbError::Transport(e) => classify(e),
+            OrbError::AmbiguousTransport(e) => match classify(e) {
+                ErrorClass::Permanent => ErrorClass::Permanent,
+                _ => ErrorClass::Ambiguous,
+            },
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// Whether this error fed back into endpoint health (transport errors
+    /// and timeouts do; application-level outcomes do not).
+    pub fn is_transport(&self) -> bool {
+        matches!(self, OrbError::Transport(_) | OrbError::AmbiguousTransport(_))
+    }
+}
 
 impl From<TransportError> for OrbError {
     fn from(e: TransportError) -> Self {
@@ -83,6 +132,38 @@ mod tests {
         assert!(e.to_string().contains("no applicable protocol"));
         assert!(OrbError::NoSuchMethod(4).to_string().contains("4"));
         assert!(OrbError::UnknownGlue(9).to_string().contains("9"));
+    }
+
+    #[test]
+    fn retry_classes() {
+        use ohpc_resilience::ErrorClass;
+        assert_eq!(
+            OrbError::Transport(TransportError::Closed).retry_class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            OrbError::AmbiguousTransport(TransportError::Closed).retry_class(),
+            ErrorClass::Ambiguous
+        );
+        assert_eq!(
+            OrbError::AmbiguousTransport(TransportError::FrameTooLarge(1)).retry_class(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(OrbError::RemoteException("x".into()).retry_class(), ErrorClass::Permanent);
+        assert_eq!(OrbError::NoSuchMethod(1).retry_class(), ErrorClass::Permanent);
+        assert!(OrbError::AmbiguousTransport(TransportError::Closed).is_transport());
+        assert!(!OrbError::NoSuchObject(ObjectId(1)).is_transport());
+    }
+
+    #[test]
+    fn deadline_display_names_the_last_error() {
+        let e = OrbError::DeadlineExceeded {
+            attempts: 3,
+            last: Box::new(OrbError::Transport(TransportError::Closed)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadline exceeded after 3"), "{s}");
+        assert!(s.contains("closed"), "{s}");
     }
 
     #[test]

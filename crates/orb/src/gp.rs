@@ -7,6 +7,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 
 use ohpc_netsim::Location;
+use ohpc_resilience::{ErrorClass, HealthRegistry, RetryPolicy, Sleeper, ThreadSleeper};
 use ohpc_xdr::XdrWriter;
 
 use crate::error::OrbError;
@@ -14,7 +15,7 @@ use crate::ids::RequestId;
 use crate::message::{ReplyStatus, RequestMessage};
 use crate::objref::ObjectReference;
 use crate::proto::ProtoPool;
-use crate::selection::{select, Selection};
+use crate::selection::{health_key, select_with_health, Selection};
 
 /// How many `Moved` forwards one invocation will chase before giving up.
 const MAX_FORWARDS: u32 = 8;
@@ -25,6 +26,25 @@ const MAX_FORWARDS: u32 = 8;
 /// "the system selects an appropriate proto-object for each individual
 /// remote request"), so changes to locations, the OR (via `Moved` rebinds or
 /// [`rebind`](Self::rebind)), or the pool take effect immediately.
+///
+/// # Fault awareness
+///
+/// Each invocation runs under a [`RetryPolicy`]: transport failures observed
+/// before the frame left the process are retried with exponential backoff
+/// until the attempt budget or deadline runs out, and every retry re-runs
+/// selection with a fresh request id — so a retry is free to land on a
+/// different OR-table row than the attempt that failed. Failures observed
+/// *after* the frame was sent ([`OrbError::AmbiguousTransport`]) are retried
+/// only when the request is idempotent ([`Self::invoke_idempotent`] or
+/// [`RetryPolicy::assume_idempotent`]); a non-idempotent request is never
+/// re-sent once it may have reached the server.
+///
+/// Outcomes feed a per-(terminal protocol, terminal endpoint)
+/// [`HealthRegistry`]: enough consecutive transport failures open that
+/// entry's circuit breaker, and selection then prefers the next applicable
+/// row until the cooldown elapses and a probe succeeds. Share one registry
+/// across the GPs of a process with [`Self::set_health_registry`] so they
+/// pool their observations.
 pub struct GlobalPointer {
     or: RwLock<ObjectReference>,
     pool: Arc<ProtoPool>,
@@ -32,6 +52,9 @@ pub struct GlobalPointer {
     next_request: AtomicU64,
     last_protocol: Mutex<Option<String>>,
     forwards_seen: AtomicU64,
+    retry: Mutex<RetryPolicy>,
+    health: Mutex<Arc<HealthRegistry>>,
+    sleeper: Mutex<Arc<dyn Sleeper>>,
 }
 
 impl GlobalPointer {
@@ -44,7 +67,38 @@ impl GlobalPointer {
             next_request: AtomicU64::new(1),
             last_protocol: Mutex::new(None),
             forwards_seen: AtomicU64::new(0),
+            retry: Mutex::new(RetryPolicy::default()),
+            health: Mutex::new(Arc::new(HealthRegistry::new())),
+            sleeper: Mutex::new(Arc::new(ThreadSleeper)),
         }
+    }
+
+    /// Replaces the retry policy for subsequent invocations.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.lock() = policy;
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry.lock().clone()
+    }
+
+    /// The health registry selection consults (per-GP unless shared).
+    pub fn health_registry(&self) -> Arc<HealthRegistry> {
+        self.health.lock().clone()
+    }
+
+    /// Shares a health registry (typically one per process, or one driven by
+    /// a netsim `VirtualClock` in tests).
+    pub fn set_health_registry(&self, health: Arc<HealthRegistry>) {
+        *self.health.lock() = health;
+    }
+
+    /// Replaces how backoff pauses are spent — tests inject a
+    /// [`ohpc_resilience::FnSleeper`] that advances virtual time instead of
+    /// blocking the thread.
+    pub fn set_sleeper(&self, sleeper: Arc<dyn Sleeper>) {
+        *self.sleeper.lock() = sleeper;
     }
 
     /// Snapshot of the current OR (it may change as the object migrates).
@@ -63,10 +117,12 @@ impl GlobalPointer {
         self.local
     }
 
-    /// Runs protocol selection without invoking, for inspection.
+    /// Runs protocol selection without invoking, for inspection. Consults
+    /// the health registry exactly like a real invocation would.
     pub fn select(&self) -> Result<Selection, OrbError> {
+        let health = self.health.lock().clone();
         let or = self.or.read();
-        select(&or, &self.pool, &self.local)
+        select_with_health(&or, &self.pool, &self.local, Some(&health))
     }
 
     /// Description of the protocol used by the most recent invocation
@@ -114,11 +170,13 @@ impl GlobalPointer {
     /// `Moved` forwards and capability denials) are not observable; pair
     /// one-ways with an occasional two-way call to rebind after migrations.
     pub fn invoke_oneway(&self, method: u32, args: &XdrWriter) -> Result<(), OrbError> {
+        let health = self.health.lock().clone();
         let (selection, object) = {
             let or = self.or.read();
-            (select(&or, &self.pool, &self.local)?, or.object)
+            (select_with_health(&or, &self.pool, &self.local, Some(&health))?, or.object)
         };
         *self.last_protocol.lock() = Some(selection.describe());
+        let key = health_key(&selection.entry);
         let req = RequestMessage {
             request_id: RequestId(self.next_request.fetch_add(1, Ordering::Relaxed)),
             object,
@@ -127,17 +185,104 @@ impl GlobalPointer {
             glue: None,
             body: Bytes::copy_from_slice(args.peek()),
         };
-        selection.proto.invoke_oneway(&self.pool, &selection.entry, &req)
+        match selection.proto.invoke_oneway(&self.pool, &selection.entry, &req) {
+            Ok(()) => {
+                health.record_success(&key);
+                Ok(())
+            }
+            Err(e) => {
+                if e.is_transport() {
+                    health.record_failure(&key);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Like [`invoke`](Self::invoke) but takes the body directly.
     pub fn invoke_raw(&self, method: u32, body: Bytes) -> Result<Bytes, OrbError> {
-        for _attempt in 0..=MAX_FORWARDS {
+        self.invoke_raw_with(method, body, false)
+    }
+
+    /// [`invoke`](Self::invoke) for a request the caller promises is
+    /// idempotent: ambiguous failures (sent-but-no-reply) may be retried,
+    /// because executing the request twice is harmless.
+    pub fn invoke_idempotent(&self, method: u32, args: &XdrWriter) -> Result<Bytes, OrbError> {
+        self.invoke_raw_with(method, Bytes::copy_from_slice(args.peek()), true)
+    }
+
+    /// [`invoke_raw`](Self::invoke_raw) with the idempotence promise.
+    pub fn invoke_raw_idempotent(&self, method: u32, body: Bytes) -> Result<Bytes, OrbError> {
+        self.invoke_raw_with(method, body, true)
+    }
+
+    /// The retry driver: attempts under the policy's budget, backoff between
+    /// attempts, deadline accounting on the health registry's clock.
+    fn invoke_raw_with(
+        &self,
+        method: u32,
+        body: Bytes,
+        idempotent: bool,
+    ) -> Result<Bytes, OrbError> {
+        let policy = self.retry.lock().clone();
+        let idempotent = idempotent || policy.idempotent;
+        let health = self.health.lock().clone();
+        let clock = health.clock();
+        let deadline = policy.deadline_from(clock.now_ns());
+        // Jitter salt: the request counter at entry, so concurrent callers
+        // and successive invocations desynchronize deterministically.
+        let salt = self.next_request.load(Ordering::Relaxed);
+        let mut failed_attempts: u32 = 0;
+        loop {
+            let err = match self.attempt_once(method, &body, &health) {
+                Ok(reply_body) => return Ok(reply_body),
+                Err(e) => e,
+            };
+            failed_attempts += 1;
+            let class = err.retry_class();
+            let may_retry = match class {
+                ErrorClass::Retryable => true,
+                // The server may have executed the request; only an
+                // idempotence promise makes a re-send safe.
+                ErrorClass::Ambiguous => idempotent,
+                ErrorClass::Permanent => false,
+            };
+            if !may_retry || failed_attempts >= policy.max_attempts {
+                return Err(err);
+            }
+            let backoff = policy.backoff_ns(failed_attempts - 1, salt);
+            if let Some(d) = deadline {
+                if clock.now_ns().saturating_add(backoff) > d {
+                    return Err(OrbError::DeadlineExceeded {
+                        attempts: failed_attempts,
+                        last: Box::new(err),
+                    });
+                }
+            }
+            ohpc_telemetry::inc("resilience_retries_total", &[("class", class.label())]);
+            let sleeper = self.sleeper.lock().clone();
+            sleeper.sleep_ns(backoff);
+        }
+    }
+
+    /// One attempt: selection (health-aware), invocation, `Moved` chasing.
+    /// Forward rebinds are part of a single attempt — an object migrating is
+    /// not a fault and does not consume retry budget. Every transport
+    /// outcome feeds the health registry under the selected entry's terminal
+    /// (protocol, endpoint) key.
+    fn attempt_once(
+        &self,
+        method: u32,
+        body: &Bytes,
+        health: &Arc<HealthRegistry>,
+    ) -> Result<Bytes, OrbError> {
+        for _forward in 0..=MAX_FORWARDS {
             let (selection, object) = {
                 let or = self.or.read();
-                (select(&or, &self.pool, &self.local)?, or.object)
+                (select_with_health(&or, &self.pool, &self.local, Some(health))?, or.object)
             };
             *self.last_protocol.lock() = Some(selection.describe());
+            let key = health_key(&selection.entry);
 
             let req = RequestMessage {
                 request_id: RequestId(self.next_request.fetch_add(1, Ordering::Relaxed)),
@@ -148,7 +293,20 @@ impl GlobalPointer {
                 body: body.clone(),
             };
 
-            let reply = selection.proto.invoke(&self.pool, &selection.entry, &req)?;
+            let reply = match selection.proto.invoke(&self.pool, &selection.entry, &req) {
+                Ok(reply) => {
+                    // Any delivered reply proves the wire works, whatever
+                    // the application-level status says.
+                    health.record_success(&key);
+                    reply
+                }
+                Err(e) => {
+                    if e.is_transport() {
+                        health.record_failure(&key);
+                    }
+                    return Err(e);
+                }
+            };
             match reply.status {
                 ReplyStatus::Ok => return Ok(reply.body),
                 ReplyStatus::Moved(new_or) => {
@@ -355,6 +513,193 @@ mod tests {
         assert_eq!(gp.select().unwrap().proto.protocol_id(), ProtocolId::TCP);
         assert_eq!(gp.ban(ProtocolId::TCP), 1);
         assert!(gp.select().is_err(), "empty table selects nothing");
+    }
+
+    /// Proto that fails its first `fail_first` invocations with the produced
+    /// error, then answers Ok.
+    struct FailProto {
+        id: ProtocolId,
+        fail_first: u32,
+        make_err: fn() -> OrbError,
+        calls: AtomicU32,
+    }
+
+    impl FailProto {
+        fn new(id: ProtocolId, fail_first: u32, make_err: fn() -> OrbError) -> Arc<Self> {
+            Arc::new(Self { id, fail_first, make_err, calls: AtomicU32::new(0) })
+        }
+    }
+
+    impl ProtoObject for FailProto {
+        fn protocol_id(&self) -> ProtocolId {
+            self.id
+        }
+        fn applicable(&self, _p: &ProtoPool, _c: &Location, _s: &Location, _e: &ProtoEntry) -> bool {
+            true
+        }
+        fn invoke(
+            &self,
+            _p: &ProtoPool,
+            _e: &ProtoEntry,
+            req: &RequestMessage,
+        ) -> Result<ReplyMessage, OrbError> {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed);
+            if n < self.fail_first {
+                Err((self.make_err)())
+            } else {
+                Ok(ReplyMessage::ok(req.request_id, req.body.clone()))
+            }
+        }
+    }
+
+    fn quiet(gp: &GlobalPointer) {
+        gp.set_sleeper(Arc::new(ohpc_resilience::NoopSleeper));
+    }
+
+    #[test]
+    fn retryable_failures_are_retried_within_budget() {
+        use ohpc_transport::TransportError;
+        let proto = FailProto::new(ProtocolId::TCP, 2, || {
+            OrbError::Transport(TransportError::Closed)
+        });
+        let pool = Arc::new(ProtoPool::new().with(proto.clone()));
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        quiet(&gp);
+        let out = gp.invoke_raw(1, Bytes::from_static(b"r")).unwrap();
+        assert_eq!(&out[..], b"r");
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 3, "two failures, then success");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_the_last_error() {
+        use ohpc_transport::TransportError;
+        let proto = FailProto::new(ProtocolId::TCP, u32::MAX, || {
+            OrbError::Transport(TransportError::Closed)
+        });
+        let pool = Arc::new(ProtoPool::new().with(proto.clone()));
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        quiet(&gp);
+        let err = gp.invoke_raw(1, Bytes::new()).unwrap_err();
+        assert!(matches!(err, OrbError::Transport(TransportError::Closed)));
+        assert_eq!(
+            proto.calls.load(Ordering::Relaxed),
+            gp.retry_policy().max_attempts,
+            "budget spent exactly"
+        );
+    }
+
+    #[test]
+    fn ambiguous_failures_retry_only_under_an_idempotence_promise() {
+        use ohpc_transport::TransportError;
+        let proto = FailProto::new(ProtocolId::TCP, u32::MAX, || {
+            OrbError::AmbiguousTransport(TransportError::Closed)
+        });
+        let pool = Arc::new(ProtoPool::new().with(proto.clone()));
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        quiet(&gp);
+
+        // Non-idempotent: the request may have executed; never re-send.
+        let err = gp.invoke_raw(1, Bytes::new()).unwrap_err();
+        assert!(matches!(err, OrbError::AmbiguousTransport(_)));
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 1, "no ambiguous re-send");
+
+        // Idempotent: ambiguity is retryable up to the budget.
+        proto.calls.store(0, Ordering::Relaxed);
+        let err = gp.invoke_raw_idempotent(1, Bytes::new()).unwrap_err();
+        assert!(matches!(err, OrbError::AmbiguousTransport(_)));
+        assert_eq!(proto.calls.load(Ordering::Relaxed), gp.retry_policy().max_attempts);
+    }
+
+    #[test]
+    fn permanent_transport_errors_are_not_retried() {
+        use ohpc_transport::TransportError;
+        let proto = FailProto::new(ProtocolId::TCP, u32::MAX, || {
+            OrbError::Transport(TransportError::FrameTooLarge(9))
+        });
+        let pool = Arc::new(ProtoPool::new().with(proto.clone()));
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        quiet(&gp);
+        gp.invoke_raw(1, Bytes::new()).unwrap_err();
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short_on_the_virtual_clock() {
+        use ohpc_resilience::{FnSleeper, HealthRegistry, RetryPolicy};
+        use ohpc_telemetry::ManualClock;
+        use ohpc_transport::TransportError;
+        let proto = FailProto::new(ProtocolId::TCP, u32::MAX, || {
+            OrbError::Transport(TransportError::Closed)
+        });
+        let pool = Arc::new(ProtoPool::new().with(proto.clone()));
+        let gp = GlobalPointer::new(or_at(0), pool, Location::new(5, 1));
+        let clock = Arc::new(ManualClock::new());
+        gp.set_health_registry(Arc::new(HealthRegistry::with_clock(clock.clone())));
+        gp.set_sleeper(Arc::new(FnSleeper::new({
+            let clock = clock.clone();
+            move |ns| clock.advance(ns)
+        })));
+        // Ten attempts allowed, but the deadline only fits the first backoff
+        // (1 ms ± 20%): the second backoff (≈2 ms) would overrun it.
+        gp.set_retry_policy(
+            RetryPolicy::default().with_attempts(10).with_deadline_ns(1_500_000),
+        );
+        let err = gp.invoke_raw(1, Bytes::new()).unwrap_err();
+        match err {
+            OrbError::DeadlineExceeded { attempts, last } => {
+                assert_eq!(attempts, 2);
+                assert!(matches!(*last, OrbError::Transport(TransportError::Closed)));
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn transport_failures_open_the_breaker_and_fail_over_down_the_table() {
+        use ohpc_resilience::BreakerState;
+        use ohpc_transport::TransportError;
+        let bad = FailProto::new(ProtocolId::TCP, u32::MAX, || {
+            OrbError::Transport(TransportError::ConnectionRefused("down".into()))
+        });
+        let good = FailProto::new(ProtocolId::NEXUS_TCP, 0, || unreachable!());
+        let or = ObjectReference {
+            object: ObjectId(1),
+            type_name: "T".into(),
+            location: Location::new(0, 0),
+            protocols: vec![
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+                ProtoEntry::endpoint(ProtocolId::NEXUS_TCP, "tcp://h:2"),
+            ],
+        };
+        let pool = Arc::new(ProtoPool::new().with(bad.clone()).with(good.clone()));
+        let gp = GlobalPointer::new(or, pool, Location::new(5, 1));
+        quiet(&gp);
+        // Frozen clock: the open breaker's cooldown never elapses, so the
+        // test cannot race a half-open probe.
+        gp.set_health_registry(Arc::new(ohpc_resilience::HealthRegistry::with_clock(
+            Arc::new(ohpc_telemetry::ManualClock::new()),
+        )));
+
+        // Default policy: threshold 3 failures, budget 4 attempts — the very
+        // first invocation opens the preferred entry's breaker and its last
+        // attempt fails over to the second table row.
+        let out = gp.invoke_raw(1, Bytes::from_static(b"f")).unwrap();
+        assert_eq!(&out[..], b"f");
+        assert_eq!(bad.calls.load(Ordering::Relaxed), 3);
+        assert_eq!(good.calls.load(Ordering::Relaxed), 1);
+
+        let health = gp.health_registry();
+        let key = crate::selection::health_key(&gp.object_reference().protocols[0]);
+        assert_eq!(health.state(&key), BreakerState::Open);
+
+        // While the breaker is open, traffic goes straight to the healthy
+        // row: no further calls land on the broken proto.
+        for _ in 0..5 {
+            gp.invoke_raw(1, Bytes::new()).unwrap();
+        }
+        assert_eq!(bad.calls.load(Ordering::Relaxed), 3, "open breaker diverts traffic");
+        assert_eq!(good.calls.load(Ordering::Relaxed), 6);
     }
 
     #[test]

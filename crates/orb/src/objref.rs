@@ -99,6 +99,17 @@ impl ProtoEntry {
         }
     }
 
+    /// The protocol that actually moves bytes for this entry, digging
+    /// through glue wrapping — the identity endpoint health is tracked
+    /// under, so a glue entry and a plain entry over the same wire share
+    /// one circuit breaker.
+    pub fn terminal_protocol(&self) -> ProtocolId {
+        match &self.data {
+            ProtoData::Endpoint(_) => self.id,
+            ProtoData::Glue { inner, .. } => inner.terminal_protocol(),
+        }
+    }
+
     /// Depth of glue nesting (0 for a plain entry).
     pub fn glue_depth(&self) -> usize {
         match &self.data {

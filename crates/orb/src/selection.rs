@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use ohpc_netsim::Location;
+use ohpc_resilience::{HealthKey, HealthRegistry};
 
 use crate::error::OrbError;
 use crate::objref::{ObjectReference, ProtoEntry};
@@ -52,6 +53,37 @@ pub fn select(
     pool: &ProtoPool,
     client: &Location,
 ) -> Result<Selection, OrbError> {
+    select_with_health(or, pool, client, None)
+}
+
+/// The health-aware key an entry's circuit breaker lives under: the terminal
+/// protocol and endpoint, so a glue entry and a plain entry over the same
+/// wire share one breaker.
+pub fn health_key(entry: &ProtoEntry) -> HealthKey {
+    HealthKey::new(entry.terminal_protocol().to_string(), entry.terminal_endpoint())
+}
+
+/// [`select`], additionally consulting a [`HealthRegistry`]: an applicable
+/// entry whose circuit breaker is open is skipped (reason `breaker-open`),
+/// letting the next applicable OR-table row win — the paper's
+/// failover-as-applicability-predicate, with health as one more predicate.
+///
+/// Two guarantees keep degraded state from becoming an outage:
+///
+/// - a selection that lands past a breaker-skipped entry increments
+///   `resilience_failover_total{protocol}` so operators can see traffic
+///   leaving the preferred row;
+/// - if *every* applicable entry is breaker-denied, the first of them is
+///   selected anyway (`resilience_breaker_fallback_total`) — a breaker may
+///   only redirect traffic, never refuse it outright.
+pub fn select_with_health(
+    or: &ObjectReference,
+    pool: &ProtoPool,
+    client: &Location,
+    health: Option<&HealthRegistry>,
+) -> Result<Selection, OrbError> {
+    let mut breaker_skips = 0u32;
+    let mut fallback: Option<Selection> = None;
     for (index, entry) in or.protocols.iter().enumerate() {
         let proto_name = entry.id.to_string();
         let Some(proto) = pool.find(entry.id) else {
@@ -61,17 +93,49 @@ pub fn select(
             );
             continue;
         };
-        if proto.applicable(pool, client, &or.location, entry) {
+        if !proto.applicable(pool, client, &or.location, entry) {
             ohpc_telemetry::inc(
-                "orb_selection_total",
-                &[("protocol", &proto_name), ("outcome", "selected")],
+                "orb_selection_rejected_total",
+                &[("protocol", &proto_name), ("reason", "inapplicable")],
             );
-            return Ok(Selection { proto, entry: entry.clone(), index });
+            continue;
+        }
+        if let Some(h) = health {
+            if !h.allow(&health_key(entry)) {
+                ohpc_telemetry::inc(
+                    "orb_selection_rejected_total",
+                    &[("protocol", &proto_name), ("reason", "breaker-open")],
+                );
+                breaker_skips += 1;
+                if fallback.is_none() {
+                    fallback = Some(Selection { proto, entry: entry.clone(), index });
+                }
+                continue;
+            }
         }
         ohpc_telemetry::inc(
-            "orb_selection_rejected_total",
-            &[("protocol", &proto_name), ("reason", "inapplicable")],
+            "orb_selection_total",
+            &[("protocol", &proto_name), ("outcome", "selected")],
         );
+        if breaker_skips > 0 {
+            ohpc_telemetry::inc("resilience_failover_total", &[("protocol", &proto_name)]);
+        }
+        return Ok(Selection { proto, entry: entry.clone(), index });
+    }
+    if let Some(sel) = fallback {
+        // Every applicable row is breaker-denied. Refusing to select would
+        // turn a degraded table into a total outage, so take the preferred
+        // denied row and let it probe the endpoint.
+        let proto_name = sel.entry.id.to_string();
+        ohpc_telemetry::inc(
+            "orb_selection_total",
+            &[("protocol", &proto_name), ("outcome", "breaker-fallback")],
+        );
+        ohpc_telemetry::inc(
+            "resilience_breaker_fallback_total",
+            &[("protocol", &proto_name)],
+        );
+        return Ok(sel);
     }
     ohpc_telemetry::inc("orb_selection_failed_total", &[]);
     Err(OrbError::NoApplicableProtocol { offered: or.offered() })
@@ -184,6 +248,70 @@ mod tests {
         let or = or_with(vec![], Location::new(0, 0));
         let pool = ProtoPool::new().with(proto(ProtocolId::TCP, ApplicabilityRule::Always));
         assert!(select(&or, &pool, &Location::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn open_breaker_fails_over_to_next_entry() {
+        use ohpc_resilience::HealthRegistry;
+        use ohpc_telemetry::ManualClock;
+        let or = or_with(
+            vec![
+                ProtoEntry::endpoint(ProtocolId::SHM, "mem://1"),
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+            ],
+            Location::new(0, 0),
+        );
+        let pool = ProtoPool::new()
+            .with(proto(ProtocolId::SHM, ApplicabilityRule::Always))
+            .with(proto(ProtocolId::TCP, ApplicabilityRule::Always));
+        let health = HealthRegistry::with_clock(Arc::new(ManualClock::new()));
+        let k = health_key(&or.protocols[0]);
+        for _ in 0..3 {
+            health.record_failure(&k);
+        }
+        let sel =
+            select_with_health(&or, &pool, &Location::new(0, 0), Some(&health)).unwrap();
+        assert_eq!(sel.index, 1, "breaker-open entry skipped");
+        assert_eq!(sel.proto.protocol_id(), ProtocolId::TCP);
+
+        // Without the registry the preferred entry still wins.
+        let sel = select_with_health(&or, &pool, &Location::new(0, 0), None).unwrap();
+        assert_eq!(sel.index, 0);
+    }
+
+    #[test]
+    fn all_breakers_open_still_selects_preferred_entry() {
+        use ohpc_resilience::HealthRegistry;
+        use ohpc_telemetry::ManualClock;
+        let or = or_with(
+            vec![
+                ProtoEntry::endpoint(ProtocolId::SHM, "mem://1"),
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+            ],
+            Location::new(0, 0),
+        );
+        let pool = ProtoPool::new()
+            .with(proto(ProtocolId::SHM, ApplicabilityRule::Always))
+            .with(proto(ProtocolId::TCP, ApplicabilityRule::Always));
+        let health = HealthRegistry::with_clock(Arc::new(ManualClock::new()));
+        for entry in &or.protocols {
+            let k = health_key(entry);
+            for _ in 0..3 {
+                health.record_failure(&k);
+            }
+        }
+        // A breaker may redirect traffic but never refuse it outright: with
+        // every row denied, the preferred row is selected as the probe.
+        let sel =
+            select_with_health(&or, &pool, &Location::new(0, 0), Some(&health)).unwrap();
+        assert_eq!(sel.index, 0);
+    }
+
+    #[test]
+    fn glue_and_plain_entry_share_a_health_key() {
+        let inner = ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1");
+        let glued = ProtoEntry::glue(7, vec![], inner.clone());
+        assert_eq!(health_key(&inner), health_key(&glued));
     }
 
     #[test]

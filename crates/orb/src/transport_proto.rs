@@ -69,6 +69,15 @@ impl TransportProto {
         Ok((conn, false))
     }
 
+    /// One request/reply over a pooled connection, distinguishing failure
+    /// phases: a dial or send failure means the frame never left this
+    /// process ([`OrbError::Transport`], always safe to retry), while a recv
+    /// failure happens after the frame was handed to the fabric — the server
+    /// may have executed the request — so it surfaces as
+    /// [`OrbError::AmbiguousTransport`] and is never transparently re-sent
+    /// here. Idempotency-aware retry lives in the GP, which knows the
+    /// request's semantics; this layer only retries the provably-unsent
+    /// case of a stale cached connection.
     fn exchange(
         &self,
         ep: &Endpoint,
@@ -76,15 +85,13 @@ impl TransportProto {
     ) -> Result<bytes::Bytes, OrbError> {
         for attempt in 0..2 {
             let (conn, was_cached) = self.connection(ep)?;
-            let result = {
-                let mut guard = conn.lock();
-                guard.send(frame).and_then(|_| guard.recv())
-            };
-            match result {
-                Ok(f) => return Ok(f),
+            let mut guard = conn.lock();
+            match guard.send(frame) {
                 Err(e) => {
-                    // A dead cached connection must not poison future calls;
-                    // retry exactly once with a fresh dial.
+                    // The frame was not delivered. A dead cached connection
+                    // must not poison future calls; retry exactly once with
+                    // a fresh dial.
+                    drop(guard);
                     self.forget(ep);
                     if !(was_cached && attempt == 0) {
                         return Err(e.into());
@@ -93,6 +100,17 @@ impl TransportProto {
                         "orb_transport_retries_total",
                         &[("protocol", &self.id.to_string())],
                     );
+                }
+                Ok(()) => {
+                    let received = guard.recv();
+                    drop(guard);
+                    match received {
+                        Ok(f) => return Ok(f),
+                        Err(e) => {
+                            self.forget(ep);
+                            return Err(OrbError::AmbiguousTransport(e));
+                        }
+                    }
                 }
             }
         }
@@ -245,7 +263,13 @@ impl ProtoObject for NexusProto {
             Ok(b) => b,
             Err(e) => {
                 self.startpoints.lock().remove(&ep);
-                return Err(nexus_to_orb(e));
+                // The RSR layer merges send and receive into one call, so a
+                // transport failure here cannot be proven to predate
+                // delivery: classify it as ambiguous.
+                return Err(match nexus_to_orb(e) {
+                    OrbError::Transport(t) => OrbError::AmbiguousTransport(t),
+                    other => other,
+                });
             }
         };
         let reply = ReplyMessage::from_frame(&reply_bytes)?;
@@ -353,16 +377,20 @@ mod tests {
             glue: None,
             body: Bytes::new(),
         };
-        // Server accepts then drops immediately — recv on client fails.
+        // Server accepts, consumes the request, then drops without replying —
+        // the client's send succeeds and its recv fails.
         let h = std::thread::spawn({
             let mut listener = listener;
             move || {
-                let conn = listener.accept().unwrap();
+                let mut conn = listener.accept().unwrap();
+                let _ = conn.recv();
                 drop(conn);
             }
         });
         let err = proto.invoke(&pool, &entry, &req).unwrap_err();
-        assert!(matches!(err, OrbError::Transport(_)));
+        // The frame was sent before the peer vanished, so the failure is
+        // ambiguous — the server may have processed it.
+        assert!(matches!(err, OrbError::AmbiguousTransport(_)), "{err}");
         assert_eq!(proto.cached_connections(), 0, "dead connection evicted");
         h.join().unwrap();
     }

@@ -1,0 +1,84 @@
+//! Retryable vs permanent: the error taxonomy retry policy runs on.
+
+use ohpc_transport::TransportError;
+
+/// How a failed invocation attempt relates to the retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The request provably never reached the server (dial refused, send
+    /// failed before the frame was handed over). Safe to retry for any
+    /// request.
+    Retryable,
+    /// The request was sent but no reply arrived: the server may or may not
+    /// have executed it. Only idempotent requests may be retried.
+    Ambiguous,
+    /// Retrying cannot help (malformed endpoint, oversized frame,
+    /// application-level failure). The error surfaces immediately.
+    Permanent,
+}
+
+impl ErrorClass {
+    /// Label used in telemetry (`resilience_*{class=...}`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorClass::Retryable => "retryable",
+            ErrorClass::Ambiguous => "ambiguous",
+            ErrorClass::Permanent => "permanent",
+        }
+    }
+}
+
+/// Classifies a transport failure that occurred *before* the request frame
+/// was handed to the fabric. Failures after the frame was sent must be
+/// promoted to [`ErrorClass::Ambiguous`] by the caller (only it knows the
+/// phase); [`classify`] never returns `Ambiguous` itself.
+///
+/// - `ConnectionRefused`, `Closed`, `Io` are transient conditions of the
+///   fabric or the peer: another attempt (possibly down the OR table) can
+///   succeed.
+/// - `FrameTooLarge` and `WrongEndpoint` are properties of the request or
+///   the OR entry itself: no number of retries changes them.
+pub fn classify(e: &TransportError) -> ErrorClass {
+    match e {
+        TransportError::ConnectionRefused(_)
+        | TransportError::Closed
+        | TransportError::Io(_) => ErrorClass::Retryable,
+        TransportError::FrameTooLarge(_) | TransportError::WrongEndpoint(_) => {
+            ErrorClass::Permanent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_kinds_are_retryable() {
+        assert_eq!(classify(&TransportError::Closed), ErrorClass::Retryable);
+        assert_eq!(
+            classify(&TransportError::ConnectionRefused("mem://1".into())),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            classify(&TransportError::Io("timed out: link partitioned".into())),
+            ErrorClass::Retryable
+        );
+    }
+
+    #[test]
+    fn structural_kinds_are_permanent() {
+        assert_eq!(classify(&TransportError::FrameTooLarge(1 << 30)), ErrorClass::Permanent);
+        assert_eq!(
+            classify(&TransportError::WrongEndpoint("tcp://h:1".into())),
+            ErrorClass::Permanent
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ErrorClass::Retryable.label(), "retryable");
+        assert_eq!(ErrorClass::Ambiguous.label(), "ambiguous");
+        assert_eq!(ErrorClass::Permanent.label(), "permanent");
+    }
+}

@@ -1,0 +1,205 @@
+//! Retry budgets and deterministic exponential backoff.
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixer. Used to
+/// derive backoff jitter from `(seed, salt, attempt)` so two runs with the
+/// same seed produce bit-identical schedules — the netsim property every
+/// experiment in this repo relies on. Public because the fault-injection
+/// harness reuses it for its probabilistic schedules.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-request invocation policy: how many attempts, how long in total, and
+/// how to space them out.
+///
+/// `max_attempts` counts the first try: `max_attempts == 1` disables
+/// retries entirely. The deadline is a budget measured from the first
+/// attempt against the pluggable clock; once `deadline_ns` would be
+/// exceeded (including the pending backoff sleep) the invocation fails with
+/// a deadline error rather than sleeping past its budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Overall budget in clock nanoseconds (None = unbounded).
+    pub deadline_ns: Option<u64>,
+    /// Backoff before the first retry.
+    pub base_backoff_ns: u64,
+    /// Multiplier applied per retry (2 = classic doubling).
+    pub multiplier: u32,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff_ns: u64,
+    /// Jitter amplitude in permille of the computed backoff (200 = ±20%).
+    pub jitter_per_mille: u32,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Whether requests issued under this policy may be re-sent after an
+    /// ambiguous (sent-but-no-reply) outcome. Defaults to false: at-most-once
+    /// unless the caller declares idempotency.
+    pub idempotent: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            deadline_ns: None,
+            base_backoff_ns: 1_000_000,      // 1 ms
+            multiplier: 2,
+            max_backoff_ns: 100_000_000,     // 100 ms
+            jitter_per_mille: 200,
+            seed: 0,
+            idempotent: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn no_retries() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// Builder: total attempts including the first.
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Builder: overall deadline in nanoseconds.
+    pub fn with_deadline_ns(mut self, deadline_ns: u64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Builder: backoff shape.
+    pub fn with_backoff_ns(mut self, base: u64, multiplier: u32, cap: u64) -> Self {
+        self.base_backoff_ns = base;
+        self.multiplier = multiplier.max(1);
+        self.max_backoff_ns = cap.max(base);
+        self
+    }
+
+    /// Builder: jitter seed (derive it from the experiment seed for
+    /// reproducible runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: declares every request under this policy idempotent, making
+    /// ambiguous outcomes retryable.
+    pub fn assume_idempotent(mut self) -> Self {
+        self.idempotent = true;
+        self
+    }
+
+    /// Backoff before retry number `retry` (0-based: the sleep between the
+    /// first and second attempt is `backoff_ns(0, …)`). `salt` should vary
+    /// per logical request (e.g. the request id) so concurrent callers do
+    /// not thunder in lockstep, while staying deterministic for a given
+    /// (seed, salt, retry) triple.
+    pub fn backoff_ns(&self, retry: u32, salt: u64) -> u64 {
+        let mut exp = self.base_backoff_ns;
+        for _ in 0..retry {
+            exp = exp.saturating_mul(u64::from(self.multiplier));
+            if exp >= self.max_backoff_ns {
+                break;
+            }
+        }
+        let exp = exp.min(self.max_backoff_ns);
+        let j = u64::from(self.jitter_per_mille.min(999));
+        if j == 0 || exp == 0 {
+            return exp;
+        }
+        // Deterministic factor in [1000 - j, 1000 + j] permille.
+        let h = splitmix64(self.seed ^ salt.rotate_left(17) ^ u64::from(retry));
+        let factor = 1000 - j + (h % (2 * j + 1));
+        exp / 1000 * factor + exp % 1000 * factor / 1000
+    }
+
+    /// Absolute deadline for an invocation that started at `start_ns`.
+    pub fn deadline_from(&self, start_ns: u64) -> Option<u64> {
+        self.deadline_ns.map(|d| start_ns.saturating_add(d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_for_same_inputs() {
+        let p = RetryPolicy::default().with_seed(42);
+        let q = RetryPolicy::default().with_seed(42);
+        for retry in 0..6 {
+            for salt in [0u64, 1, 999] {
+                assert_eq!(p.backoff_ns(retry, salt), q.backoff_ns(retry, salt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let p = RetryPolicy::default().with_seed(1);
+        let q = RetryPolicy::default().with_seed(2);
+        let diverged = (0..8).any(|r| p.backoff_ns(r, 7) != q.backoff_ns(r, 7));
+        assert!(diverged, "jitter must depend on the seed");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter_per_mille: 0,
+            base_backoff_ns: 1_000,
+            multiplier: 2,
+            max_backoff_ns: 8_000,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_ns(0, 0), 1_000);
+        assert_eq!(p.backoff_ns(1, 0), 2_000);
+        assert_eq!(p.backoff_ns(2, 0), 4_000);
+        assert_eq!(p.backoff_ns(3, 0), 8_000);
+        assert_eq!(p.backoff_ns(10, 0), 8_000, "capped");
+        assert_eq!(p.backoff_ns(63, 0), 8_000, "no overflow at large retry counts");
+    }
+
+    #[test]
+    fn jitter_stays_within_amplitude() {
+        let p = RetryPolicy {
+            jitter_per_mille: 200,
+            base_backoff_ns: 1_000_000,
+            multiplier: 1,
+            max_backoff_ns: 1_000_000,
+            ..RetryPolicy::default()
+        };
+        for salt in 0..200 {
+            let b = p.backoff_ns(0, salt);
+            assert!((800_000..=1_200_000).contains(&b), "jittered backoff {b} out of band");
+        }
+    }
+
+    #[test]
+    fn no_retries_policy_has_single_attempt() {
+        assert_eq!(RetryPolicy::no_retries().max_attempts, 1);
+        assert_eq!(RetryPolicy::default().with_attempts(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn deadline_from_saturates() {
+        let p = RetryPolicy::default().with_deadline_ns(100);
+        assert_eq!(p.deadline_from(u64::MAX), Some(u64::MAX));
+        assert_eq!(p.deadline_from(50), Some(150));
+        assert_eq!(RetryPolicy::default().deadline_from(50), None);
+    }
+
+    #[test]
+    fn splitmix_is_a_bijection_sample() {
+        // Distinct inputs keep distinct outputs (sanity, not proof).
+        let outs: std::collections::HashSet<u64> = (0..1000).map(splitmix64).collect();
+        assert_eq!(outs.len(), 1000);
+    }
+}

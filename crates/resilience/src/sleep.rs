@@ -1,0 +1,71 @@
+//! How backoff waits.
+
+use std::sync::Arc;
+
+/// Strategy for spending a backoff delay. Production sleeps the thread;
+/// simulations advance a virtual clock instead so retries cost virtual, not
+/// wall, time.
+pub trait Sleeper: Send + Sync {
+    /// Blocks (or simulates blocking) for `ns` nanoseconds.
+    fn sleep_ns(&self, ns: u64);
+}
+
+/// Real wall-clock sleep.
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep_ns(&self, ns: u64) {
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+}
+
+/// Sleeps by running a closure — the netsim harness passes one that advances
+/// the simulation's `VirtualClock`, keeping backoff on the virtual timeline.
+pub struct FnSleeper(Arc<dyn Fn(u64) + Send + Sync>);
+
+impl FnSleeper {
+    /// Wraps the closure.
+    pub fn new(f: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(f))
+    }
+}
+
+impl Sleeper for FnSleeper {
+    fn sleep_ns(&self, ns: u64) {
+        (self.0)(ns)
+    }
+}
+
+/// Ignores the delay entirely (unit tests that only care about attempt
+/// counts).
+pub struct NoopSleeper;
+
+impl Sleeper for NoopSleeper {
+    fn sleep_ns(&self, _ns: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn fn_sleeper_runs_the_closure() {
+        let total = Arc::new(AtomicU64::new(0));
+        let t = total.clone();
+        let s = FnSleeper::new(move |ns| {
+            t.fetch_add(ns, Ordering::Relaxed);
+        });
+        s.sleep_ns(100);
+        s.sleep_ns(250);
+        assert_eq!(total.load(Ordering::Relaxed), 350);
+    }
+
+    #[test]
+    fn thread_sleeper_zero_is_instant() {
+        ThreadSleeper.sleep_ns(0);
+        NoopSleeper.sleep_ns(u64::MAX);
+    }
+}

@@ -48,5 +48,5 @@ mod snapshot;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use metrics::{default_latency_bounds_ns, Counter, Gauge, Histogram};
-pub use registry::{add, counter, histogram, inc, observe_ns, span, Registry, Span};
+pub use registry::{add, counter, gauge, histogram, inc, observe_ns, span, Registry, Span};
 pub use snapshot::{HistogramSnapshot, Sample, Snapshot, Value};

@@ -261,6 +261,11 @@ pub fn counter(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
     Registry::global().counter(name, labels)
 }
 
+/// Global-registry shorthand for [`Registry::gauge`].
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    Registry::global().gauge(name, labels)
+}
+
 /// Global-registry shorthand for [`Registry::histogram`].
 pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
     Registry::global().histogram(name, labels)

@@ -81,6 +81,13 @@ impl SimFabric {
         to_machine: u32,
         port: u32,
     ) -> Result<SimConnection, TransportError> {
+        // Connection setup costs one small-message RTT equivalent — and is
+        // the first place an injected partition or crash surfaces: the
+        // handshake times out instead of completing ("timed out" marks the
+        // error as a timeout for transport telemetry).
+        self.net
+            .try_transfer(from, MachineId(to_machine), FRAME_WIRE_OVERHEAD)
+            .map_err(|fault| TransportError::Io(format!("timed out: {fault}")))?;
         let pending_tx = {
             let st = self.state.lock();
             st.listeners
@@ -110,8 +117,6 @@ impl SimFabric {
         pending_tx
             .send(server)
             .map_err(|_| TransportError::ConnectionRefused(format!("sim://M{to_machine}:{port}")))?;
-        // Connection setup itself costs one small-message RTT equivalent.
-        self.net.transfer(from, remote, FRAME_WIRE_OVERHEAD);
         Ok(client)
     }
 
@@ -154,11 +159,17 @@ impl Connection for SimConnection {
         } else {
             // Charge the wire before delivery: the receiver cannot see the
             // frame earlier than its simulated arrival because the sender only
-            // enqueues it after advancing the clock.
-            self.net.transfer(self.local, self.remote, frame.len() + FRAME_WIRE_OVERHEAD);
-            self.tx
-                .send(Bytes::copy_from_slice(frame))
-                .map_err(|_| TransportError::Closed)
+            // enqueues it after advancing the clock. A partitioned link or
+            // crashed peer fails here, *before* the frame is enqueued — the
+            // receiver never observes a frame the simulated wire dropped.
+            match self.net.try_transfer(self.local, self.remote, frame.len() + FRAME_WIRE_OVERHEAD)
+            {
+                Ok(_) => self
+                    .tx
+                    .send(Bytes::copy_from_slice(frame))
+                    .map_err(|_| TransportError::Closed),
+                Err(fault) => Err(TransportError::Io(format!("timed out: {fault}"))),
+            }
         };
         telem::track_send("sim", frame.len(), r)
     }
@@ -285,6 +296,48 @@ mod tests {
             fabric.dialer(m0).dial(&Endpoint::Mem(0)).unwrap_err(),
             TransportError::WrongEndpoint(_)
         ));
+    }
+
+    #[test]
+    fn partitioned_link_times_out_dial_and_send() {
+        let (fabric, [m0, _, _, m3]) = fabric();
+        let mut listener = fabric.listen(m3);
+        let ep = listener.endpoint();
+
+        // Established connection first, then the partition hits.
+        let mut c = fabric.dialer(m0).dial(&ep).unwrap();
+        let mut s = listener.accept().unwrap();
+        c.send(b"before").unwrap();
+        assert_eq!(&s.recv().unwrap()[..], b"before");
+
+        fabric.net().partition(m0, m3);
+        let err = c.send(b"during").unwrap_err();
+        assert!(
+            matches!(&err, TransportError::Io(m) if m.contains("timed out")),
+            "partition must look like a timeout, got {err:?}"
+        );
+        // New dials fail the same way; the reverse direction too.
+        assert!(fabric.dialer(m0).dial(&ep).is_err());
+        assert!(matches!(s.send(b"reply"), Err(TransportError::Io(_))));
+
+        // Heal: established connection works again without re-dialing.
+        fabric.net().heal(m0, m3);
+        c.send(b"after").unwrap();
+        assert_eq!(&s.recv().unwrap()[..], b"after");
+    }
+
+    #[test]
+    fn crashed_server_machine_refuses_all_traffic() {
+        let (fabric, [m0, _, _, m3]) = fabric();
+        let mut listener = fabric.listen(m3);
+        let ep = listener.endpoint();
+        fabric.net().crash(m3);
+        assert!(fabric.dialer(m0).dial(&ep).is_err());
+        fabric.net().restart(m3);
+        let mut c = fabric.dialer(m0).dial(&ep).unwrap();
+        let mut s = listener.accept().unwrap();
+        c.send(b"up again").unwrap();
+        assert_eq!(&s.recv().unwrap()[..], b"up again");
     }
 
     #[test]

@@ -1,10 +1,21 @@
 //! Fault-injection wrappers for testing error paths.
 //!
-//! Production code paths that matter most — reconnects, error mapping,
-//! capability failure propagation — only run when transports fail. The
-//! [`FlakyDialer`] wraps any real dialer and fails operations on a
+//! Production code paths that matter most — reconnects, retries, error
+//! mapping, capability failure propagation — only run when transports fail.
+//! The [`FlakyDialer`] wraps any real dialer and fails operations on a
 //! deterministic schedule, so those paths get exercised repeatedly and
 //! reproducibly instead of only when the network misbehaves.
+//!
+//! Two scheduling modes, both deterministic:
+//!
+//! - [`FaultPlan::every`] — fail every Nth operation, exactly;
+//! - [`FaultPlan::probabilistic`] — fail each operation with a fixed
+//!   probability drawn from a seeded hash stream, so `OHPC_FAULT_SEED=7`
+//!   reproduces the identical fault pattern on every run.
+//!
+//! Plans also count what they injected, per [`FaultKind`], so a test can
+//! assert its faults actually fired instead of silently passing on a
+//! schedule that never triggered.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,6 +24,44 @@ use bytes::Bytes;
 
 use crate::{Connection, Dialer, Endpoint, TransportError};
 
+/// Which operation a fault was injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A refused dial.
+    Dial,
+    /// A failed send.
+    Send,
+    /// A failed receive.
+    Recv,
+    /// A delivered-but-corrupted frame (one byte flipped).
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Label for logs and assertions.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Dial => "dial",
+            FaultKind::Send => "send",
+            FaultKind::Recv => "recv",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// The splitmix64 finalizer (mirrors `ohpc_resilience::splitmix64`; inlined
+/// here because resilience depends on this crate, not the other way round).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Domain separator so the corruption stream never correlates with the
+/// failure stream for the same seed.
+const CORRUPT_STREAM: u64 = 0x0C0E_EE1E_BADF_00D5;
+
 /// Shared failure schedule: operation indices (dial/send/recv counted
 /// together) that should fail. Deterministic and inspectable.
 #[derive(Debug, Default)]
@@ -20,18 +69,58 @@ pub struct FaultPlan {
     counter: AtomicU64,
     /// Fail every Nth operation (0 = never).
     every: u64,
+    /// Fail each operation with probability `fail_per_mille`/1000.
+    fail_per_mille: u32,
+    /// Corrupt each delivered frame with probability
+    /// `corrupt_per_mille`/1000.
+    corrupt_per_mille: u32,
+    seed: u64,
     injected: AtomicU64,
+    dial_faults: AtomicU64,
+    send_faults: AtomicU64,
+    recv_faults: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 impl FaultPlan {
     /// Fails every `every`-th operation (1-based; `0` disables injection).
     pub fn every(every: u64) -> Arc<Self> {
-        Arc::new(Self { counter: AtomicU64::new(0), every, injected: AtomicU64::new(0) })
+        Arc::new(Self { every, ..Self::default() })
     }
 
-    /// Number of faults injected so far.
+    /// Fails each operation with probability `fail_per_mille`/1000, drawn
+    /// deterministically from `seed` — the same seed always produces the
+    /// same fault pattern.
+    pub fn probabilistic(fail_per_mille: u32, seed: u64) -> Arc<Self> {
+        Arc::new(Self { fail_per_mille: fail_per_mille.min(1000), seed, ..Self::default() })
+    }
+
+    /// [`probabilistic`](Self::probabilistic) failures plus seeded frame
+    /// corruption: each frame that does arrive is corrupted (one byte
+    /// flipped) with probability `corrupt_per_mille`/1000.
+    pub fn chaos(fail_per_mille: u32, corrupt_per_mille: u32, seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            fail_per_mille: fail_per_mille.min(1000),
+            corrupt_per_mille: corrupt_per_mille.min(1000),
+            seed,
+            ..Self::default()
+        })
+    }
+
+    /// Total faults injected so far, corruption included.
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected into one kind of operation.
+    pub fn injected_of(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::Dial => &self.dial_faults,
+            FaultKind::Send => &self.send_faults,
+            FaultKind::Recv => &self.recv_faults,
+            FaultKind::Corrupt => &self.corruptions,
+        }
+        .load(Ordering::Relaxed)
     }
 
     /// Total operations observed.
@@ -39,14 +128,50 @@ impl FaultPlan {
         self.counter.load(Ordering::Relaxed)
     }
 
-    fn should_fail(&self) -> bool {
+    fn record(&self, kind: FaultKind) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            FaultKind::Dial => &self.dial_faults,
+            FaultKind::Send => &self.send_faults,
+            FaultKind::Recv => &self.recv_faults,
+            FaultKind::Corrupt => &self.corruptions,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn should_fail(&self, kind: FaultKind) -> bool {
         let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.every != 0 && n % self.every == 0 {
-            self.injected.fetch_add(1, Ordering::Relaxed);
-            true
+        let fail = if self.every != 0 {
+            n % self.every == 0
+        } else if self.fail_per_mille != 0 {
+            splitmix64(self.seed ^ n) % 1000 < u64::from(self.fail_per_mille)
         } else {
             false
+        };
+        if fail {
+            self.record(kind);
         }
+        fail
+    }
+
+    /// Possibly flips one byte of a delivered frame, per the corruption
+    /// schedule. Length is preserved: corruption models a payload bit-flip,
+    /// not truncation (framing handles lengths separately).
+    fn maybe_corrupt(&self, frame: Bytes) -> Bytes {
+        if self.corrupt_per_mille == 0 || frame.is_empty() {
+            return frame;
+        }
+        let n = self.counter.load(Ordering::Relaxed);
+        let h = splitmix64(self.seed ^ n ^ CORRUPT_STREAM);
+        if h % 1000 >= u64::from(self.corrupt_per_mille) {
+            return frame;
+        }
+        self.record(FaultKind::Corrupt);
+        let mut buf = frame.to_vec();
+        let idx = (splitmix64(h) as usize) % buf.len();
+        // ohpc-analyze: allow(panic-freedom) — idx is reduced mod the non-empty buffer length
+        buf[idx] ^= 0x40;
+        Bytes::from(buf)
     }
 }
 
@@ -65,7 +190,7 @@ impl FlakyDialer {
 
 impl Dialer for FlakyDialer {
     fn dial(&self, endpoint: &Endpoint) -> Result<Box<dyn Connection>, TransportError> {
-        if self.plan.should_fail() {
+        if self.plan.should_fail(FaultKind::Dial) {
             return Err(TransportError::ConnectionRefused(format!(
                 "injected fault dialing {endpoint}"
             )));
@@ -82,17 +207,18 @@ struct FlakyConnection {
 
 impl Connection for FlakyConnection {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        if self.plan.should_fail() {
+        if self.plan.should_fail(FaultKind::Send) {
             return Err(TransportError::Closed);
         }
         self.inner.send(frame)
     }
 
     fn recv(&mut self) -> Result<Bytes, TransportError> {
-        if self.plan.should_fail() {
+        if self.plan.should_fail(FaultKind::Recv) {
             return Err(TransportError::Closed);
         }
-        self.inner.recv()
+        let frame = self.inner.recv()?;
+        Ok(self.plan.maybe_corrupt(frame))
     }
 }
 
@@ -105,20 +231,80 @@ mod tests {
     #[test]
     fn plan_counts_and_injects_on_schedule() {
         let plan = FaultPlan::every(3);
-        let outcomes: Vec<bool> = (0..9).map(|_| plan.should_fail()).collect();
+        let outcomes: Vec<bool> = (0..9).map(|_| plan.should_fail(FaultKind::Send)).collect();
         assert_eq!(
             outcomes,
             vec![false, false, true, false, false, true, false, false, true]
         );
         assert_eq!(plan.injected(), 3);
+        assert_eq!(plan.injected_of(FaultKind::Send), 3);
+        assert_eq!(plan.injected_of(FaultKind::Dial), 0);
         assert_eq!(plan.operations(), 9);
     }
 
     #[test]
     fn zero_disables_injection() {
         let plan = FaultPlan::every(0);
-        assert!((0..100).all(|_| !plan.should_fail()));
+        assert!((0..100).all(|_| !plan.should_fail(FaultKind::Recv)));
         assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn probabilistic_mode_is_seed_deterministic() {
+        let a = FaultPlan::probabilistic(300, 42);
+        let b = FaultPlan::probabilistic(300, 42);
+        let sa: Vec<bool> = (0..500).map(|_| a.should_fail(FaultKind::Send)).collect();
+        let sb: Vec<bool> = (0..500).map(|_| b.should_fail(FaultKind::Send)).collect();
+        assert_eq!(sa, sb, "same seed, same schedule");
+        // The rate lands near 30% of 500 ops (loose band; this asserts the
+        // probability is wired up, not a statistical property).
+        assert!((80..=220).contains(&a.injected()), "{}", a.injected());
+
+        let c = FaultPlan::probabilistic(300, 43);
+        let sc: Vec<bool> = (0..500).map(|_| c.should_fail(FaultKind::Send)).collect();
+        assert_ne!(sa, sc, "different seeds diverge");
+    }
+
+    #[test]
+    fn per_kind_counters_attribute_faults() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let plan = FaultPlan::every(1); // everything fails
+        let dialer = FlakyDialer::new(Arc::new(fabric.clone()), plan.clone());
+        assert!(dialer.dial(&ep).is_err());
+        assert_eq!(plan.injected_of(FaultKind::Dial), 1);
+
+        // A working connection whose send/recv fail on schedule.
+        let ok_plan = FaultPlan::every(2); // dial ok, send FAIL, recv ok…
+        let dialer = FlakyDialer::new(Arc::new(fabric), ok_plan.clone());
+        let mut conn = dialer.dial(&ep).unwrap();
+        let _server = listener.accept().unwrap();
+        assert!(conn.send(b"x").is_err());
+        assert_eq!(ok_plan.injected_of(FaultKind::Send), 1);
+        assert_eq!(ok_plan.injected_of(FaultKind::Recv), 0);
+    }
+
+    #[test]
+    fn chaos_mode_corrupts_frames_without_truncating() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        // No hard failures, certain corruption.
+        let plan = FaultPlan::chaos(0, 1000, 7);
+        let dialer = FlakyDialer::new(Arc::new(fabric), plan.clone());
+        let mut conn = dialer.dial(&ep).unwrap();
+        let mut server = listener.accept().unwrap();
+        let payload = b"all your frame are belong to us";
+        server.send(payload).unwrap();
+        let got = conn.recv().unwrap();
+        assert_eq!(got.len(), payload.len(), "corruption preserves length");
+        assert_ne!(&got[..], payload, "frame was corrupted");
+        // Exactly one byte differs, by exactly one flipped bit pattern.
+        let diffs = got.iter().zip(payload.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+        assert_eq!(plan.injected_of(FaultKind::Corrupt), 1);
+        assert_eq!(plan.injected(), 1);
     }
 
     #[test]
@@ -137,5 +323,6 @@ mod tests {
         assert_eq!(&conn.recv().unwrap()[..], b"ack");
         assert_eq!(conn.send(b"two").unwrap_err(), TransportError::Closed);
         assert_eq!(plan.injected(), 1);
+        assert_eq!(plan.injected_of(FaultKind::Send), 1);
     }
 }

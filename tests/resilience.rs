@@ -1,0 +1,318 @@
+//! Resilience end-to-end: a replicated object with a two-entry OR table,
+//! where a network partition of the preferred endpoint drives health-scored
+//! failover down the protocol table, and a heal lets the breaker close and
+//! traffic return to the preferred replica. Plus property tests that
+//! arbitrary fault schedules never produce anything worse than a typed
+//! error, and that capability-chain symmetry survives failover.
+//!
+//! Seed-sensitive tests honour `OHPC_FAULT_SEED` so CI can sweep a matrix.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ohpc_apps::{WeatherClient, WeatherService, WeatherSkeleton};
+use ohpc_caps::{register_standard, AuthCap, CapScope, CompressionCap};
+use ohpc_compress::CodecKind;
+use ohpc_crypto::KeyStore;
+use ohpc_netsim::{Cluster, LanId, LinkProfile, MachineId, SimNet};
+use ohpc_orb::context::OrRow;
+use ohpc_orb::selection::health_key;
+use ohpc_orb::{
+    ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer, GlueProto,
+    ObjectReference, ProtoPool, ProtocolId, TransportProto,
+};
+use ohpc_resilience::{BreakerState, HealthRegistry, NoopSleeper};
+use ohpc_telemetry::{ManualClock, Registry};
+use ohpc_transport::mem::MemFabric;
+use ohpc_transport::sim::SimFabric;
+use ohpc_transport::testing::{FaultPlan, FlakyDialer};
+
+const KEY: &str = "k";
+
+fn registry() -> Arc<CapabilityRegistry> {
+    let reg = CapabilityRegistry::new();
+    let mut keys = KeyStore::new();
+    keys.add_key(KEY, b"resilience-suite");
+    register_standard(&reg, keys);
+    Arc::new(reg)
+}
+
+/// A three-machine world: one client and two replicas of the weather
+/// service. Both replica contexts deliberately share a [`ContextId`] so they
+/// mint the same [`ohpc_orb::ObjectId`] — which lets a single OR carry a
+/// preference-ordered table pointing at both endpoints, exactly the paper's
+/// "try the preferred row, fall down the table" model.
+struct Replicated {
+    net: SimNet,
+    fabric: SimFabric,
+    registry: Arc<CapabilityRegistry>,
+    client_m: MachineId,
+    a_m: MachineId,
+    ctx_a: Context,
+    ctx_b: Context,
+    /// Merged OR: `protocols[0]` is replica A (preferred), `[1]` replica B.
+    or: ObjectReference,
+}
+
+fn replicated(glue: bool) -> Replicated {
+    let (mut mc, mut ma, mut mb) = (MachineId(0), MachineId(0), MachineId(0));
+    let cluster = Cluster::builder()
+        .lan(LanId(0), LinkProfile::atm_155())
+        .machine("client", LanId(0), &mut mc)
+        .machine("primary", LanId(0), &mut ma)
+        .machine("backup", LanId(0), &mut mb)
+        .build();
+    let net = SimNet::new(cluster);
+    let fabric = SimFabric::new(net.clone());
+    let registry = registry();
+
+    let serve = |machine: MachineId| -> (Context, ObjectReference) {
+        let ctx =
+            Context::new(ContextId(7), net.cluster().location_of(machine), registry.clone());
+        let object = ctx.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+        ctx.serve(Box::new(fabric.listen(machine)), ProtocolId::TCP);
+        let row = if glue {
+            let glue_id = ctx
+                .add_glue(vec![
+                    CompressionCap::spec(CodecKind::Lzss, 64),
+                    AuthCap::spec(KEY, "resilience", CapScope::Always),
+                ])
+                .unwrap();
+            OrRow::Glue { glue_id, inner: ProtocolId::TCP }
+        } else {
+            OrRow::Plain(ProtocolId::TCP)
+        };
+        let or = ctx.make_or(object, &[row]).unwrap();
+        (ctx, or)
+    };
+    let (ctx_a, or_a) = serve(ma);
+    let (ctx_b, or_b) = serve(mb);
+    let mut or = or_a;
+    or.protocols.extend(or_b.protocols.iter().cloned());
+
+    Replicated { net, fabric, registry, client_m: mc, a_m: ma, ctx_a, ctx_b, or }
+}
+
+/// Client on the sim fabric with a virtual-time health registry (so breaker
+/// cooldowns are test-controlled) and no real backoff sleeps.
+fn sim_client(world: &Replicated, glue: bool) -> (WeatherClient, Arc<ManualClock>) {
+    let dialer = Arc::new(world.fabric.dialer(world.client_m));
+    let mut pool = ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        dialer,
+    )));
+    if glue {
+        pool = pool.with(Arc::new(GlueProto::new(world.registry.clone())));
+    }
+    let gp = GlobalPointer::new(
+        world.or.clone(),
+        Arc::new(pool),
+        world.net.cluster().location_of(world.client_m),
+    );
+    let clock = Arc::new(ManualClock::new());
+    gp.set_health_registry(Arc::new(HealthRegistry::with_clock(clock.clone())));
+    gp.set_sleeper(Arc::new(NoopSleeper));
+    (WeatherClient::new(gp), clock)
+}
+
+fn fault_seed() -> u64 {
+    std::env::var("OHPC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5EED)
+}
+
+#[test]
+fn partition_fails_over_down_the_table_and_heal_recovers() {
+    let w = replicated(false);
+    let (client, clock) = sim_client(&w, false);
+    let health = client.gp().health_registry();
+    let key_a = health_key(&w.or.protocols[0]);
+    let key_b = health_key(&w.or.protocols[1]);
+    assert_ne!(key_a, key_b, "replicas must have distinct health identities");
+
+    let before = Registry::global().snapshot();
+    let mut ok = 0u32;
+
+    // Phase 1 — healthy: every request lands on the preferred replica.
+    for _ in 0..200 {
+        assert_eq!(client.regions().unwrap().len(), 3);
+        ok += 1;
+    }
+    assert_eq!(w.ctx_a.requests_served(), 200);
+    assert_eq!(w.ctx_b.requests_served(), 0);
+
+    // Phase 2 — partition the preferred endpoint. The first request burns
+    // three attempts opening A's breaker, then fails over within its retry
+    // budget; every later request skips straight to B.
+    w.net.partition(w.client_m, w.a_m);
+    for _ in 0..600 {
+        assert_eq!(client.regions().unwrap().len(), 3, "failover must absorb the partition");
+        ok += 1;
+    }
+    assert_eq!(w.ctx_a.requests_served(), 200, "partitioned replica saw nothing new");
+    assert_eq!(w.ctx_b.requests_served(), 600, "every partitioned request failed over");
+    assert_eq!(health.state(&key_a), BreakerState::Open);
+    assert_eq!(health.state(&key_b), BreakerState::Closed);
+
+    // Phase 3 — heal, let the breaker cooldown elapse on the virtual clock:
+    // the half-open probe succeeds and traffic returns to the preferred row.
+    w.net.heal(w.client_m, w.a_m);
+    clock.advance(health.policy().cooldown_ns + 1);
+    for _ in 0..200 {
+        assert_eq!(client.regions().unwrap().len(), 3);
+        ok += 1;
+    }
+    assert_eq!(w.ctx_a.requests_served(), 400, "traffic returned to the preferred replica");
+    assert_eq!(w.ctx_b.requests_served(), 600, "backup is idle again");
+    assert_eq!(health.state(&key_a), BreakerState::Closed);
+
+    // ≥99% of 1k requests — in fact all of them — completed, zero panics.
+    assert_eq!(ok, 1000);
+
+    // Telemetry saw the failovers and both breaker transitions.
+    let after = Registry::global().snapshot();
+    let delta = |name: &str| {
+        after.counter_total(name).saturating_sub(before.counter_total(name))
+    };
+    assert!(delta("resilience_failover_total") >= 600, "failover counter must move");
+    let transition = |to: &str| {
+        after
+            .counter(
+                "resilience_breaker_transitions_total",
+                &[("protocol", "tcp"), ("endpoint", w.or.protocols[0].terminal_endpoint()), ("to", to)],
+            )
+            .unwrap_or(0)
+    };
+    assert!(transition("open") >= 1, "breaker open transition recorded");
+    assert!(transition("closed") >= 1, "breaker close transition recorded");
+    assert_eq!(
+        after.gauge(
+            "resilience_breaker_open",
+            &[("protocol", "tcp"), ("endpoint", w.or.protocols[0].terminal_endpoint())],
+        ),
+        Some(0),
+        "gauge shows the preferred breaker closed again"
+    );
+
+    w.ctx_a.shutdown();
+    w.ctx_b.shutdown();
+}
+
+#[test]
+fn failover_preserves_capability_chain_symmetry() {
+    // Both OR rows are glue entries (compress + authenticate). Failing over
+    // to the backup replica must still round-trip the chain: process on the
+    // client, unprocess on the *other* server, and back — byte-exact data.
+    let w = replicated(true);
+    let (client, _clock) = sim_client(&w, true);
+
+    let baseline = client.get_map("atlantic".to_string()).unwrap();
+    assert_eq!(baseline.len(), 128);
+    assert!(client.gp().last_protocol().unwrap().contains("glue"));
+
+    w.net.partition(w.client_m, w.a_m);
+    let via_backup = client.get_map("atlantic".to_string()).unwrap();
+    assert_eq!(via_backup, baseline, "chain symmetry must hold on the failover path");
+    assert!(client.gp().last_protocol().unwrap().contains("glue"));
+    assert!(w.ctx_b.requests_served() >= 1, "the backup actually served the call");
+
+    w.ctx_a.shutdown();
+    w.ctx_b.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over the in-process fabric with injected faults.
+// ---------------------------------------------------------------------------
+
+fn served_mem_context(fabric: &MemFabric) -> (Context, ObjectReference) {
+    let ctx = Context::new(ContextId(1), ohpc_netsim::Location::new(0, 0), registry());
+    let object = ctx.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    let or = ctx.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]).unwrap();
+    (ctx, or)
+}
+
+fn mem_client(fabric: &MemFabric, or: ObjectReference, plan: Arc<FaultPlan>) -> WeatherClient {
+    let dialer = FlakyDialer::new(Arc::new(fabric.clone()), plan);
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(TransportProto::new(
+        ProtocolId::TCP,
+        ApplicabilityRule::Always,
+        Arc::new(dialer),
+    ))));
+    let gp = GlobalPointer::new(or, pool, ohpc_netsim::Location::new(1, 1));
+    gp.set_sleeper(Arc::new(NoopSleeper));
+    WeatherClient::new(gp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under an arbitrary probabilistic fault schedule, every call either
+    /// succeeds with a full result or fails with a typed transport error —
+    /// no panics, no hangs, no partial data.
+    #[test]
+    fn arbitrary_fault_schedules_yield_ok_or_typed_errors(
+        fail_per_mille in 0u32..=350,
+        seed in any::<u64>(),
+    ) {
+        let fabric = MemFabric::new();
+        let (ctx, or) = served_mem_context(&fabric);
+        let client = mem_client(&fabric, or, FaultPlan::probabilistic(fail_per_mille, seed));
+        for _ in 0..40 {
+            match client.regions() {
+                Ok(r) => prop_assert!(r.len() == 3, "no partial results"),
+                Err(e) => prop_assert!(e.is_transport(), "typed transport error only, got: {}", e),
+            }
+        }
+        ctx.shutdown();
+    }
+}
+
+/// Chaos mode: probabilistic failures *plus* frame corruption, with an
+/// authenticating glue chain so a corrupted frame can never be silently
+/// accepted — it is either absorbed (retry/reconnect) or surfaces as a typed
+/// error, and every successful reply is bit-exact.
+#[test]
+fn chaos_with_corruption_never_yields_wrong_data() {
+    let seed = fault_seed();
+    let reg = registry();
+    let fabric = MemFabric::new();
+    let ctx = Context::new(ContextId(1), ohpc_netsim::Location::new(0, 0), reg.clone());
+    let object = ctx.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    ctx.serve(Box::new(fabric.listen()), ProtocolId::TCP);
+    let glue_id = ctx.add_glue(vec![AuthCap::spec(KEY, "chaos", CapScope::Always)]).unwrap();
+    let or = ctx.make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }]).unwrap();
+
+    let plan = FaultPlan::chaos(60, 80, seed);
+    let dialer = FlakyDialer::new(Arc::new(fabric.clone()), plan.clone());
+    let pool = Arc::new(
+        ProtoPool::new()
+            .with(Arc::new(GlueProto::new(reg)))
+            .with(Arc::new(TransportProto::new(
+                ProtocolId::TCP,
+                ApplicabilityRule::Always,
+                Arc::new(dialer),
+            ))),
+    );
+    let gp = GlobalPointer::new(or, pool, ohpc_netsim::Location::new(1, 1));
+    gp.set_sleeper(Arc::new(NoopSleeper));
+    let client = WeatherClient::new(gp);
+
+    let expected: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() * 20.0 + 10.0).collect();
+    let mut ok = 0u32;
+    for _ in 0..300 {
+        match client.get_map("midwest".to_string()) {
+            Ok(map) => {
+                assert_eq!(map, expected, "a corrupted frame must never decode to wrong data");
+                ok += 1;
+            }
+            Err(_e) => {
+                // Typed by construction (OrbError); corruption surfaces as an
+                // auth denial or a frame/XDR error, faults as transport errors.
+            }
+        }
+    }
+    assert!(ok >= 150, "most calls still succeed under chaos: {ok}/300");
+    assert!(plan.injected() > 0, "faults were injected");
+    ctx.shutdown();
+}
