@@ -26,6 +26,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod loadbalance;
+pub mod mux_contention;
 pub mod overhead;
 pub mod plot;
 pub mod setup;

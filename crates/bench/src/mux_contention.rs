@@ -1,0 +1,265 @@
+//! Wall-clock concurrent-clients benchmark: N client threads hammer one
+//! endpoint and we compare the multiplexed per-endpoint channel
+//! ([`PoolMode::Auto`] over a splittable transport) against the historical
+//! serialized wire ([`PoolMode::Striped`]`(1)`, one lock held across every
+//! exchange).
+//!
+//! The server sleeps a fixed per-request delay, so the wire either pipelines
+//! N requests into that delay (mux) or pays it N times in a row
+//! (serialized) — which is exactly the contention the multiplexed channel
+//! exists to remove. Unlike the simulator-driven figures, this harness runs
+//! on real threads and real time: it exercises the production reader-thread
+//! demux path end to end.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ohpc_orb::context::OrRow;
+use ohpc_orb::{
+    ApplicabilityRule, CapabilityRegistry, Context, ContextId, GlobalPointer, Location,
+    MethodError, PoolMode, ProtoPool, ProtocolId, RemoteObject, TransportProto,
+};
+use ohpc_resilience::HealthRegistry;
+use ohpc_transport::mem::MemFabric;
+use ohpc_xdr::{XdrReader, XdrWriter};
+
+/// Method slot of [`SlowEcho::dispatch`]'s echo method.
+pub const ECHO_METHOD: u32 = 1;
+
+/// An echo service that sleeps a fixed delay per request — the stand-in for
+/// any server-side work during which a serialized wire sits idle.
+pub struct SlowEcho {
+    delay: Duration,
+}
+
+impl SlowEcho {
+    /// Builds the service with the given per-request delay.
+    pub fn new(delay: Duration) -> Self {
+        Self { delay }
+    }
+}
+
+impl RemoteObject for SlowEcho {
+    fn type_name(&self) -> &str {
+        "SlowEcho"
+    }
+
+    fn dispatch(
+        &self,
+        method: u32,
+        args: &mut XdrReader<'_>,
+        out: &mut XdrWriter,
+    ) -> Result<(), MethodError> {
+        match method {
+            ECHO_METHOD => {
+                let token = args.get_u64().map_err(|e| MethodError::BadArgs(e.to_string()))?;
+                if !self.delay.is_zero() {
+                    std::thread::sleep(self.delay);
+                }
+                out.put_u64(token);
+                Ok(())
+            }
+            m => Err(MethodError::NoSuchMethod(m)),
+        }
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ContentionSample {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued per client thread.
+    pub requests_per_client: usize,
+    /// Total wall-clock time for all requests.
+    pub elapsed: Duration,
+    /// Aggregate requests per second.
+    pub throughput_rps: f64,
+}
+
+/// A mux-vs-serialized pair at one client count.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// [`PoolMode::Auto`] (multiplexed) measurement.
+    pub mux: ContentionSample,
+    /// [`PoolMode::Striped`]`(1)` (serialized baseline) measurement.
+    pub serialized: ContentionSample,
+}
+
+impl ContentionRow {
+    /// Mux throughput over serialized throughput.
+    pub fn speedup(&self) -> f64 {
+        if self.serialized.throughput_rps <= 0.0 {
+            return 0.0;
+        }
+        self.mux.throughput_rps / self.serialized.throughput_rps
+    }
+}
+
+/// Runs one configuration: `clients` threads sharing one [`GlobalPointer`]
+/// to a single endpoint, each issuing `requests_per_client` echo calls
+/// against a server that sleeps `delay` per request. Every reply is checked
+/// against the unique token its request carried, so the measurement doubles
+/// as a demux-routing correctness check.
+pub fn run_contention(
+    mode: PoolMode,
+    clients: usize,
+    requests_per_client: usize,
+    delay: Duration,
+) -> ContentionSample {
+    let fabric = MemFabric::new();
+    let registry = Arc::new(CapabilityRegistry::new());
+    let ctx = Context::new(ContextId(9_000), Location::new(0, 0), registry);
+    ctx.serve(Box::new(fabric.listen_on(1)), ProtocolId::TCP);
+    let object = ctx.register(Arc::new(SlowEcho::new(delay)));
+    let or = match ctx.make_or(object, &[OrRow::Plain(ProtocolId::TCP)]) {
+        Ok(or) => or,
+        Err(e) => {
+            // The context above always advertises TCP; surface loudly if not.
+            panic!("contention harness cannot mint an OR: {e}");
+        }
+    };
+
+    let proto = TransportProto::new(ProtocolId::TCP, ApplicabilityRule::Always, Arc::new(fabric))
+        .with_pool_mode(mode);
+    // Reader-thread deaths and exchange failures feed one shared registry.
+    let health = Arc::new(HealthRegistry::new());
+    proto.set_health_registry(health.clone());
+    let pool = Arc::new(ProtoPool::new().with(Arc::new(proto)));
+    let gp = Arc::new(GlobalPointer::new(or, pool, Location::new(1, 0)));
+    gp.set_health_registry(health);
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let gp = Arc::clone(&gp);
+            std::thread::spawn(move || {
+                for i in 0..requests_per_client {
+                    let token = ((c as u64) << 32) | i as u64;
+                    let mut args = XdrWriter::new();
+                    args.put_u64(token);
+                    let reply = match gp.invoke(ECHO_METHOD, &args) {
+                        Ok(b) => b,
+                        Err(e) => panic!("contention invoke failed: {e}"),
+                    };
+                    let echoed = XdrReader::new(&reply).get_u64().unwrap_or(u64::MAX);
+                    assert_eq!(echoed, token, "reply routed to the wrong caller");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        if w.join().is_err() {
+            panic!("contention worker panicked");
+        }
+    }
+    let elapsed = t0.elapsed();
+    ctx.shutdown();
+
+    let total = (clients * requests_per_client) as f64;
+    let secs = elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+    ContentionSample {
+        clients,
+        requests_per_client,
+        elapsed,
+        throughput_rps: total / secs,
+    }
+}
+
+/// Measures mux vs serialized across `client_counts`.
+pub fn sweep(
+    client_counts: &[usize],
+    requests_per_client: usize,
+    delay: Duration,
+) -> Vec<ContentionRow> {
+    client_counts
+        .iter()
+        .map(|&clients| ContentionRow {
+            clients,
+            mux: run_contention(PoolMode::Auto, clients, requests_per_client, delay),
+            serialized: run_contention(PoolMode::Striped(1), clients, requests_per_client, delay),
+        })
+        .collect()
+}
+
+/// Client counts to sweep: `OHPC_CONTENTION_CLIENTS` (comma-separated) when
+/// set and parseable, else `[1, 2, 4, 8]`.
+pub fn client_counts_from_env() -> Vec<usize> {
+    let parsed = std::env::var("OHPC_CONTENTION_CLIENTS").ok().map(|raw| {
+        raw.split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .collect::<Vec<_>>()
+    });
+    match parsed {
+        Some(counts) if !counts.is_empty() => counts,
+        _ => vec![1, 2, 4, 8],
+    }
+}
+
+/// Renders the sweep as the `BENCH_contention.json` artifact.
+pub fn contention_artifact(rows: &[ContentionRow], delay: Duration) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"contention\",\n");
+    out.push_str("  \"description\": \"concurrent clients, one endpoint: multiplexed channel vs serialized wire\",\n");
+    let _ = writeln!(out, "  \"server_delay_us\": {},", delay.as_micros());
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"clients\": {}, \"requests_per_client\": {}, \"mux_rps\": {:.1}, \"serialized_rps\": {:.1}, \"speedup\": {:.2}}}",
+            row.clients,
+            row.mux.requests_per_client,
+            row.mux.throughput_rps,
+            row.serialized.throughput_rps,
+            row.speedup(),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_counts_default_without_env() {
+        // Not setting the variable here (tests share the process env);
+        // the default path must produce the standard sweep.
+        if std::env::var("OHPC_CONTENTION_CLIENTS").is_err() {
+            assert_eq!(client_counts_from_env(), vec![1, 2, 4, 8]);
+        }
+    }
+
+    #[test]
+    fn artifact_is_valid_shape() {
+        let sample = ContentionSample {
+            clients: 2,
+            requests_per_client: 3,
+            elapsed: Duration::from_millis(6),
+            throughput_rps: 1000.0,
+        };
+        let rows = vec![ContentionRow {
+            clients: 2,
+            mux: sample.clone(),
+            serialized: ContentionSample { throughput_rps: 250.0, ..sample },
+        }];
+        let json = contention_artifact(&rows, Duration::from_millis(1));
+        assert!(json.contains("\"benchmark\": \"contention\""));
+        assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn tiny_contention_run_round_trips() {
+        let s = run_contention(PoolMode::Auto, 2, 3, Duration::from_micros(200));
+        assert_eq!(s.clients, 2);
+        assert!(s.throughput_rps > 0.0);
+    }
+}

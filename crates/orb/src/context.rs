@@ -326,6 +326,14 @@ impl Context {
     }
 
     fn serve_connection(&self, mut conn: Box<dyn Connection>) {
+        // Splittable transports get concurrent dispatch: clients multiplex
+        // many requests onto one connection, so handling them one at a time
+        // would re-serialize the wire server-side.
+        if let Some((tx, rx)) = conn.try_split() {
+            drop(conn);
+            self.serve_connection_split(tx, rx);
+            return;
+        }
         while let Ok(frame) = conn.recv() {
             if self.inner.stopping.load(Ordering::Acquire) {
                 return; // drop the connection: this context is gone
@@ -336,6 +344,55 @@ impl Context {
                     return;
                 }
             }
+        }
+    }
+
+    /// Concurrent server loop for split connections: the reader decodes
+    /// frames in arrival order, dispatches one-way requests **inline** (they
+    /// keep their ordering relative to everything read after them — clients
+    /// rely on "one-ways dispatched before a later two-way is answered"),
+    /// and hands each two-way request to its own thread. Reply writers share
+    /// the send half behind a lock; the transport's framing keeps
+    /// interleaved replies whole, and the client demultiplexes by request
+    /// id, so reply order does not matter.
+    fn serve_connection_split(
+        &self,
+        tx: Box<dyn ohpc_transport::SendHalf>,
+        mut rx: Box<dyn ohpc_transport::RecvHalf>,
+    ) {
+        let writer = Arc::new(Mutex::new(tx));
+        while let Ok(frame) = rx.recv() {
+            if self.inner.stopping.load(Ordering::Acquire) {
+                return; // drop the connection: this context is gone
+            }
+            let req = match RequestMessage::from_frame(&frame) {
+                Ok(r) => r,
+                Err(e) => {
+                    // We cannot know the request id; reply with id 0 and an
+                    // exception so the client at least unblocks.
+                    let reply = ReplyMessage::status(
+                        crate::ids::RequestId(0),
+                        ReplyStatus::Exception(format!("malformed request: {e}")),
+                    )
+                    .to_frame();
+                    if writer.lock().send(&reply).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if req.oneway {
+                let _ = self.handle_request(req);
+                continue;
+            }
+            let ctx = self.clone();
+            let writer = writer.clone();
+            // Reply threads are detached: each exits after one reply (or on
+            // a send error once the client hung up).
+            std::thread::spawn(move || {
+                let reply = ctx.handle_request(req).to_frame();
+                let _ = writer.lock().send(&reply);
+            });
         }
     }
 

@@ -153,6 +153,18 @@ impl ProtoObject for GlueProto {
         entry: &ProtoEntry,
         req: &RequestMessage,
     ) -> Result<ReplyMessage, OrbError> {
+        self.invoke_with_deadline(pool, entry, req, None)
+    }
+
+    /// Glue holds no wire of its own: the deadline budget is forwarded
+    /// verbatim to the inner (real) protocol's blocking wait.
+    fn invoke_with_deadline(
+        &self,
+        pool: &ProtoPool,
+        entry: &ProtoEntry,
+        req: &RequestMessage,
+        remaining_ns: Option<u64>,
+    ) -> Result<ReplyMessage, OrbError> {
         let (glue_id, specs, inner) = glue_parts(entry)?;
         if inner.id == ProtocolId::GLUE {
             return Err(OrbError::Protocol(
@@ -184,7 +196,7 @@ impl ProtoObject for GlueProto {
             body,
         };
 
-        let mut reply = inner_proto.invoke(pool, inner, &glued)?;
+        let mut reply = inner_proto.invoke_with_deadline(pool, inner, &glued, remaining_ns)?;
 
         // Inbound: un-apply the mirrored chain on successful replies.
         if reply.status == ReplyStatus::Ok {

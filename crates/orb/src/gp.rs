@@ -20,6 +20,15 @@ use crate::selection::{health_key, select_with_health, Selection};
 /// How many `Moved` forwards one invocation will chase before giving up.
 const MAX_FORWARDS: u32 = 8;
 
+/// Process-global request-id source. Ids must be unique across every GP in
+/// the process, not merely per-GP: GPs bound to the same endpoint share one
+/// multiplexed channel, and the demux reader routes replies by request id.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_request_id() -> RequestId {
+    RequestId(NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed))
+}
+
 /// A global pointer: an OR plus the local machinery to act on it.
 ///
 /// The GP re-runs protocol selection on *every* invocation (the paper's
@@ -49,7 +58,6 @@ pub struct GlobalPointer {
     or: RwLock<ObjectReference>,
     pool: Arc<ProtoPool>,
     local: Location,
-    next_request: AtomicU64,
     last_protocol: Mutex<Option<String>>,
     forwards_seen: AtomicU64,
     retry: Mutex<RetryPolicy>,
@@ -64,7 +72,6 @@ impl GlobalPointer {
             or: RwLock::new(or),
             pool,
             local,
-            next_request: AtomicU64::new(1),
             last_protocol: Mutex::new(None),
             forwards_seen: AtomicU64::new(0),
             retry: Mutex::new(RetryPolicy::default()),
@@ -178,7 +185,7 @@ impl GlobalPointer {
         *self.last_protocol.lock() = Some(selection.describe());
         let key = health_key(&selection.entry);
         let req = RequestMessage {
-            request_id: RequestId(self.next_request.fetch_add(1, Ordering::Relaxed)),
+            request_id: next_request_id(),
             object,
             method,
             oneway: true,
@@ -231,10 +238,10 @@ impl GlobalPointer {
         let deadline = policy.deadline_from(clock.now_ns());
         // Jitter salt: the request counter at entry, so concurrent callers
         // and successive invocations desynchronize deterministically.
-        let salt = self.next_request.load(Ordering::Relaxed);
+        let salt = NEXT_REQUEST_ID.load(Ordering::Relaxed);
         let mut failed_attempts: u32 = 0;
         loop {
-            let err = match self.attempt_once(method, &body, &health) {
+            let err = match self.attempt_once(method, &body, &health, deadline) {
                 Ok(reply_body) => return Ok(reply_body),
                 Err(e) => e,
             };
@@ -269,13 +276,18 @@ impl GlobalPointer {
     /// Forward rebinds are part of a single attempt — an object migrating is
     /// not a fault and does not consume retry budget. Every transport
     /// outcome feeds the health registry under the selected entry's terminal
-    /// (protocol, endpoint) key.
+    /// (protocol, endpoint) key. The remaining deadline budget (if any) is
+    /// recomputed per forward and handed down so transports can arm receive
+    /// timeouts — a hung server then fails the attempt instead of outliving
+    /// the policy's deadline.
     fn attempt_once(
         &self,
         method: u32,
         body: &Bytes,
         health: &Arc<HealthRegistry>,
+        deadline: Option<u64>,
     ) -> Result<Bytes, OrbError> {
+        let clock = health.clock();
         for _forward in 0..=MAX_FORWARDS {
             let (selection, object) = {
                 let or = self.or.read();
@@ -285,7 +297,7 @@ impl GlobalPointer {
             let key = health_key(&selection.entry);
 
             let req = RequestMessage {
-                request_id: RequestId(self.next_request.fetch_add(1, Ordering::Relaxed)),
+                request_id: next_request_id(),
                 object,
                 method,
                 oneway: false,
@@ -293,7 +305,13 @@ impl GlobalPointer {
                 body: body.clone(),
             };
 
-            let reply = match selection.proto.invoke(&self.pool, &selection.entry, &req) {
+            let remaining_ns = deadline.map(|d| d.saturating_sub(clock.now_ns()));
+            let reply = match selection.proto.invoke_with_deadline(
+                &self.pool,
+                &selection.entry,
+                &req,
+                remaining_ns,
+            ) {
                 Ok(reply) => {
                     // Any delivered reply proves the wire works, whatever
                     // the application-level status says.

@@ -77,6 +77,23 @@ pub trait ProtoObject: Send + Sync {
         req: &RequestMessage,
     ) -> Result<ReplyMessage, OrbError>;
 
+    /// Like [`invoke`](Self::invoke), carrying the caller's remaining
+    /// deadline budget (`None` = no deadline). Transport-backed protocols
+    /// arm a receive timeout from it so a hung (not crashed) server cannot
+    /// block past the [`ohpc_resilience::RetryPolicy`] deadline; the glue
+    /// pseudo-protocol forwards it to its inner protocol. The default
+    /// ignores the budget — correct for protocols without a blocking wait.
+    fn invoke_with_deadline(
+        &self,
+        pool: &ProtoPool,
+        entry: &ProtoEntry,
+        req: &RequestMessage,
+        remaining_ns: Option<u64>,
+    ) -> Result<ReplyMessage, OrbError> {
+        let _ = remaining_ns;
+        self.invoke(pool, entry, req)
+    }
+
     /// Fires a one-way request: no reply is read. The default performs a
     /// full round trip and discards the reply; transports that can genuinely
     /// fire-and-forget override it.

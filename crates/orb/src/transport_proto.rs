@@ -1,24 +1,50 @@
 //! Transport-backed protocol objects.
 //!
 //! [`TransportProto`] turns any [`ohpc_transport::Dialer`] into a
-//! proto-object: it owns a connection cache keyed by endpoint and performs
+//! proto-object: it owns a channel cache keyed by endpoint and performs
 //! synchronous request/reply over framed connections. The TCP, shared-memory
 //! and simulated-network protocol objects are all instances of it with
 //! different dialers and applicability rules — which is precisely the
 //! "proto-class" reuse the paper describes.
 //!
+//! Per-endpoint pooling comes in two shapes (see [`PoolMode`]):
+//!
+//! - **Multiplexed** (the default, when the transport's connections can
+//!   [split](ohpc_transport::Connection::try_split)): one connection per
+//!   endpoint, a writer lock held only for the framed send, and a dedicated
+//!   reader thread demultiplexing replies to waiters by `request_id`. N
+//!   concurrent invocations have N requests in flight on one wire.
+//! - **Striped**: K independent connections whose locks are held across the
+//!   whole exchange, for transports whose framing cannot interleave
+//!   concurrent requests (the simulated network, fault-injection wrappers).
+//!
+//! Two pooling rules apply everywhere in this module:
+//!
+//! - **Eviction is by identity, never by key.** A caller that observed a
+//!   channel fail evicts exactly that channel (`Arc` identity); a racing
+//!   caller may already have replaced it with a fresh healthy one which must
+//!   not become collateral damage.
+//! - **Publication re-checks under the lock.** Dialing happens outside the
+//!   cache lock, so two callers can race to build a channel for the same
+//!   endpoint; the loser tears its duplicate down and shares the winner's.
+//!
 //! [`NexusProto`] is the baseline: it tunnels ORB frames through the
 //! Nexus RSR layer instead of raw framed connections.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use ohpc_nexus::{HandlerId, NexusError, Startpoint};
 use ohpc_netsim::Location;
-use ohpc_transport::{Connection, Dialer, Endpoint, TransportError};
-use ohpc_xdr::XdrWriter;
+use ohpc_resilience::{HealthKey, HealthRegistry};
+use ohpc_transport::mux::{DeathHook, MuxChannel, MuxError};
+use ohpc_transport::{Connection, Dialer, Endpoint, RecvHalf, SendHalf, TransportError};
+use ohpc_xdr::{XdrReader, XdrWriter};
 
 use crate::error::OrbError;
 use crate::ids::ProtocolId;
@@ -28,6 +54,10 @@ use crate::proto::{ApplicabilityRule, ProtoObject, ProtoPool};
 
 /// Handler slot the ORB occupies inside a Nexus service.
 pub const NEXUS_ORB_HANDLER: HandlerId = HandlerId(0xC0DE);
+
+/// Stripe count used when [`PoolMode::Auto`] falls back on a transport whose
+/// connections cannot split.
+pub const DEFAULT_STRIPES: usize = 4;
 
 fn endpoint_of(entry: &ProtoEntry) -> Result<Endpoint, OrbError> {
     match &entry.data {
@@ -39,77 +69,292 @@ fn endpoint_of(entry: &ProtoEntry) -> Result<Endpoint, OrbError> {
     }
 }
 
-/// A pooled connection, shared between invocations.
-type SharedConn = Arc<Mutex<Box<dyn Connection>>>;
+/// Extracts the request id a reply frame is correlated by. Every
+/// [`ReplyMessage`] frame starts with its XDR-encoded `request_id`, so the
+/// demux reader routes frames without decoding the full message.
+fn reply_request_id(frame: &Bytes) -> Option<u64> {
+    XdrReader::new(frame).get_u64().ok()
+}
+
+/// How a [`TransportProto`] pools per-endpoint connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Multiplex requests over one split connection when the transport
+    /// supports it; fall back to [`DEFAULT_STRIPES`] stripes otherwise.
+    Auto,
+    /// Always use a striped pool of the given width (clamped to ≥ 1). Width
+    /// 1 reproduces the historical one-lock-per-endpoint serialized wire,
+    /// which the contention benchmark uses as its baseline.
+    Striped(usize),
+}
+
+/// One slot of a striped pool: a lazily dialed connection whose lock is held
+/// across a full send+recv exchange (non-interleavable framing).
+struct Stripe {
+    slot: Mutex<Option<Box<dyn Connection>>>,
+}
+
+/// A fixed-width pool of independent connections to one endpoint.
+struct StripeSet {
+    stripes: Vec<Stripe>,
+    cursor: AtomicUsize,
+}
+
+impl StripeSet {
+    fn new(width: usize) -> Self {
+        let width = width.max(1);
+        Self {
+            stripes: (0..width).map(|_| Stripe { slot: Mutex::new(None) }).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Seeds the first stripe with an already-dialed connection so the dial
+    /// performed during channel construction is not wasted.
+    fn adopt(&self, conn: Box<dyn Connection>) {
+        if let Some(stripe) = self.stripes.first() {
+            *stripe.slot.lock() = Some(conn);
+        }
+    }
+
+    /// Round-robin stripe choice. `None` only if the set is empty, which the
+    /// width clamp prevents; callers still handle it rather than index.
+    fn pick(&self) -> Option<&Stripe> {
+        if self.stripes.is_empty() {
+            return None;
+        }
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed) % self.stripes.len();
+        self.stripes.get(i)
+    }
+}
+
+/// A pooled per-endpoint channel.
+#[derive(Clone)]
+enum Channel {
+    /// Split connection with a demux reader: N requests in flight at once.
+    Mux(Arc<MuxChannel>),
+    /// Independent lock-across-exchange connections.
+    Striped(Arc<StripeSet>),
+}
+
+impl Channel {
+    /// `Arc` identity, the unit eviction operates on.
+    fn same_identity(&self, other: &Channel) -> bool {
+        match (self, other) {
+            (Channel::Mux(a), Channel::Mux(b)) => Arc::ptr_eq(a, b),
+            (Channel::Striped(a), Channel::Striped(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
 
 /// A proto-object speaking raw ORB frames over a transport.
 pub struct TransportProto {
     id: ProtocolId,
     rule: ApplicabilityRule,
     dialer: Arc<dyn Dialer>,
-    conns: Mutex<HashMap<Endpoint, SharedConn>>,
+    mode: PoolMode,
+    channels: Mutex<HashMap<Endpoint, Channel>>,
+    health_sink: Mutex<Option<Arc<HealthRegistry>>>,
 }
 
 impl TransportProto {
-    /// Builds a proto-object for `id` with the given applicability.
+    /// Builds a proto-object for `id` with the given applicability, pooling
+    /// in [`PoolMode::Auto`].
     pub fn new(id: ProtocolId, rule: ApplicabilityRule, dialer: Arc<dyn Dialer>) -> Self {
-        Self { id, rule, dialer, conns: Mutex::new(HashMap::new()) }
-    }
-
-    /// Returns (connection, was_cached): a cached connection may be stale
-    /// (server restarted), so callers retry once with a fresh dial when a
-    /// cached connection fails.
-    fn connection(&self, ep: &Endpoint) -> Result<(SharedConn, bool), TransportError> {
-        if let Some(c) = self.conns.lock().get(ep) {
-            return Ok((c.clone(), true));
+        Self {
+            id,
+            rule,
+            dialer,
+            mode: PoolMode::Auto,
+            channels: Mutex::new(HashMap::new()),
+            health_sink: Mutex::new(None),
         }
-        let conn = self.dialer.dial(ep)?;
-        let conn = Arc::new(Mutex::new(conn));
-        self.conns.lock().insert(ep.clone(), conn.clone());
-        Ok((conn, false))
     }
 
-    /// One request/reply over a pooled connection, distinguishing failure
+    /// Builder-style pool-mode override.
+    pub fn with_pool_mode(mut self, mode: PoolMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Connects reader-thread deaths to a health registry: a mux whose demux
+    /// reader dies records a failure under the same
+    /// `(protocol, endpoint)` key selection consults, so a dead mux trips
+    /// the endpoint's breaker exactly like a failed exchange does.
+    pub fn set_health_registry(&self, health: Arc<HealthRegistry>) {
+        *self.health_sink.lock() = Some(health);
+    }
+
+    /// Number of cached per-endpoint channels (for tests).
+    pub fn cached_connections(&self) -> usize {
+        self.channels.lock().len()
+    }
+
+    /// Requests currently awaiting replies on `ep`'s multiplexed channel
+    /// (0 for striped or unpooled endpoints). For tests and benchmarks.
+    pub fn mux_in_flight(&self, ep: &Endpoint) -> usize {
+        let chan = self.cached_channel_if_any(ep);
+        match chan {
+            Some(Channel::Mux(m)) => m.in_flight(),
+            _ => 0,
+        }
+    }
+
+    fn cached_channel_if_any(&self, ep: &Endpoint) -> Option<Channel> {
+        self.channels.lock().get(ep).cloned()
+    }
+
+    fn health_registry(&self) -> Option<Arc<HealthRegistry>> {
+        self.health_sink.lock().clone()
+    }
+
+    /// Returns the pooled channel for `ep` and whether it was already
+    /// cached. Dead mux channels are evicted lazily here.
+    fn channel(&self, ep: &Endpoint) -> Result<(Channel, bool), OrbError> {
+        if let Some(chan) = self.cached_channel(ep) {
+            return Ok((chan, true));
+        }
+        let built = self.build_channel(ep).map_err(OrbError::Transport)?;
+        Ok(self.install(ep, built))
+    }
+
+    /// Single-lock lookup: get + liveness check + eviction of a dead mux
+    /// under one guard, so a caller cannot hand out a channel another caller
+    /// concurrently declared dead.
+    fn cached_channel(&self, ep: &Endpoint) -> Option<Channel> {
+        let mut map = self.channels.lock();
+        if matches!(map.get(ep), Some(Channel::Mux(m)) if m.is_dead()) {
+            map.remove(ep);
+            return None;
+        }
+        map.get(ep).cloned()
+    }
+
+    /// Dials and wraps a fresh channel. In [`PoolMode::Auto`] a transport
+    /// that can split its connections gets a mux; everything else stripes.
+    fn build_channel(&self, ep: &Endpoint) -> Result<Channel, TransportError> {
+        let mut conn = self.dialer.dial(ep)?;
+        let width = match self.mode {
+            PoolMode::Auto => match conn.try_split() {
+                Some((tx, rx)) => {
+                    // The halves own socket duplicates / channel clones; the
+                    // original connection object is no longer needed.
+                    drop(conn);
+                    return Ok(Channel::Mux(self.spawn_mux(ep, tx, rx)));
+                }
+                None => DEFAULT_STRIPES,
+            },
+            PoolMode::Striped(k) => k,
+        };
+        let set = StripeSet::new(width);
+        set.adopt(conn);
+        Ok(Channel::Striped(Arc::new(set)))
+    }
+
+    /// Spawns the demux channel for `ep`, wiring reader-thread death into
+    /// telemetry and (if configured) the health registry.
+    fn spawn_mux(
+        &self,
+        ep: &Endpoint,
+        tx: Box<dyn SendHalf>,
+        rx: Box<dyn RecvHalf>,
+    ) -> Arc<MuxChannel> {
+        let health = self.health_registry();
+        let key = HealthKey::new(self.id.to_string(), ep.to_string());
+        let proto = self.id.to_string();
+        let hook: DeathHook = Box::new(move |_err| {
+            ohpc_telemetry::inc("orb_mux_deaths_total", &[("protocol", &proto)]);
+            if let Some(h) = &health {
+                h.record_failure(&key);
+            }
+        });
+        MuxChannel::spawn(tx, rx, Box::new(reply_request_id), Some(hook))
+    }
+
+    /// Publishes a freshly built channel — unless another caller won the
+    /// dial race while we were connecting, in which case the earlier channel
+    /// wins, our duplicate is torn down, and the avoided double-dial is
+    /// counted. Returns the channel to use and whether it was cached.
+    fn install(&self, ep: &Endpoint, built: Channel) -> (Channel, bool) {
+        match self.install_or_existing(ep, &built) {
+            None => (built, false),
+            Some(winner) => {
+                ohpc_telemetry::inc(
+                    "orb_double_dial_avoided_total",
+                    &[("protocol", &self.id.to_string())],
+                );
+                if let Channel::Mux(ours) = built {
+                    ours.shutdown();
+                }
+                (winner, true)
+            }
+        }
+    }
+
+    /// The map half of [`install`](Self::install): re-checks under the lock
+    /// and inserts only when no live channel is present. Returns the
+    /// existing live channel when the race was lost.
+    fn install_or_existing(&self, ep: &Endpoint, built: &Channel) -> Option<Channel> {
+        let mut map = self.channels.lock();
+        let live = match map.get(ep) {
+            Some(Channel::Mux(m)) if m.is_dead() => None,
+            other => other.cloned(),
+        };
+        if live.is_none() {
+            map.insert(ep.clone(), built.clone());
+        }
+        live
+    }
+
+    /// Evicts the channel for `ep` **only if** it is the very channel the
+    /// caller observed failing (`Arc` identity, not key): a racing caller
+    /// may already have replaced it with a fresh healthy channel that must
+    /// not be torn down by a stale failure report.
+    fn evict(&self, ep: &Endpoint, stale: &Channel) {
+        let mut map = self.channels.lock();
+        let is_current = match map.get(ep) {
+            Some(cur) => cur.same_identity(stale),
+            None => false,
+        };
+        if is_current {
+            map.remove(ep);
+        }
+    }
+
+    /// One request/reply over the pooled channel, distinguishing failure
     /// phases: a dial or send failure means the frame never left this
-    /// process ([`OrbError::Transport`], always safe to retry), while a recv
-    /// failure happens after the frame was handed to the fabric — the server
-    /// may have executed the request — so it surfaces as
+    /// process ([`OrbError::Transport`], always safe to retry), while any
+    /// failure after the frame was handed to the fabric — the server may
+    /// have executed the request — surfaces as
     /// [`OrbError::AmbiguousTransport`] and is never transparently re-sent
     /// here. Idempotency-aware retry lives in the GP, which knows the
     /// request's semantics; this layer only retries the provably-unsent
-    /// case of a stale cached connection.
+    /// case of a stale cached channel.
     fn exchange(
         &self,
         ep: &Endpoint,
+        request_id: u64,
         frame: &[u8],
-    ) -> Result<bytes::Bytes, OrbError> {
+        remaining_ns: Option<u64>,
+    ) -> Result<Bytes, OrbError> {
         for attempt in 0..2 {
-            let (conn, was_cached) = self.connection(ep)?;
-            let mut guard = conn.lock();
-            match guard.send(frame) {
-                Err(e) => {
-                    // The frame was not delivered. A dead cached connection
-                    // must not poison future calls; retry exactly once with
-                    // a fresh dial.
-                    drop(guard);
-                    self.forget(ep);
-                    if !(was_cached && attempt == 0) {
-                        return Err(e.into());
-                    }
-                    ohpc_telemetry::inc(
-                        "orb_transport_retries_total",
-                        &[("protocol", &self.id.to_string())],
-                    );
+            let (chan, was_cached) = self.channel(ep)?;
+            match &chan {
+                Channel::Striped(set) => {
+                    return self.exchange_striped(ep, set, frame, remaining_ns);
                 }
-                Ok(()) => {
-                    let received = guard.recv();
-                    drop(guard);
-                    match received {
-                        Ok(f) => return Ok(f),
-                        Err(e) => {
-                            self.forget(ep);
-                            return Err(OrbError::AmbiguousTransport(e));
+                Channel::Mux(mux) => {
+                    match self.exchange_mux(ep, &chan, mux, request_id, frame, remaining_ns) {
+                        // Stale cached mux (e.g. the server restarted): the
+                        // frame provably never left, retry once fresh.
+                        Err(OrbError::Transport(_)) if was_cached && attempt == 0 => {
+                            ohpc_telemetry::inc(
+                                "orb_transport_retries_total",
+                                &[("protocol", &self.id.to_string())],
+                            );
                         }
+                        outcome => return outcome,
                     }
                 }
             }
@@ -119,13 +364,137 @@ impl TransportProto {
         Err(OrbError::Protocol("exchange retry loop exhausted".into()))
     }
 
-    fn forget(&self, ep: &Endpoint) {
-        self.conns.lock().remove(ep);
+    /// Multiplexed exchange: the deadline rides into the demux wait, and a
+    /// timeout surfaces as [`OrbError::AmbiguousTransport`] (the reply may
+    /// still be in flight). Only a *dead* channel is evicted — by identity;
+    /// a live channel that merely timed out keeps serving its other waiters.
+    fn exchange_mux(
+        &self,
+        ep: &Endpoint,
+        chan: &Channel,
+        mux: &Arc<MuxChannel>,
+        request_id: u64,
+        frame: &[u8],
+        remaining_ns: Option<u64>,
+    ) -> Result<Bytes, OrbError> {
+        let timeout = remaining_ns.map(Duration::from_nanos);
+        match mux.call(request_id, frame, timeout) {
+            Ok(reply) => Ok(reply),
+            Err(err) => {
+                if mux.is_dead() {
+                    self.evict(ep, chan);
+                }
+                match err {
+                    MuxError::Unsent(e) => Err(OrbError::Transport(e)),
+                    MuxError::Lost(e) => Err(OrbError::AmbiguousTransport(e)),
+                }
+            }
+        }
     }
 
-    /// Number of cached connections (for tests).
-    pub fn cached_connections(&self) -> usize {
-        self.conns.lock().len()
+    /// Fallback exchange: one stripe's lock is held across send+recv because
+    /// the framing cannot interleave. The deadline arms the connection's
+    /// receive timeout (where supported). Failed or timed-out connections
+    /// are dropped in place — a timeout may leave a partial frame on the
+    /// wire, which would desynchronize the next exchange.
+    fn exchange_striped(
+        &self,
+        ep: &Endpoint,
+        set: &Arc<StripeSet>,
+        frame: &[u8],
+        remaining_ns: Option<u64>,
+    ) -> Result<Bytes, OrbError> {
+        let Some(stripe) = set.pick() else {
+            return Err(OrbError::Protocol("striped pool has no stripes".into()));
+        };
+        let mut slot = stripe.slot.lock();
+        for attempt in 0..2 {
+            let had_conn = slot.is_some();
+            if slot.is_none() {
+                *slot = Some(self.dialer.dial(ep).map_err(OrbError::Transport)?);
+            }
+            let Some(conn) = slot.as_mut() else { break };
+            match conn.send(frame) {
+                Err(e) => {
+                    *slot = None;
+                    if !(had_conn && attempt == 0) {
+                        return Err(e.into());
+                    }
+                    ohpc_telemetry::inc(
+                        "orb_transport_retries_total",
+                        &[("protocol", &self.id.to_string())],
+                    );
+                }
+                Ok(()) => {
+                    let timeout = remaining_ns.map(Duration::from_nanos);
+                    if timeout.is_some() {
+                        let _ = conn.set_recv_timeout(timeout);
+                    }
+                    match conn.recv() {
+                        Ok(reply) => {
+                            if timeout.is_some() {
+                                let _ = conn.set_recv_timeout(None);
+                            }
+                            return Ok(reply);
+                        }
+                        Err(e) => {
+                            *slot = None;
+                            return Err(OrbError::AmbiguousTransport(e));
+                        }
+                    }
+                }
+            }
+        }
+        Err(OrbError::Protocol("exchange retry loop exhausted".into()))
+    }
+
+    /// One-way send on a stripe: lock, lazily dial, send; a failing pooled
+    /// connection is dropped and retried once with a fresh dial.
+    fn send_striped(
+        &self,
+        ep: &Endpoint,
+        set: &Arc<StripeSet>,
+        frame: &[u8],
+    ) -> Result<(), OrbError> {
+        let Some(stripe) = set.pick() else {
+            return Err(OrbError::Protocol("striped pool has no stripes".into()));
+        };
+        let mut slot = stripe.slot.lock();
+        for attempt in 0..2 {
+            let had_conn = slot.is_some();
+            if slot.is_none() {
+                *slot = Some(self.dialer.dial(ep).map_err(OrbError::Transport)?);
+            }
+            let Some(conn) = slot.as_mut() else { break };
+            match conn.send(frame) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    *slot = None;
+                    if !(had_conn && attempt == 0) {
+                        return Err(e.into());
+                    }
+                    ohpc_telemetry::inc(
+                        "orb_transport_retries_total",
+                        &[("protocol", &self.id.to_string())],
+                    );
+                }
+            }
+        }
+        Err(OrbError::Protocol("oneway retry loop exhausted".into()))
+    }
+}
+
+impl Drop for TransportProto {
+    fn drop(&mut self) {
+        // Mux reader threads hold their channels alive; closing the send
+        // halves unblocks them so no reader outlives the proto. Shutdown
+        // happens outside the cache lock.
+        let drained: Vec<Channel> = self.channels.lock().drain().map(|(_, c)| c).collect();
+        for chan in drained {
+            if let Channel::Mux(m) = chan {
+                m.shutdown();
+            }
+        }
     }
 }
 
@@ -146,13 +515,23 @@ impl ProtoObject for TransportProto {
 
     fn invoke(
         &self,
-        _pool: &ProtoPool,
+        pool: &ProtoPool,
         entry: &ProtoEntry,
         req: &RequestMessage,
     ) -> Result<ReplyMessage, OrbError> {
+        self.invoke_with_deadline(pool, entry, req, None)
+    }
+
+    fn invoke_with_deadline(
+        &self,
+        _pool: &ProtoPool,
+        entry: &ProtoEntry,
+        req: &RequestMessage,
+        remaining_ns: Option<u64>,
+    ) -> Result<ReplyMessage, OrbError> {
         let ep = endpoint_of(entry)?;
         let frame = req.to_frame();
-        let reply_frame = self.exchange(&ep, &frame)?;
+        let reply_frame = self.exchange(&ep, req.request_id.0, &frame, remaining_ns)?;
         let reply = ReplyMessage::from_frame(&reply_frame)?;
         if reply.request_id != req.request_id {
             return Err(OrbError::Protocol(format!(
@@ -173,20 +552,27 @@ impl ProtoObject for TransportProto {
         let ep = endpoint_of(entry)?;
         let frame = req.to_frame();
         for attempt in 0..2 {
-            let (conn, was_cached) = self.connection(&ep)?;
-            let sent = conn.lock().send(&frame);
-            match sent {
-                Ok(()) => return Ok(()),
-                Err(e) => {
-                    self.forget(&ep);
-                    if !(was_cached && attempt == 0) {
-                        return Err(e.into());
+            let (chan, was_cached) = self.channel(&ep)?;
+            match &chan {
+                Channel::Striped(set) => return self.send_striped(&ep, set, &frame),
+                Channel::Mux(mux) => match mux.send_only(&frame) {
+                    Ok(()) => return Ok(()),
+                    Err(err) => {
+                        if mux.is_dead() {
+                            self.evict(&ep, &chan);
+                        }
+                        // send_only failures are always pre-send; a one-way
+                        // either left the process or it did not.
+                        let e = err.transport().clone();
+                        if !(was_cached && attempt == 0) {
+                            return Err(OrbError::Transport(e));
+                        }
+                        ohpc_telemetry::inc(
+                            "orb_transport_retries_total",
+                            &[("protocol", &self.id.to_string())],
+                        );
                     }
-                    ohpc_telemetry::inc(
-                        "orb_transport_retries_total",
-                        &[("protocol", &self.id.to_string())],
-                    );
-                }
+                },
             }
         }
         // Both iterations return above; keep a typed error rather than a
@@ -211,14 +597,54 @@ impl NexusProto {
     }
 
     fn startpoint(&self, ep: &Endpoint) -> Result<Arc<Startpoint>, OrbError> {
-        if let Some(sp) = self.startpoints.lock().get(ep) {
-            return Ok(sp.clone());
+        if let Some(sp) = self.cached_startpoint(ep) {
+            return Ok(sp);
         }
         let sp = Arc::new(
             Startpoint::connect(self.dialer.as_ref(), ep).map_err(nexus_to_orb)?,
         );
-        self.startpoints.lock().insert(ep.clone(), sp.clone());
-        Ok(sp)
+        Ok(self.install_startpoint(ep, sp))
+    }
+
+    fn cached_startpoint(&self, ep: &Endpoint) -> Option<Arc<Startpoint>> {
+        self.startpoints.lock().get(ep).cloned()
+    }
+
+    /// Re-checks under the lock before publishing: a racing caller's earlier
+    /// startpoint wins (the duplicate dial must not overwrite — and thereby
+    /// leak — the connection other callers already share).
+    fn install_startpoint(&self, ep: &Endpoint, sp: Arc<Startpoint>) -> Arc<Startpoint> {
+        let (winner, raced) = {
+            let mut map = self.startpoints.lock();
+            match map.get(ep) {
+                Some(existing) => (existing.clone(), true),
+                None => {
+                    map.insert(ep.clone(), sp.clone());
+                    (sp, false)
+                }
+            }
+        };
+        if raced {
+            ohpc_telemetry::inc(
+                "orb_double_dial_avoided_total",
+                &[("protocol", &self.id.to_string())],
+            );
+        }
+        winner
+    }
+
+    /// Identity-checked eviction: only removes the cached startpoint if it
+    /// is the one the caller saw fail, so a stale failure report cannot tear
+    /// down a replacement a racing caller already connected.
+    fn forget_startpoint(&self, ep: &Endpoint, stale: &Arc<Startpoint>) {
+        let mut map = self.startpoints.lock();
+        let is_current = match map.get(ep) {
+            Some(cur) => Arc::ptr_eq(cur, stale),
+            None => false,
+        };
+        if is_current {
+            map.remove(ep);
+        }
     }
 }
 
@@ -262,7 +688,7 @@ impl ProtoObject for NexusProto {
         let reply_bytes = match sp.rsr_reply(NEXUS_ORB_HANDLER, &args) {
             Ok(b) => b,
             Err(e) => {
-                self.startpoints.lock().remove(&ep);
+                self.forget_startpoint(&ep, &sp);
                 // The RSR layer merges send and receive into one call, so a
                 // transport failure here cannot be proven to predate
                 // delivery: classify it as ambiguous.
@@ -293,7 +719,7 @@ impl ProtoObject for NexusProto {
         args.put_fixed_opaque(&frame);
         // A genuine Nexus one-way remote service request.
         if let Err(e) = sp.rsr(NEXUS_ORB_HANDLER, &args) {
-            self.startpoints.lock().remove(&ep);
+            self.forget_startpoint(&ep, &sp);
             return Err(nexus_to_orb(e));
         }
         Ok(())
@@ -311,6 +737,17 @@ mod tests {
     use bytes::Bytes;
     use ohpc_transport::mem::MemFabric;
     use ohpc_transport::Listener as _;
+
+    fn request(id: u64, body: &'static [u8]) -> RequestMessage {
+        RequestMessage {
+            request_id: RequestId(id),
+            object: ObjectId(1),
+            method: 0,
+            oneway: false,
+            glue: None,
+            body: Bytes::from_static(body),
+        }
+    }
 
     #[test]
     fn endpoint_of_rejects_glue_and_garbage() {
@@ -346,18 +783,10 @@ mod tests {
         let entry = ProtoEntry::endpoint(ProtocolId::SHM, "mem://5");
         let pool = ProtoPool::new();
         for i in 0..2u64 {
-            let req = RequestMessage {
-                request_id: RequestId(i),
-                object: ObjectId(1),
-                method: 0,
-                oneway: false,
-                glue: None,
-                body: Bytes::from_static(b"abc"),
-            };
-            let reply = proto.invoke(&pool, &entry, &req).unwrap();
+            let reply = proto.invoke(&pool, &entry, &request(i, b"abc")).unwrap();
             assert_eq!(&reply.body[..], b"cba");
         }
-        assert_eq!(proto.cached_connections(), 1, "one endpoint, one cached connection");
+        assert_eq!(proto.cached_connections(), 1, "one endpoint, one cached channel");
         server.join().unwrap();
     }
 
@@ -369,14 +798,6 @@ mod tests {
             TransportProto::new(ProtocolId::SHM, ApplicabilityRule::Always, Arc::new(fabric));
         let entry = ProtoEntry::endpoint(ProtocolId::SHM, "mem://6");
         let pool = ProtoPool::new();
-        let req = RequestMessage {
-            request_id: RequestId(0),
-            object: ObjectId(1),
-            method: 0,
-            oneway: false,
-            glue: None,
-            body: Bytes::new(),
-        };
         // Server accepts, consumes the request, then drops without replying —
         // the client's send succeeds and its recv fails.
         let h = std::thread::spawn({
@@ -387,11 +808,158 @@ mod tests {
                 drop(conn);
             }
         });
-        let err = proto.invoke(&pool, &entry, &req).unwrap_err();
+        let err = proto.invoke(&pool, &entry, &request(0, b"")).unwrap_err();
         // The frame was sent before the peer vanished, so the failure is
         // ambiguous — the server may have processed it.
         assert!(matches!(err, OrbError::AmbiguousTransport(_)), "{err}");
-        assert_eq!(proto.cached_connections(), 0, "dead connection evicted");
+        assert_eq!(proto.cached_connections(), 0, "dead channel evicted");
         h.join().unwrap();
+    }
+
+    /// Regression test for the key-based-eviction bug: a straggler holding a
+    /// reference to a *replaced* channel must not evict the fresh one a
+    /// racing caller installed under the same endpoint key.
+    #[test]
+    fn eviction_is_by_identity_not_by_key() {
+        let fabric = MemFabric::new();
+        let _listener = fabric.listen_on(7);
+        let proto =
+            TransportProto::new(ProtocolId::SHM, ApplicabilityRule::Always, Arc::new(fabric));
+        let ep = Endpoint::Mem(7);
+
+        let (first, cached) = proto.channel(&ep).unwrap();
+        assert!(!cached);
+        // A racing caller saw `first` fail, evicted it, and rebuilt.
+        proto.evict(&ep, &first);
+        let (second, cached) = proto.channel(&ep).unwrap();
+        assert!(!cached);
+        assert!(!first.same_identity(&second));
+
+        // The straggler now reports its stale failure. Key-based eviction
+        // would tear down `second`; identity eviction must keep it.
+        proto.evict(&ep, &first);
+        assert_eq!(proto.cached_connections(), 1, "fresh channel survived stale eviction");
+        let (current, cached) = proto.channel(&ep).unwrap();
+        assert!(cached);
+        assert!(current.same_identity(&second));
+
+        // Evicting with the right identity still works.
+        proto.evict(&ep, &second);
+        assert_eq!(proto.cached_connections(), 0);
+        for chan in [first, second] {
+            if let Channel::Mux(m) = chan {
+                m.shutdown();
+            }
+        }
+    }
+
+    /// A dialer that parks every caller on a barrier inside `dial`, forcing
+    /// racing callers into the widest possible check-then-install window.
+    struct GateDialer {
+        inner: MemFabric,
+        gate: Arc<std::sync::Barrier>,
+    }
+
+    impl Dialer for GateDialer {
+        fn dial(&self, ep: &Endpoint) -> Result<Box<dyn Connection>, TransportError> {
+            self.gate.wait();
+            self.inner.dial(ep)
+        }
+    }
+
+    /// Regression test for the check-drop-dial-relock race: both callers
+    /// dial, but exactly one channel may be published — the loser must share
+    /// the winner's rather than overwrite (and leak) it.
+    #[test]
+    fn racing_dials_share_one_channel() {
+        let fabric = MemFabric::new();
+        let _listener = fabric.listen_on(8);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let proto = Arc::new(TransportProto::new(
+            ProtocolId::SHM,
+            ApplicabilityRule::Always,
+            Arc::new(GateDialer { inner: fabric, gate }),
+        ));
+        let ep = Endpoint::Mem(8);
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let proto = proto.clone();
+                let ep = ep.clone();
+                std::thread::spawn(move || proto.channel(&ep).unwrap().0)
+            })
+            .collect();
+        let chans: Vec<Channel> =
+            racers.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(proto.cached_connections(), 1, "the race must not publish two channels");
+        assert!(chans[0].same_identity(&chans[1]), "both racers share one channel");
+    }
+
+    /// `PoolMode::Striped(1)` reproduces the historical serialized wire.
+    #[test]
+    fn striped_mode_round_trips() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen_on(10);
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let frame = conn.recv().unwrap();
+            let req = RequestMessage::from_frame(&frame).unwrap();
+            conn.send(&ReplyMessage::ok(req.request_id, req.body).to_frame()).unwrap();
+        });
+        let proto =
+            TransportProto::new(ProtocolId::SHM, ApplicabilityRule::Always, Arc::new(fabric))
+                .with_pool_mode(PoolMode::Striped(1));
+        let entry = ProtoEntry::endpoint(ProtocolId::SHM, "mem://10");
+        let reply = proto.invoke(&ProtoPool::new(), &entry, &request(3, b"stripe")).unwrap();
+        assert_eq!(&reply.body[..], b"stripe");
+        server.join().unwrap();
+    }
+
+    /// A hung (not crashed) server must not block past the deadline: the
+    /// timeout surfaces as ambiguous, and the still-live mux stays pooled.
+    #[test]
+    fn hung_server_times_out_as_ambiguous() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen_on(11);
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let _ = conn.recv();
+            // Hold the connection open well past the client's deadline.
+            std::thread::sleep(Duration::from_millis(300));
+            drop(conn);
+        });
+        let proto =
+            TransportProto::new(ProtocolId::SHM, ApplicabilityRule::Always, Arc::new(fabric));
+        let entry = ProtoEntry::endpoint(ProtocolId::SHM, "mem://11");
+        let err = proto
+            .invoke_with_deadline(&ProtoPool::new(), &entry, &request(4, b""), Some(30_000_000))
+            .unwrap_err();
+        assert!(
+            matches!(err, OrbError::AmbiguousTransport(TransportError::Timeout)),
+            "{err}"
+        );
+        assert_eq!(proto.cached_connections(), 1, "a live mux survives a deadline timeout");
+        server.join().unwrap();
+    }
+
+    /// Regression test for the same key-vs-identity bug on the Nexus path.
+    #[test]
+    fn nexus_startpoint_eviction_is_by_identity() {
+        let fabric = MemFabric::new();
+        let _listener = fabric.listen_on(9);
+        let proto = NexusProto::new(
+            ProtocolId::NEXUS_TCP,
+            ApplicabilityRule::Always,
+            Arc::new(fabric),
+        );
+        let ep = Endpoint::Mem(9);
+        let first = proto.startpoint(&ep).unwrap();
+        // A racing caller evicted the failed startpoint and reconnected.
+        proto.forget_startpoint(&ep, &first);
+        let second = proto.startpoint(&ep).unwrap();
+        assert!(!Arc::ptr_eq(&first, &second));
+        // The straggler's stale report must not tear down the fresh one.
+        proto.forget_startpoint(&ep, &first);
+        let third = proto.startpoint(&ep).unwrap();
+        assert!(Arc::ptr_eq(&second, &third), "fresh startpoint survived stale eviction");
     }
 }

@@ -33,16 +33,19 @@ impl ErrorClass {
 /// promoted to [`ErrorClass::Ambiguous`] by the caller (only it knows the
 /// phase); [`classify`] never returns `Ambiguous` itself.
 ///
-/// - `ConnectionRefused`, `Closed`, `Io` are transient conditions of the
-///   fabric or the peer: another attempt (possibly down the OR table) can
-///   succeed.
+/// - `ConnectionRefused`, `Closed`, `Io`, `Timeout` are transient
+///   conditions of the fabric or the peer: another attempt (possibly down
+///   the OR table) can succeed. A `Timeout` observed *while waiting for a
+///   reply* must be promoted to `Ambiguous` by the caller like any other
+///   post-send failure.
 /// - `FrameTooLarge` and `WrongEndpoint` are properties of the request or
 ///   the OR entry itself: no number of retries changes them.
 pub fn classify(e: &TransportError) -> ErrorClass {
     match e {
         TransportError::ConnectionRefused(_)
         | TransportError::Closed
-        | TransportError::Io(_) => ErrorClass::Retryable,
+        | TransportError::Io(_)
+        | TransportError::Timeout => ErrorClass::Retryable,
         TransportError::FrameTooLarge(_) | TransportError::WrongEndpoint(_) => {
             ErrorClass::Permanent
         }
@@ -64,6 +67,9 @@ mod tests {
             classify(&TransportError::Io("timed out: link partitioned".into())),
             ErrorClass::Retryable
         );
+        // A deadline-driven recv timeout is transient by kind; the recv
+        // phase promotes it to Ambiguous, not this function.
+        assert_eq!(classify(&TransportError::Timeout), ErrorClass::Retryable);
     }
 
     #[test]

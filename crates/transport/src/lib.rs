@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod mem;
+pub mod mux;
 pub mod sim;
 pub mod tcp;
 pub mod testing;
@@ -31,9 +32,12 @@ pub(crate) mod telem {
 
     fn fail(fabric: &'static str, op: &'static str, err: &TransportError) {
         ohpc_telemetry::inc("transport_errors_total", &[("fabric", fabric), ("op", op)]);
-        // TCP read/connect timeouts surface as Io errors; count them
-        // separately so a flaky link is distinguishable from a dead one.
-        if matches!(err, TransportError::Io(msg) if msg.contains("timed out")) {
+        // Deadline-driven timeouts (and sim timeouts, which surface as Io
+        // errors) are counted separately so a flaky link is distinguishable
+        // from a dead one.
+        let timed_out = matches!(err, TransportError::Timeout)
+            || matches!(err, TransportError::Io(msg) if msg.contains("timed out"));
+        if timed_out {
             ohpc_telemetry::inc("transport_timeouts_total", &[("fabric", fabric)]);
         }
     }
@@ -139,6 +143,10 @@ pub enum TransportError {
     FrameTooLarge(usize),
     /// Endpoint variant not supported by this dialer.
     WrongEndpoint(String),
+    /// A receive deadline elapsed before a frame arrived. The peer may still
+    /// be alive (merely slow), and the request may still be executed — the
+    /// caller decides whether that ambiguity is retryable.
+    Timeout,
 }
 
 impl fmt::Display for TransportError {
@@ -149,6 +157,7 @@ impl fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "i/o error: {e}"),
             TransportError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             TransportError::WrongEndpoint(e) => write!(f, "wrong endpoint kind: {e}"),
+            TransportError::Timeout => write!(f, "timed out waiting for a frame"),
         }
     }
 }
@@ -164,6 +173,11 @@ impl From<std::io::Error> for TransportError {
             std::io::ErrorKind::UnexpectedEof
             | std::io::ErrorKind::ConnectionReset
             | std::io::ErrorKind::BrokenPipe => TransportError::Closed,
+            // A socket with a read timeout reports `WouldBlock` on Unix and
+            // `TimedOut` on Windows when the deadline elapses.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::Timeout
+            }
             _ => TransportError::Io(e.to_string()),
         }
     }
@@ -173,6 +187,47 @@ impl From<std::io::Error> for TransportError {
 pub trait Connection: Send {
     /// Sends one frame.
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Receives one frame, blocking until available or the peer closes.
+    fn recv(&mut self) -> Result<Bytes, TransportError>;
+
+    /// Splits this connection into independent send/receive halves, so one
+    /// thread can block in `recv` while others send — the prerequisite for
+    /// request multiplexing ([`mux::MuxChannel`]). The halves alias the same
+    /// underlying connection; after a successful split the original handle
+    /// should be dropped.
+    ///
+    /// The default refuses (`None`): transports whose framing or accounting
+    /// cannot interleave concurrent exchanges (the virtual-time-charged sim
+    /// fabric, fault-injection wrappers) stay on the striped-pool fallback.
+    fn try_split(&mut self) -> Option<(Box<dyn SendHalf>, Box<dyn RecvHalf>)> {
+        None
+    }
+
+    /// Arms (or with `None` disarms) a receive deadline: a subsequent `recv`
+    /// that waits longer than `timeout` fails with
+    /// [`TransportError::Timeout`]. Returns `false` when the transport
+    /// cannot enforce deadlines (the default).
+    ///
+    /// A connection whose `recv` timed out may have a partially received
+    /// frame buffered; callers must discard it rather than reuse it.
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> bool {
+        let _ = timeout;
+        false
+    }
+}
+
+/// The sending half of a split [`Connection`].
+pub trait SendHalf: Send {
+    /// Sends one frame.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Tears the connection down so the peer (and the paired
+    /// [`RecvHalf`], possibly blocked in `recv` on another thread) observes
+    /// [`TransportError::Closed`].
+    fn close(&mut self);
+}
+
+/// The receiving half of a split [`Connection`].
+pub trait RecvHalf: Send {
     /// Receives one frame, blocking until available or the peer closes.
     fn recv(&mut self) -> Result<Bytes, TransportError>;
 }
@@ -242,5 +297,36 @@ mod tests {
             TransportError::from(Error::new(ErrorKind::PermissionDenied, "x")),
             TransportError::Io(_)
         ));
+        // A read deadline elapsing surfaces as WouldBlock (unix) or TimedOut
+        // (windows); both must map to the dedicated Timeout variant.
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::WouldBlock, "x")),
+            TransportError::Timeout
+        );
+        assert_eq!(
+            TransportError::from(Error::new(ErrorKind::TimedOut, "x")),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn timeout_display_mentions_timeout() {
+        assert!(TransportError::Timeout.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn split_and_recv_timeout_default_to_unsupported() {
+        struct Fixed;
+        impl Connection for Fixed {
+            fn send(&mut self, _frame: &[u8]) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn recv(&mut self) -> Result<Bytes, TransportError> {
+                Err(TransportError::Closed)
+            }
+        }
+        let mut c: Box<dyn Connection> = Box::new(Fixed);
+        assert!(c.try_split().is_none());
+        assert!(!c.set_recv_timeout(Some(std::time::Duration::from_millis(1))));
     }
 }

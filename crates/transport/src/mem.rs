@@ -11,15 +11,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use crate::{telem, Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+use crate::{
+    telem, Connection, Dialer, Endpoint, Listener, RecvHalf, SendHalf, TransportError, MAX_FRAME,
+};
 
 /// One side of an established connection.
 pub struct MemConnection {
     tx: Sender<Bytes>,
     rx: Receiver<Bytes>,
+    recv_timeout: Option<std::time::Duration>,
 }
 
 impl Connection for MemConnection {
@@ -34,6 +37,64 @@ impl Connection for MemConnection {
         telem::track_send("mem", frame.len(), r)
     }
 
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        let r = match self.recv_timeout {
+            None => self.rx.recv().map_err(|_| TransportError::Closed),
+            Some(d) => self.rx.recv_timeout(d).map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout,
+                RecvTimeoutError::Disconnected => TransportError::Closed,
+            }),
+        };
+        telem::track_recv("mem", r)
+    }
+
+    /// Mem splits by cloning the channel halves. Teardown chains naturally:
+    /// closing the send half drops our sender, the peer's receive loop sees
+    /// `Closed`, drops its own connection, and that unblocks our reader.
+    fn try_split(&mut self) -> Option<(Box<dyn SendHalf>, Box<dyn RecvHalf>)> {
+        Some((
+            Box::new(MemSendHalf { tx: Some(self.tx.clone()) }),
+            Box::new(MemRecvHalf { rx: self.rx.clone() }),
+        ))
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<std::time::Duration>) -> bool {
+        self.recv_timeout = timeout;
+        true
+    }
+}
+
+/// Sending half of a split [`MemConnection`].
+pub struct MemSendHalf {
+    tx: Option<Sender<Bytes>>,
+}
+
+impl SendHalf for MemSendHalf {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        let r = if frame.len() > MAX_FRAME {
+            Err(TransportError::FrameTooLarge(frame.len()))
+        } else {
+            match &self.tx {
+                None => Err(TransportError::Closed),
+                Some(tx) => tx
+                    .send(Bytes::copy_from_slice(frame))
+                    .map_err(|_| TransportError::Closed),
+            }
+        };
+        telem::track_send("mem", frame.len(), r)
+    }
+
+    fn close(&mut self) {
+        self.tx = None;
+    }
+}
+
+/// Receiving half of a split [`MemConnection`].
+pub struct MemRecvHalf {
+    rx: Receiver<Bytes>,
+}
+
+impl RecvHalf for MemRecvHalf {
     fn recv(&mut self) -> Result<Bytes, TransportError> {
         telem::track_recv("mem", self.rx.recv().map_err(|_| TransportError::Closed))
     }
@@ -104,8 +165,8 @@ impl MemFabric {
         // listener queue.
         let (a_tx, b_rx) = unbounded();
         let (b_tx, a_rx) = unbounded();
-        let client = MemConnection { tx: a_tx, rx: a_rx };
-        let server = MemConnection { tx: b_tx, rx: b_rx };
+        let client = MemConnection { tx: a_tx, rx: a_rx, recv_timeout: None };
+        let server = MemConnection { tx: b_tx, rx: b_rx, recv_timeout: None };
         let (ack_tx, _ack_rx) = unbounded();
         pending_tx
             .send((server, ack_tx))
@@ -252,6 +313,43 @@ mod tests {
         let _s = listener.accept().unwrap();
         let big = vec![0u8; MAX_FRAME + 1];
         assert!(matches!(c.send(&big).unwrap_err(), TransportError::FrameTooLarge(_)));
+    }
+
+    #[test]
+    fn split_halves_roundtrip_and_close_chains_to_reader() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let mut c = fabric.dial(&ep).unwrap();
+        let (mut tx, mut rx) = c.try_split().expect("mem must split");
+        drop(c);
+        let mut server = listener.accept().unwrap();
+        tx.send(b"halved").unwrap();
+        assert_eq!(&server.recv().unwrap()[..], b"halved");
+        server.send(b"ok").unwrap();
+        assert_eq!(&rx.recv().unwrap()[..], b"ok");
+        // Close chain: our send half closes -> server's recv errors -> the
+        // test drops the server conn -> our reader unblocks with Closed.
+        let reader = std::thread::spawn(move || rx.recv());
+        tx.close();
+        assert_eq!(server.recv().unwrap_err(), TransportError::Closed);
+        drop(server);
+        assert_eq!(reader.join().unwrap().unwrap_err(), TransportError::Closed);
+        assert!(matches!(tx.send(b"late").unwrap_err(), TransportError::Closed));
+    }
+
+    #[test]
+    fn recv_timeout_fires_and_disarms() {
+        let fabric = MemFabric::new();
+        let mut listener = fabric.listen();
+        let ep = listener.endpoint();
+        let mut c = fabric.dial(&ep).unwrap();
+        let mut server = listener.accept().unwrap();
+        assert!(c.set_recv_timeout(Some(std::time::Duration::from_millis(20))));
+        assert_eq!(c.recv().unwrap_err(), TransportError::Timeout);
+        server.send(b"now").unwrap();
+        assert_eq!(&c.recv().unwrap()[..], b"now");
+        assert!(c.set_recv_timeout(None));
     }
 
     #[test]

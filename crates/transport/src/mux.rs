@@ -1,0 +1,506 @@
+//! Per-endpoint request multiplexing.
+//!
+//! A [`MuxChannel`] owns one split connection and keeps N requests in
+//! flight on it at once: the writer lock is held only for the framed send,
+//! and a dedicated reader thread demultiplexes reply frames to waiting
+//! callers by a caller-supplied correlation id (the ORB uses the request
+//! id). This replaces the serialized lock-across-the-exchange pattern — N
+//! concurrent invocations to one endpoint used to mean N queued exchanges;
+//! with the mux they overlap on a single connection.
+//!
+//! Failure semantics are phase-precise, mirroring the ORB's retry taxonomy:
+//!
+//! * [`MuxError::Unsent`] — the frame provably never left this process
+//!   (channel already dead, writer gone, or the send itself failed). Always
+//!   safe to retry.
+//! * [`MuxError::Lost`] — the frame was handed to the fabric but no reply
+//!   will arrive (reader died mid-flight, or the caller's deadline
+//!   elapsed). The server may have executed the request; only idempotent
+//!   requests may retry.
+//!
+//! When the reader thread dies, **every** waiter is failed promptly — a
+//! dead mux never leaves a caller blocked — and an optional death hook
+//! lets the owner feed the failure into circuit-breaker health, so a dead
+//! mux trips the same breaker a dead exchange does.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::{RecvHalf, SendHalf, TransportError};
+
+/// Extracts the correlation id from a reply frame (`None` for frames that
+/// carry no recognizable id — they are counted as orphans and dropped).
+pub type Correlator = Box<dyn Fn(&Bytes) -> Option<u64> + Send + Sync>;
+
+/// Invoked (once) when the reader thread dies from a transport error —
+/// *not* on deliberate [`MuxChannel::shutdown`]. Owners feed this into
+/// endpoint health.
+pub type DeathHook = Box<dyn Fn(&TransportError) + Send + Sync>;
+
+/// How a multiplexed call failed, split by whether the request frame was
+/// already on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuxError {
+    /// The frame never left this process; retrying is always safe.
+    Unsent(TransportError),
+    /// The frame was sent but no reply will arrive; the server may have
+    /// executed the request.
+    Lost(TransportError),
+}
+
+impl MuxError {
+    /// The underlying transport error, whichever phase it struck in.
+    pub fn transport(&self) -> &TransportError {
+        match self {
+            MuxError::Unsent(e) | MuxError::Lost(e) => e,
+        }
+    }
+}
+
+impl std::fmt::Display for MuxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MuxError::Unsent(e) => write!(f, "mux send failed (frame not sent): {e}"),
+            MuxError::Lost(e) => write!(f, "mux reply lost (frame was sent): {e}"),
+        }
+    }
+}
+
+/// Reply slot: the one-shot channel a caller waits on.
+type ReplySender = Sender<Result<Bytes, TransportError>>;
+
+struct PendingState {
+    waiters: HashMap<u64, ReplySender>,
+    /// Set exactly once, under the `pending` lock, when the channel dies;
+    /// registration checks it under the same lock, so no waiter can slip in
+    /// after the drain and hang.
+    dead: Option<TransportError>,
+}
+
+/// A multiplexed channel over one split connection. See the module docs.
+pub struct MuxChannel {
+    sender: Mutex<Option<Box<dyn SendHalf>>>,
+    pending: Mutex<PendingState>,
+    in_flight: AtomicI64,
+    closing: AtomicBool,
+}
+
+impl MuxChannel {
+    /// Wraps the split halves of a connection and spawns the demux reader
+    /// thread. `correlator` maps each incoming frame to its waiter;
+    /// `on_death` (if any) observes reader failures (but not deliberate
+    /// shutdowns).
+    ///
+    /// The reader holds a reference to the channel, so the channel lives
+    /// until [`shutdown`](Self::shutdown) (or the peer closing) unblocks it.
+    pub fn spawn(
+        send: Box<dyn SendHalf>,
+        recv: Box<dyn RecvHalf>,
+        correlator: Correlator,
+        on_death: Option<DeathHook>,
+    ) -> Arc<MuxChannel> {
+        let chan = Arc::new(MuxChannel {
+            sender: Mutex::new(Some(send)),
+            pending: Mutex::new(PendingState { waiters: HashMap::new(), dead: None }),
+            in_flight: AtomicI64::new(0),
+            closing: AtomicBool::new(false),
+        });
+        let reader_chan = chan.clone();
+        std::thread::spawn(move || reader_loop(reader_chan, recv, correlator, on_death));
+        chan
+    }
+
+    /// One multiplexed request/reply: registers `id`, sends `frame` (writer
+    /// lock held only for the send), and waits — up to `timeout`, forever
+    /// with `None` — for the reader thread to deliver the correlated reply.
+    pub fn call(
+        &self,
+        id: u64,
+        frame: &[u8],
+        timeout: Option<Duration>,
+    ) -> Result<Bytes, MuxError> {
+        let rx = self.register(id)?;
+        if let Err(e) = self.send_frame(frame) {
+            // The frame never went out; the waiter slot must not linger.
+            self.unregister(id);
+            return Err(MuxError::Unsent(e));
+        }
+        ohpc_telemetry::inc("mux_requests_total", &[]);
+        let t0 = Instant::now();
+        let outcome = self.wait(id, &rx, timeout);
+        ohpc_telemetry::observe_ns(
+            "mux_demux_wait_ns",
+            &[],
+            t0.elapsed().as_nanos() as u64,
+        );
+        outcome
+    }
+
+    /// Sends a frame that expects no reply (one-way requests). Failure is
+    /// always [`MuxError::Unsent`]: a one-way either left the process or it
+    /// did not.
+    pub fn send_only(&self, frame: &[u8]) -> Result<(), MuxError> {
+        if let Some(e) = self.dead_error() {
+            return Err(MuxError::Unsent(e));
+        }
+        self.send_frame(frame).map_err(MuxError::Unsent)
+    }
+
+    /// Whether the reader has died (or the channel was shut down). A dead
+    /// channel fails every call; owners should evict and re-dial.
+    pub fn is_dead(&self) -> bool {
+        self.dead_error().is_some()
+    }
+
+    /// Requests currently awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Deliberate teardown: closes the send half (unblocking the reader
+    /// thread through the transport) and fails any in-flight waiters with
+    /// [`TransportError::Closed`]. Idempotent. Does not fire the death hook.
+    pub fn shutdown(&self) {
+        self.closing.store(true, Ordering::Release);
+        if let Some(mut tx) = self.sender.lock().take() {
+            tx.close();
+        }
+        self.die(TransportError::Closed);
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn dead_error(&self) -> Option<TransportError> {
+        self.pending.lock().dead.clone()
+    }
+
+    /// Registers a waiter slot. The dead-check and the insert happen under
+    /// one lock acquisition, so a concurrently dying reader either fails
+    /// this registration or drains it — a waiter can never be stranded.
+    fn register(&self, id: u64) -> Result<Receiver<Result<Bytes, TransportError>>, MuxError> {
+        let (tx, rx) = unbounded();
+        let mut st = self.pending.lock();
+        if let Some(e) = st.dead.clone() {
+            return Err(MuxError::Unsent(e));
+        }
+        if st.waiters.contains_key(&id) {
+            return Err(MuxError::Unsent(TransportError::Io(format!(
+                "duplicate in-flight request id {id}"
+            ))));
+        }
+        st.waiters.insert(id, tx);
+        drop(st);
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        ohpc_telemetry::gauge("mux_in_flight", &[]).set(now);
+        Ok(rx)
+    }
+
+    /// Removes a waiter slot, returning whether it was still registered
+    /// (false means a reply or death already claimed it).
+    fn unregister(&self, id: u64) -> bool {
+        let removed = self.pending.lock().waiters.remove(&id).is_some();
+        if removed {
+            let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+            ohpc_telemetry::gauge("mux_in_flight", &[]).set(now);
+        }
+        removed
+    }
+
+    /// The framed send; the writer lock is held only for this.
+    fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError> {
+        let mut guard = self.sender.lock();
+        match guard.as_mut() {
+            None => Err(TransportError::Closed),
+            Some(tx) => tx.send(frame),
+        }
+    }
+
+    fn wait(
+        &self,
+        id: u64,
+        rx: &Receiver<Result<Bytes, TransportError>>,
+        timeout: Option<Duration>,
+    ) -> Result<Bytes, MuxError> {
+        let resolved = match timeout {
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(d) => rx.recv_timeout(d),
+        };
+        match resolved {
+            Ok(Ok(frame)) => Ok(frame),
+            // Reader died after our frame was sent: the reply is lost.
+            Ok(Err(e)) => Err(MuxError::Lost(e)),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.unregister(id) {
+                    Err(MuxError::Lost(TransportError::Timeout))
+                } else {
+                    // The reply (or the channel's death) raced our timeout
+                    // and was already pushed into our slot; take it.
+                    match rx.try_recv() {
+                        Ok(Ok(frame)) => Ok(frame),
+                        Ok(Err(e)) => Err(MuxError::Lost(e)),
+                        Err(_) => Err(MuxError::Lost(TransportError::Timeout)),
+                    }
+                }
+            }
+            // The waiter sender vanished without a value: only possible if
+            // the channel state was torn down; treat as a lost reply.
+            Err(RecvTimeoutError::Disconnected) => {
+                self.unregister(id);
+                Err(MuxError::Lost(TransportError::Closed))
+            }
+        }
+    }
+
+    /// Routes one reply frame to its waiter (reader thread only).
+    fn deliver(&self, id: u64, frame: Bytes) {
+        let slot = self.pending.lock().waiters.remove(&id);
+        match slot {
+            Some(tx) => {
+                let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+                ohpc_telemetry::gauge("mux_in_flight", &[]).set(now);
+                let _ = tx.send(Ok(frame));
+            }
+            None => {
+                // Caller gave up (deadline) before the reply arrived.
+                ohpc_telemetry::inc("mux_orphan_replies_total", &[]);
+            }
+        }
+    }
+
+    /// Marks the channel dead and fails every in-flight waiter. Idempotent;
+    /// the first cause wins.
+    fn die(&self, cause: TransportError) {
+        let drained: Vec<ReplySender> = {
+            let mut st = self.pending.lock();
+            if st.dead.is_none() {
+                st.dead = Some(cause.clone());
+            }
+            st.waiters.drain().map(|(_, tx)| tx).collect()
+        };
+        if !drained.is_empty() {
+            let now =
+                self.in_flight.fetch_sub(drained.len() as i64, Ordering::Relaxed)
+                    - drained.len() as i64;
+            ohpc_telemetry::gauge("mux_in_flight", &[]).set(now);
+        }
+        for tx in drained {
+            let _ = tx.send(Err(cause.clone()));
+        }
+    }
+}
+
+fn reader_loop(
+    chan: Arc<MuxChannel>,
+    mut rx: Box<dyn RecvHalf>,
+    correlator: Correlator,
+    on_death: Option<DeathHook>,
+) {
+    loop {
+        match rx.recv() {
+            Ok(frame) => match correlator(&frame) {
+                Some(id) => chan.deliver(id, frame),
+                None => {
+                    ohpc_telemetry::inc("mux_orphan_replies_total", &[]);
+                }
+            },
+            Err(e) => {
+                let deliberate = chan.closing.load(Ordering::Acquire);
+                chan.die(e.clone());
+                if !deliberate {
+                    ohpc_telemetry::inc("mux_reader_deaths_total", &[]);
+                    if let Some(hook) = &on_death {
+                        hook(&e);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Loopback halves over crossbeam channels, so the mux is testable
+    /// without any real fabric.
+    struct TestSend {
+        tx: Option<Sender<Bytes>>,
+    }
+    impl SendHalf for TestSend {
+        fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+            match &self.tx {
+                None => Err(TransportError::Closed),
+                Some(tx) => tx
+                    .send(Bytes::copy_from_slice(frame))
+                    .map_err(|_| TransportError::Closed),
+            }
+        }
+        fn close(&mut self) {
+            self.tx = None;
+        }
+    }
+    struct TestRecv {
+        rx: Receiver<Bytes>,
+    }
+    impl RecvHalf for TestRecv {
+        fn recv(&mut self) -> Result<Bytes, TransportError> {
+            self.rx.recv().map_err(|_| TransportError::Closed)
+        }
+    }
+
+    fn id_of(frame: &Bytes) -> Option<u64> {
+        frame.get(..8).map(|b| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(b);
+            u64::from_be_bytes(buf)
+        })
+    }
+
+    fn frame(id: u64, body: &[u8]) -> Vec<u8> {
+        let mut f = id.to_be_bytes().to_vec();
+        f.extend_from_slice(body);
+        f
+    }
+
+    /// Spawns a mux over an echo "server" thread that reverses bodies and,
+    /// crucially, replies in reverse order of arrival once `batch` frames
+    /// are queued — exercising out-of-order demux.
+    fn echo_mux(batch: usize) -> Arc<MuxChannel> {
+        let (req_tx, req_rx) = unbounded::<Bytes>();
+        let (rep_tx, rep_rx) = unbounded::<Bytes>();
+        std::thread::spawn(move || {
+            let mut queued: Vec<Bytes> = Vec::new();
+            while let Ok(f) = req_rx.recv() {
+                queued.push(f);
+                if queued.len() >= batch {
+                    for f in queued.drain(..).rev() {
+                        let mut body = f[8..].to_vec();
+                        body.reverse();
+                        let mut out = f[..8].to_vec();
+                        out.extend_from_slice(&body);
+                        if rep_tx.send(Bytes::from(out)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        MuxChannel::spawn(
+            Box::new(TestSend { tx: Some(req_tx) }),
+            Box::new(TestRecv { rx: rep_rx }),
+            Box::new(id_of),
+            None,
+        )
+    }
+
+    #[test]
+    fn out_of_order_replies_route_to_the_right_callers() {
+        let mux = echo_mux(4);
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let mux = mux.clone();
+                std::thread::spawn(move || {
+                    let body = format!("body-{i}");
+                    let reply = mux.call(i, &frame(i, body.as_bytes()), None).unwrap();
+                    let expect: String = body.chars().rev().collect();
+                    assert_eq!(&reply[8..], expect.as_bytes(), "caller {i} got its own reply");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mux.in_flight(), 0);
+        mux.shutdown();
+    }
+
+    #[test]
+    fn reader_death_fails_all_waiters() {
+        // "Server" that swallows everything, then hangs up.
+        let (req_tx, req_rx) = unbounded::<Bytes>();
+        let (rep_tx, rep_rx) = unbounded::<Bytes>();
+        let deaths = Arc::new(AtomicI64::new(0));
+        let d2 = deaths.clone();
+        std::thread::spawn(move || {
+            for _ in 0..3 {
+                let _ = req_rx.recv();
+            }
+            drop(rep_tx); // reader observes Closed
+        });
+        let mux = MuxChannel::spawn(
+            Box::new(TestSend { tx: Some(req_tx) }),
+            Box::new(TestRecv { rx: rep_rx }),
+            Box::new(id_of),
+            Some(Box::new(move |_e| {
+                d2.fetch_add(1, Ordering::Relaxed);
+            })),
+        );
+        let handles: Vec<_> = (0..3u64)
+            .map(|i| {
+                let mux = mux.clone();
+                std::thread::spawn(move || mux.call(i, &frame(i, b"x"), None))
+            })
+            .collect();
+        for h in handles {
+            let err = h.join().unwrap().unwrap_err();
+            assert!(matches!(err, MuxError::Lost(_)), "{err}");
+        }
+        assert!(mux.is_dead());
+        assert_eq!(deaths.load(Ordering::Relaxed), 1, "death hook fired once");
+        // Post-death calls fail fast as Unsent (the frame never goes out).
+        assert!(matches!(mux.call(9, &frame(9, b"y"), None), Err(MuxError::Unsent(_))));
+    }
+
+    #[test]
+    fn duplicate_in_flight_id_is_rejected() {
+        let mux = echo_mux(usize::MAX); // server never replies
+        let m2 = mux.clone();
+        let h = std::thread::spawn(move || m2.call(7, &frame(7, b"a"), Some(Duration::from_millis(300))));
+        // Wait until the first call is registered.
+        while mux.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let err = mux.call(7, &frame(7, b"b"), None).unwrap_err();
+        assert!(matches!(err, MuxError::Unsent(TransportError::Io(_))), "{err}");
+        let first = h.join().unwrap();
+        assert!(matches!(first, Err(MuxError::Lost(TransportError::Timeout))));
+        mux.shutdown();
+    }
+
+    #[test]
+    fn timeout_is_lost_and_late_reply_is_orphaned() {
+        let mux = echo_mux(2); // server replies only after TWO frames arrive
+        let err = mux
+            .call(1, &frame(1, b"slow"), Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(matches!(err, MuxError::Lost(TransportError::Timeout)), "{err}");
+        assert_eq!(mux.in_flight(), 0, "timed-out waiter unregistered");
+        // A second call releases the batch; its own reply still routes fine
+        // even though the first (orphaned) reply arrives alongside it.
+        let reply = mux.call(2, &frame(2, b"ab"), None).unwrap();
+        assert_eq!(&reply[8..], b"ba");
+        mux.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_in_flight_and_subsequent_calls() {
+        let mux = echo_mux(usize::MAX);
+        let m2 = mux.clone();
+        let h = std::thread::spawn(move || m2.call(1, &frame(1, b"x"), None));
+        while mux.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        mux.shutdown();
+        assert!(matches!(h.join().unwrap(), Err(MuxError::Lost(_))));
+        assert!(mux.is_dead());
+        assert!(matches!(mux.send_only(&frame(2, b"y")), Err(MuxError::Unsent(_))));
+        mux.shutdown(); // idempotent
+    }
+}

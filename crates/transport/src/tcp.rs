@@ -8,7 +8,33 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use crate::{telem, Connection, Dialer, Endpoint, Listener, TransportError, MAX_FRAME};
+use crate::{
+    telem, Connection, Dialer, Endpoint, Listener, RecvHalf, SendHalf, TransportError, MAX_FRAME,
+};
+
+/// Writes one length-prefixed frame to `stream`.
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> Result<(), TransportError> {
+    if frame.len() > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge(frame.len()));
+    }
+    let len = (frame.len() as u32).to_be_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(frame)?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame from `stream`.
+fn read_frame(stream: &mut TcpStream) -> Result<Bytes, TransportError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::FrameTooLarge(len));
+    }
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf)?;
+    Ok(Bytes::from(buf))
+}
 
 /// A framed TCP connection.
 pub struct TcpConnection {
@@ -22,38 +48,57 @@ impl TcpConnection {
     }
 }
 
-impl TcpConnection {
-    fn send_inner(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        if frame.len() > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge(frame.len()));
-        }
-        let len = (frame.len() as u32).to_be_bytes();
-        self.stream.write_all(&len)?;
-        self.stream.write_all(frame)?;
-        Ok(())
-    }
-
-    fn recv_inner(&mut self) -> Result<Bytes, TransportError> {
-        let mut len_buf = [0u8; 4];
-        self.stream.read_exact(&mut len_buf)?;
-        let len = u32::from_be_bytes(len_buf) as usize;
-        if len > MAX_FRAME {
-            return Err(TransportError::FrameTooLarge(len));
-        }
-        let mut buf = vec![0u8; len];
-        self.stream.read_exact(&mut buf)?;
-        Ok(Bytes::from(buf))
-    }
-}
-
 impl Connection for TcpConnection {
     fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        let r = self.send_inner(frame);
+        let r = write_frame(&mut self.stream, frame);
         telem::track_send("tcp", frame.len(), r)
     }
 
     fn recv(&mut self) -> Result<Bytes, TransportError> {
-        let r = self.recv_inner();
+        let r = read_frame(&mut self.stream);
+        telem::track_recv("tcp", r)
+    }
+
+    /// TCP splits by duplicating the socket handle (`try_clone`): reads and
+    /// writes on the clones hit the same connection, so a reader thread can
+    /// block in `recv` while senders interleave framed writes.
+    fn try_split(&mut self) -> Option<(Box<dyn SendHalf>, Box<dyn RecvHalf>)> {
+        let send = self.stream.try_clone().ok()?;
+        let recv = self.stream.try_clone().ok()?;
+        Some((Box::new(TcpSendHalf { stream: send }), Box::new(TcpRecvHalf { stream: recv })))
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> bool {
+        self.stream.set_read_timeout(timeout).is_ok()
+    }
+}
+
+/// Sending half of a split [`TcpConnection`].
+pub struct TcpSendHalf {
+    stream: TcpStream,
+}
+
+impl SendHalf for TcpSendHalf {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        let r = write_frame(&mut self.stream, frame);
+        telem::track_send("tcp", frame.len(), r)
+    }
+
+    /// Shuts the socket down in both directions, which unblocks a reader
+    /// thread parked in `recv` on the paired half.
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Receiving half of a split [`TcpConnection`].
+pub struct TcpRecvHalf {
+    stream: TcpStream,
+}
+
+impl RecvHalf for TcpRecvHalf {
+    fn recv(&mut self) -> Result<Bytes, TransportError> {
+        let r = read_frame(&mut self.stream);
         telem::track_recv("tcp", r)
     }
 }
@@ -166,13 +211,75 @@ mod tests {
 
     #[test]
     fn refused_when_nobody_listens() {
-        // bind and immediately free a port to get a (very likely) dead addr
-        let dead = {
-            let l = StdListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap().to_string()
-        };
-        let err = TcpDialer.dial(&Endpoint::Tcp(dead)).unwrap_err();
-        assert!(matches!(err, TransportError::ConnectionRefused(_) | TransportError::Io(_)));
+        // A freed ephemeral port can be re-bound by another process between
+        // drop and dial, so a single attempt is flaky by construction. Retry
+        // with fresh ports: the test passes on the first attempt whose port
+        // stayed dead, and only fails if every port was (absurdly) re-bound.
+        for _ in 0..16 {
+            let dead = {
+                let l = StdListener::bind("127.0.0.1:0").unwrap();
+                l.local_addr().unwrap().to_string()
+            };
+            match TcpDialer.dial(&Endpoint::Tcp(dead)) {
+                Err(err) => {
+                    assert!(
+                        matches!(
+                            err,
+                            TransportError::ConnectionRefused(_) | TransportError::Io(_)
+                        ),
+                        "{err}"
+                    );
+                    return;
+                }
+                // Port got re-bound under us; try another one.
+                Ok(conn) => drop(conn),
+            }
+        }
+        panic!("16 freshly freed ports were all re-bound; something is wrong");
+    }
+
+    #[test]
+    fn hung_peer_times_out_when_a_deadline_is_armed() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let ep = acceptor.endpoint();
+        let h = std::thread::spawn(move || {
+            let mut c = TcpDialer.dial(&ep).unwrap();
+            assert!(c.set_recv_timeout(Some(Duration::from_millis(40))));
+            let err = c.recv().unwrap_err();
+            // Disarm works too (no way to wait forever in a test, but the
+            // call must succeed).
+            assert!(c.set_recv_timeout(None));
+            err
+        });
+        // The server accepts and then hangs: never sends, never closes.
+        let server = acceptor.accept().unwrap();
+        let err = h.join().unwrap();
+        assert_eq!(err, TransportError::Timeout);
+        drop(server);
+    }
+
+    #[test]
+    fn split_halves_carry_frames_and_close_unblocks_reader() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let ep = acceptor.endpoint();
+        let h = std::thread::spawn(move || {
+            let mut c = TcpDialer.dial(&ep).unwrap();
+            let (mut tx, mut rx) = c.try_split().expect("tcp must split");
+            drop(c);
+            tx.send(b"via half").unwrap();
+            let echoed = rx.recv().unwrap();
+            // Reader parked in recv; closing the send half unblocks it.
+            let reader = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(Duration::from_millis(20));
+            tx.close();
+            assert!(reader.join().unwrap().is_err());
+            echoed
+        });
+        let mut server = acceptor.accept().unwrap();
+        let frame = server.recv().unwrap();
+        assert_eq!(&frame[..], b"via half");
+        server.send(b"back at you").unwrap();
+        assert_eq!(&h.join().unwrap()[..], b"back at you");
     }
 
     #[test]
