@@ -1,0 +1,21 @@
+//! fixture-crate: ohpc-pool
+//!
+//! Blocking is transitive: a helper that sleeps makes its caller blocking,
+//! so holding a guard across the *call* is as bad as holding it across the
+//! sleep itself.
+
+struct Breaker {
+    state: Mutex<u32>,
+}
+
+impl Breaker {
+    fn trip(&self) {
+        let mut state = self.state.lock();
+        *state += 1;
+        self.backoff(); //~ guard-across-blocking
+    }
+
+    fn backoff(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,19 @@
+//! fixture-crate: ohpc-y
+//!
+//! The other half of the cycle (see registry_x.rs). The marker sits on the
+//! call that closes the loop: `record` re-enters ohpc-x's `entries` lock
+//! while this fn still holds `queue`.
+
+use ohpc_x::Registry;
+
+pub struct Flusher {
+    queue: Mutex<u32>,
+}
+
+impl Flusher {
+    pub fn sync(&self, reg: &Registry) {
+        let mut queue = self.queue.lock();
+        *queue += 1;
+        reg.record(); //~ lock-order
+    }
+}

@@ -1,0 +1,26 @@
+//! fixture-crate: ohpc-x
+//!
+//! One half of a cross-crate lock-order cycle: `tick` holds this crate's
+//! `entries` lock while calling into ohpc-y, whose `sync` holds `queue`
+//! and calls back into `record` here — entries -> queue -> entries.
+//! The callback also re-enters `entries` while `tick` still holds it, so
+//! the same call site carries a reentrant self-deadlock finding too.
+
+use ohpc_y::Flusher;
+
+pub struct Registry {
+    entries: Mutex<u32>,
+}
+
+impl Registry {
+    pub fn tick(&self, fl: &Flusher) {
+        let mut entries = self.entries.lock();
+        *entries += 1;
+        fl.sync(self); //~ lock-order
+    }
+
+    pub fn record(&self) {
+        let mut entries = self.entries.lock();
+        *entries += 1;
+    }
+}

@@ -1,0 +1,25 @@
+//! fixture-crate: ohpc-resilience
+//!
+//! The resilience crate sits on the request path, so its non-test code is
+//! held to the same panic-freedom bar as the wire-facing crates. A reasoned
+//! allow suppresses a genuinely infallible site; test code is exempt.
+
+fn backoff_step(steps: &[u64]) -> u64 {
+    *steps.last().unwrap() //~ panic-freedom
+}
+
+fn jitter_salt(seed: u64) -> u64 {
+    let bytes = seed.to_be_bytes();
+    // ohpc-analyze: allow(panic-freedom) — an 8-byte array always has a first byte
+    let head = bytes.first().unwrap();
+    u64::from(*head)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let steps = [1u64, 2, 4];
+        assert_eq!(*steps.last().unwrap(), 4);
+    }
+}

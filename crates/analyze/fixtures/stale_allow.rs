@@ -1,0 +1,21 @@
+//! fixture-crate: ohpc-pool
+//!
+//! Annotation hygiene: an allow that still suppresses a real finding is
+//! silent; an allow whose finding has since been fixed is itself reported,
+//! so suppressions cannot quietly outlive their reason.
+
+struct Wire {
+    conn: Mutex<Box<dyn Connection>>,
+}
+
+impl Wire {
+    fn shout(&self, frame: &[u8]) -> Result<(), TransportError> {
+        // ohpc-analyze: allow(guard-across-blocking) — single wire, serialized by design
+        self.conn.lock().send(frame)
+    }
+
+    fn count(&self, a: u32, b: u32) -> u32 {
+        // ohpc-analyze: allow(guard-across-blocking) — nothing here blocks anymore //~ annotation
+        a.saturating_add(b)
+    }
+}

@@ -1,0 +1,12 @@
+//! fixture-crate: ohpc-bench
+//!
+//! Outside the wire-facing crates, plain unwraps are tolerated — but not
+//! on transport results, which fault injection makes routinely inhabited.
+//! The untainted unwrap below must stay silent.
+
+fn measure(dialer: &dyn Dialer, ep: &Endpoint) -> u64 {
+    let mut conn = dialer.dial(ep).unwrap(); //~ transport-unwrap
+    conn.send(b"ping");
+    let parsed: u64 = "42".parse().unwrap();
+    parsed
+}

@@ -1,0 +1,25 @@
+//! fixture-crate: ohpc-pool
+//!
+//! A request path that reads the wire with no deadline hangs its caller
+//! for as long as the peer cares to stay silent. The bounded variant arms
+//! the connection's receive timeout in the same fn and is fine.
+
+fn ask(conn: &mut dyn Connection, frame: &[u8]) -> Result<Bytes, TransportError> {
+    conn.send(frame)?;
+    conn.recv() //~ bounded-recv
+}
+
+fn ask_bounded(
+    conn: &mut dyn Connection,
+    frame: &[u8],
+    deadline: Option<Duration>,
+) -> Result<Bytes, TransportError> {
+    conn.set_recv_timeout(deadline);
+    conn.send(frame)?;
+    conn.recv()
+}
+
+fn pump(rx: &Receiver<u64>) -> Option<u64> {
+    // A channel receiver is not a transport object; not this rule's business.
+    rx.recv().ok()
+}

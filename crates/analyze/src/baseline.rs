@@ -1,0 +1,166 @@
+//! Committed-baseline matching, for gradual adoption of new rules.
+//!
+//! A baseline file lists findings that are known and accepted for now, one
+//! per line, tab-separated: `rule<TAB>file<TAB>message`. Findings matching
+//! a baseline entry are suppressed; entries that no longer match anything
+//! are reported as stale so the file shrinks as the debt is paid.
+//!
+//! Matching ignores line numbers — entries are keyed on (rule, file,
+//! normalized message), where normalization collapses every digit run to
+//! `#`. Otherwise any edit above a baselined site would un-baseline it.
+
+use std::path::Path;
+
+use crate::rules::Diagnostic;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    /// Digit-normalized message.
+    pub message: String,
+}
+
+/// Collapse digit runs so line numbers inside messages don't churn.
+pub fn normalize(msg: &str) -> String {
+    let mut out = String::with_capacity(msg.len());
+    let mut in_digits = false;
+    for ch in msg.chars() {
+        if ch.is_ascii_digit() {
+            if !in_digits {
+                out.push('#');
+                in_digits = true;
+            }
+        } else {
+            in_digits = false;
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Parse a baseline file. Blank lines and `#` comments are skipped.
+pub fn load(path: &Path) -> Result<Vec<Entry>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(parse(&text))
+}
+
+/// Parse baseline text (split out for tests).
+pub fn parse(text: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(rule), Some(file), Some(message)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        out.push(Entry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            message: normalize(message),
+        });
+    }
+    out
+}
+
+/// Render findings in baseline-file form (for `--emit-baseline`).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# ohpc-analyze baseline: accepted findings, one per line\n\
+         # (rule<TAB>file<TAB>message; line numbers in messages are ignored)\n",
+    );
+    for d in diags {
+        out.push_str(&format!("{}\t{}\t{}\n", d.rule, d.file, d.message));
+    }
+    out
+}
+
+/// Split findings into (kept, suppressed) and report stale entries.
+pub fn apply(
+    diags: Vec<Diagnostic>,
+    entries: &[Entry],
+) -> (Vec<Diagnostic>, usize, Vec<Entry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diags {
+        let norm = normalize(&d.message);
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == d.rule && e.file == d.file && e.message == norm);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    fn diag(rule: &'static str, file: &str, line: u32, msg: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            severity: Severity::Warn,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn baselined_finding_is_suppressed_despite_line_drift() {
+        let d = diag("bounded-recv", "a.rs", 99, "unbounded recv in fn f (line 99)");
+        let entries = parse("bounded-recv\ta.rs\tunbounded recv in fn f (line 12)\n");
+        let (kept, suppressed, stale) = apply(vec![d], &entries);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unmatched_entry_is_stale() {
+        let entries = parse("bounded-recv\ta.rs\tgone finding\n# comment\n\n");
+        let (kept, suppressed, stale) = apply(Vec::new(), &entries);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 0);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn different_rule_same_message_is_kept() {
+        let d = diag("lock-order", "a.rs", 1, "msg");
+        let entries = parse("bounded-recv\ta.rs\tmsg\n");
+        let (kept, _, _) = apply(vec![d], &entries);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let d = diag("lock-order", "a.rs", 7, "cycle a -> b at line 7");
+        let rendered = render(&[d.clone()]);
+        let entries = parse(&rendered);
+        let (kept, suppressed, stale) = apply(vec![d], &entries);
+        assert!(kept.is_empty() && stale.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+}

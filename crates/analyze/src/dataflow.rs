@@ -1,0 +1,448 @@
+//! Statement-level dataflow: lock-guard liveness and the transitively-
+//! blocking-call fixpoint.
+//!
+//! Guard liveness follows Rust's pre-2024 temporary-scope rules (the
+//! edition this workspace uses), stated honestly:
+//!
+//! * a guard bound with `let` is held to the end of its enclosing block —
+//!   truncated at an explicit `drop(<binding>)` if one appears;
+//! * a temporary guard is held to the end of its statement;
+//! * a guard created in an `if let` / `while let` / `match` head is held
+//!   through the attached block.
+//!
+//! Blocking is seeded syntactically (`sleep`, channel/transport `recv`,
+//! `accept`, `wait`, `dial`, wire `send`) and closed transitively over the
+//! resolved call graph: a function that calls a blocking function blocks.
+//! Code inside a `…spawn(…)` argument runs on another thread, so it never
+//! counts as blocking *its spawner*.
+
+use std::collections::HashSet;
+
+use crate::graph::{CallSite, Recv, Workspace};
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// One lock-guard acquisition inside a function body.
+#[derive(Debug)]
+pub struct GuardAcq {
+    /// Receiver root ident (`conn` for `self.conn.lock()`).
+    pub root: String,
+    /// `lock`, `read` or `write`.
+    pub kind: &'static str,
+    /// Token index of the `lock`/`read`/`write` ident.
+    pub tok: usize,
+    pub line: u32,
+    /// Token index through which the guard is considered held (inclusive).
+    pub until: usize,
+    /// Binding name for plain `let g = …lock();` acquisitions.
+    pub var: Option<String>,
+}
+
+/// Scan a fn body (`open`..`close` brace tokens) for guard acquisitions.
+///
+/// `.lock()` always produces a guard. `.read()` / `.write()` only do when
+/// the receiver root is in `rw_roots` (known `RwLock` fields) — the bare
+/// names are too common (`io::Read`, file writes) to treat as locks.
+pub fn guard_acqs(
+    f: &SourceFile,
+    open: usize,
+    close: usize,
+    rw_roots: &HashSet<String>,
+) -> Vec<GuardAcq> {
+    let toks = &f.tokens;
+    let mut acqs = Vec::new();
+    let mut braces: Vec<usize> = vec![open];
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            braces.push(j);
+        } else if t.is_punct('}') {
+            braces.pop();
+        } else if t.kind == TokKind::Ident {
+            let is_acquire = matches!(t.text.as_str(), "lock" | "read" | "write")
+                && j >= 2
+                && toks[j - 1].is_punct('.')
+                && toks[j - 2].kind == TokKind::Ident
+                && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(j + 2).is_some_and(|n| n.is_punct(')'));
+            if is_acquire {
+                let root = toks[j - 2].text.clone();
+                let kind = match t.text.as_str() {
+                    "lock" => "lock",
+                    "read" => "read",
+                    _ => "write",
+                };
+                if kind == "lock" || rw_roots.contains(&root) {
+                    let (until, var) = guard_scope(f, j, close, &braces);
+                    acqs.push(GuardAcq { root, kind, tok: j, line: t.line, until, var });
+                }
+            }
+        }
+        j += 1;
+    }
+    acqs
+}
+
+/// Decide how long the guard produced at token `j` (the `lock`/`read`/
+/// `write` ident) stays alive. Returns the inclusive token bound and the
+/// `let` binding name if the guard is named.
+fn guard_scope(f: &SourceFile, j: usize, body_close: usize, braces: &[usize]) -> (usize, Option<String>) {
+    let toks = &f.tokens;
+
+    // Walk back over the receiver path (`self . inner . field`).
+    let mut k = j - 2; // receiver field ident
+    while k >= 2 && toks[k - 1].is_punct('.') && toks[k - 2].kind == TokKind::Ident {
+        k -= 2;
+    }
+    // Inspect the statement prefix back to the nearest `;`, `{` or `}`.
+    let mut has_let = false;
+    let mut in_cond = false; // `if let` / `while let` / `match` head
+    let mut var: Option<String> = None;
+    let mut b = k;
+    while b > 0 {
+        b -= 1;
+        let t = &toks[b];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            has_let = true;
+            // Binding name: a *plain* pattern only (`let g = …`,
+            // `let mut g = …`). `let Some(x) = …` binds the pattern's
+            // interior, not the guard — the guard stays a temporary.
+            let mut n = b + 1;
+            while n < k && (toks[n].is_ident("mut") || toks[n].is_ident("ref")) {
+                n += 1;
+            }
+            if n < k
+                && toks[n].kind == TokKind::Ident
+                && toks.get(n + 1).is_some_and(|t| t.is_punct('=') || t.is_punct(':'))
+            {
+                var = Some(toks[n].text.clone());
+            }
+        }
+        if t.is_ident("if") || t.is_ident("while") || t.is_ident("match") {
+            in_cond = true;
+        }
+    }
+
+    // `let g = m.lock().clone();` binds the *clone*; the guard itself is a
+    // temporary released at the `;`. The binding only holds the guard when
+    // the call chain ends at the acquisition — allowing the adapters that
+    // return the guard itself (`?`, `.unwrap()`, `.expect("…")`).
+    let stored = has_let && var.is_some() && chain_yields_guard(f, j + 2, body_close);
+
+    if stored && !in_cond {
+        // Plain `let g = …lock();` — held to the end of the enclosing
+        // block, or to an explicit `drop(g)` if one comes first.
+        let open = braces.last().copied().unwrap_or(0);
+        let mut until = f.close_of.get(&open).copied().unwrap_or(body_close).min(body_close);
+        if let Some(name) = &var {
+            let mut m = j + 3;
+            while m + 2 <= until {
+                if toks[m].is_ident("drop")
+                    && toks[m + 1].is_punct('(')
+                    && toks[m + 2].is_ident(name)
+                {
+                    until = m;
+                    break;
+                }
+                m += 1;
+            }
+        }
+        return (until, var);
+    }
+
+    // Temporary (or condition-head) guard: held to the end of the statement,
+    // extended through the attached block if one opens first (`if let`,
+    // `while let`, `match` — the pre-2024 temporary scope).
+    let mut depth: i32 = 0;
+    let mut m = j + 3; // token after `( )`
+    while m <= body_close {
+        let t = &toks[m];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth <= 0 {
+            return (f.close_of.get(&m).copied().unwrap_or(body_close).min(body_close), None);
+        } else if (t.is_punct(';') || t.is_punct('}')) && depth <= 0 {
+            return (m, None);
+        }
+        m += 1;
+    }
+    (body_close, None)
+}
+
+/// Does the call chain starting after the acquisition's `( )` (token
+/// `close_paren`) end the statement still holding the guard? True for
+/// `…lock();`, `…lock()?;`, `…lock().unwrap();`; false once any other
+/// method is chained on (`…lock().clone()` hands back a non-guard).
+fn chain_yields_guard(f: &SourceFile, close_paren: usize, body_close: usize) -> bool {
+    let toks = &f.tokens;
+    let mut m = close_paren + 1;
+    while m <= body_close {
+        let t = &toks[m];
+        if t.is_punct('?') {
+            m += 1;
+            continue;
+        }
+        if t.is_punct('.')
+            && toks.get(m + 1).is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"))
+            && toks.get(m + 2).is_some_and(|t| t.is_punct('('))
+        {
+            m = f.close_of.get(&(m + 2)).copied().unwrap_or(m + 3) + 1;
+            continue;
+        }
+        return t.is_punct(';');
+    }
+    false
+}
+
+/// Method names that block the calling thread outright.
+const BLOCKING_METHODS: &[&str] =
+    &["sleep", "recv", "recv_timeout", "recv_deadline", "accept", "wait", "wait_timeout", "dial"];
+
+/// Is this call site a direct blocking seed?
+///
+/// `send` is special-cased: a *wire* send blocks on TCP backpressure, but a
+/// crossbeam channel send does not — so `send` only counts when the
+/// receiver's type hints do not name a channel `Sender`.
+pub fn blocking_seed(ws: &Workspace, caller: usize, c: &CallSite) -> Option<String> {
+    let method_like = !matches!(c.recv, Recv::Bare | Recv::Path(_));
+    if BLOCKING_METHODS.contains(&c.name.as_str()) {
+        // Bare / path calls still count for sleep (`thread::sleep(…)`).
+        if method_like || c.name == "sleep" {
+            return Some(format!("{}()", c.name));
+        }
+        return None;
+    }
+    if c.name == "send" && method_like {
+        let hints = ws.recv_hints(caller, c);
+        let channel = hints.iter().any(|h| h == "Sender" || h == "SyncSender");
+        if !channel {
+            return Some("send()".into());
+        }
+    }
+    None
+}
+
+/// Per-function transitive blocking facts.
+pub struct Blocking {
+    /// `blocks[id]` — may this function block its caller?
+    pub blocks: Vec<bool>,
+    /// A one-hop witness for each blocking fn (`sleep() at file.rs:10`, or
+    /// `calls helper (→ sleep() at file.rs:10)`).
+    pub witness: Vec<String>,
+}
+
+/// Compute the blocking fixpoint over the resolved call graph.
+pub fn blocking_fixpoint(files: &[SourceFile], ws: &Workspace) -> Blocking {
+    let n = ws.fns.len();
+    let mut blocks = vec![false; n];
+    let mut witness = vec![String::new(); n];
+
+    for id in 0..n {
+        let fi = &ws.fns[id];
+        for c in &ws.calls[id] {
+            if ws.in_spawn_arg(fi.file, c.tok) {
+                continue; // runs on the spawned thread
+            }
+            if let Some(what) = blocking_seed(ws, id, c) {
+                blocks[id] = true;
+                witness[id] = format!("{what} at {}:{}", files[fi.file].path, c.line);
+                break;
+            }
+        }
+    }
+
+    loop {
+        let mut changed = false;
+        for id in 0..n {
+            if blocks[id] {
+                continue;
+            }
+            let fi = &ws.fns[id];
+            for (ci, c) in ws.calls[id].iter().enumerate() {
+                if ws.in_spawn_arg(fi.file, c.tok) {
+                    continue;
+                }
+                if let Some(&t) = ws.targets[id][ci].iter().find(|&&t| blocks[t]) {
+                    blocks[id] = true;
+                    witness[id] = format!("calls {} ({})", ws.fns[t].name, witness[t]);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Blocking { blocks, witness }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+
+    fn setup(src: &str) -> (Vec<SourceFile>, Workspace) {
+        let files = vec![SourceFile::from_source("crates/x/src/lib.rs", "x", false, src)];
+        let ws = Workspace::build(&files);
+        (files, ws)
+    }
+
+    #[test]
+    fn let_guard_lives_to_block_end_and_drop_truncates() {
+        let src = r#"
+            struct S { m: Mutex<u32> }
+            impl S {
+                fn f(&self) {
+                    let g = self.m.lock();
+                    work();
+                    drop(g);
+                    more();
+                }
+            }
+        "#;
+        let (files, _) = setup(src);
+        let f = &files[0];
+        let open = f.tokens.iter().position(|t| t.is_ident("f")).unwrap();
+        let fn_open = (open..f.tokens.len()).find(|&i| f.tokens[i].is_punct('{')).unwrap();
+        let close = f.close_of[&fn_open];
+        let acqs = guard_acqs(f, fn_open, close, &HashSet::new());
+        assert_eq!(acqs.len(), 1);
+        let drop_tok = f.tokens.iter().position(|t| t.is_ident("drop")).unwrap();
+        assert_eq!(acqs[0].until, drop_tok);
+        assert_eq!(acqs[0].var.as_deref(), Some("g"));
+    }
+
+    fn acqs_of(src: &str, fn_name: &str) -> (Vec<SourceFile>, Vec<GuardAcq>) {
+        let files = vec![SourceFile::from_source("crates/x/src/lib.rs", "x", false, src)];
+        let f = &files[0];
+        let at = f.tokens.iter().position(|t| t.is_ident(fn_name)).unwrap();
+        let open = (at..f.tokens.len()).find(|&i| f.tokens[i].is_punct('{')).unwrap();
+        let close = f.close_of[&open];
+        let mut rw = HashSet::new();
+        rw.insert("objects".to_string());
+        let acqs = guard_acqs(f, open, close, &rw);
+        (files, acqs)
+    }
+
+    #[test]
+    fn lock_clone_binding_is_a_temporary_guard() {
+        // `let h = self.health.lock().clone();` binds the clone — the guard
+        // drops at the `;`, not at the end of the block.
+        let src = r#"
+            impl S {
+                fn f(&self) {
+                    let h = self.health.lock().clone();
+                    h.record_failure(&k);
+                }
+            }
+        "#;
+        let (files, acqs) = acqs_of(src, "f");
+        let f = &files[0];
+        assert_eq!(acqs.len(), 1);
+        assert!(acqs[0].var.is_none());
+        let semi = (acqs[0].tok..f.tokens.len())
+            .find(|&i| f.tokens[i].is_punct(';'))
+            .unwrap();
+        assert_eq!(acqs[0].until, semi, "guard should end at the statement");
+    }
+
+    #[test]
+    fn lock_unwrap_binding_still_holds_the_guard() {
+        // std-style `let g = m.lock().unwrap();` — unwrap hands back the
+        // guard, so the binding keeps it to the end of the block.
+        let src = r#"
+            impl S {
+                fn f(&self) {
+                    let g = self.m.lock().unwrap();
+                    work();
+                }
+            }
+        "#;
+        let (files, acqs) = acqs_of(src, "f");
+        let f = &files[0];
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].var.as_deref(), Some("g"));
+        assert!(acqs[0].until > f.tokens.iter().position(|t| t.is_ident("work")).unwrap());
+    }
+
+    #[test]
+    fn let_else_pattern_guard_is_a_temporary() {
+        // `let Some(x) = map.read().get(&k).cloned() else { … };` — the read
+        // guard is a temporary of the let-else statement; it must not be
+        // treated as live to the end of the enclosing block.
+        let src = r#"
+            impl S {
+                fn f(&self) {
+                    let Some(x) = self.objects.read().get(&k).cloned() else {
+                        return;
+                    };
+                    later(x);
+                }
+            }
+        "#;
+        let (files, acqs) = acqs_of(src, "f");
+        let f = &files[0];
+        assert_eq!(acqs.len(), 1);
+        assert!(acqs[0].var.is_none());
+        let later = f.tokens.iter().position(|t| t.is_ident("later")).unwrap();
+        assert!(acqs[0].until < later, "guard must not reach past the let-else");
+    }
+
+    #[test]
+    fn transitive_blocking_through_helper() {
+        let src = r#"
+            fn a() { b(); }
+            fn b() { std::thread::sleep(d); }
+            fn c() {}
+        "#;
+        let (files, ws) = setup(src);
+        let bl = blocking_fixpoint(&files, &ws);
+        let id = |n: &str| ws.fns.iter().position(|f| f.name == n).unwrap();
+        assert!(bl.blocks[id("a")], "{:?}", bl.witness);
+        assert!(bl.blocks[id("b")]);
+        assert!(!bl.blocks[id("c")]);
+        assert!(bl.witness[id("a")].contains("sleep"), "{}", bl.witness[id("a")]);
+    }
+
+    #[test]
+    fn spawned_closure_does_not_block_its_spawner() {
+        let src = r#"
+            fn serve() { std::thread::spawn(move || { reader(); }); }
+            fn reader() { rx.recv(); }
+        "#;
+        let (files, ws) = setup(src);
+        let bl = blocking_fixpoint(&files, &ws);
+        let id = |n: &str| ws.fns.iter().position(|f| f.name == n).unwrap();
+        assert!(!bl.blocks[id("serve")]);
+        assert!(bl.blocks[id("reader")]);
+    }
+
+    #[test]
+    fn channel_sender_send_is_not_a_seed() {
+        let src = r#"
+            fn f(tx: &Sender<u32>, conn: &mut dyn Connection) {
+                tx.send(1);
+                conn.send(&b);
+            }
+        "#;
+        let (files, ws) = setup(src);
+        let bl = blocking_fixpoint(&files, &ws);
+        // The conn.send seed still marks f as blocking…
+        assert!(bl.blocks[0]);
+        // …but the tx.send alone would not.
+        let id = 0;
+        let seeds: Vec<_> = ws.calls[id]
+            .iter()
+            .filter_map(|c| blocking_seed(&ws, id, c).map(|_| c.line))
+            .collect();
+        assert_eq!(seeds.len(), 1, "{seeds:?}");
+        let _ = files;
+    }
+}

@@ -119,9 +119,15 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
             }
             '"' => {
                 let (end, nl) = scan_string(bytes, i, false);
+                // Strip the quotes; an unterminated string runs to EOF, whose
+                // last byte may sit mid-character — back up to a boundary.
+                let mut hi = end.saturating_sub(1).max(i + 1);
+                while !src.is_char_boundary(hi) {
+                    hi -= 1;
+                }
                 toks.push(Token {
                     kind: TokKind::Str,
-                    text: src[i + 1..end.saturating_sub(1).max(i + 1)].to_string(),
+                    text: src[i + 1..hi].to_string(),
                     line,
                 });
                 line += nl;
@@ -207,7 +213,7 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 i += 1;
                 while i < bytes.len() {
                     let d = bytes[i] as char;
-                    if d.is_alphanumeric() || d == '_' {
+                    if d.is_ascii_alphanumeric() || d == '_' {
                         i += 1;
                     } else if d == '.'
                         && i + 1 < bytes.len()
@@ -253,7 +259,8 @@ fn scan_string(bytes: &[u8], mut i: usize, raw: bool) -> (usize, u32) {
     let mut nl = 0u32;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' if !raw => i += 2,
+            // Clamp: a trailing backslash must not step past the end.
+            b'\\' if !raw => i = (i + 2).min(bytes.len()),
             b'"' => {
                 i += 1;
                 break;
@@ -310,7 +317,7 @@ fn scan_char(bytes: &[u8], mut i: usize) -> usize {
     i += 1; // opening quote
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => i = (i + 2).min(bytes.len()),
             b'\'' => return i + 1,
             _ => i += 1,
         }

@@ -1,51 +1,70 @@
 //! `ohpc-analyze`: the workspace's own static-analysis pass.
 //!
-//! Parses every first-party crate and enforces four invariants the compiler
+//! Parses every first-party crate and enforces invariants the compiler
 //! cannot check but the paper's communication model depends on:
 //!
 //! * `lock-order` — no cycles in the static lock-acquisition graph
-//!   (potential deadlocks), including through intra-crate helper calls.
+//!   (potential deadlocks), followed interprocedurally across crates.
 //! * `panic-freedom` — no `unwrap`/`expect`/panicking macros/slice indexing
-//!   in the non-test code of the wire-facing crates (`ohpc-orb`,
-//!   `ohpc-transport`, `ohpc-caps`, `ohpc-xdr`).
+//!   in the non-test code of the wire-facing crates.
 //! * `cap-symmetry` — capability impls handle both `Direction` arms
 //!   explicitly, and every capability `NAME` is registered in
 //!   `register_standard`.
 //! * `xdr-pairing` — every `XdrEncode` impl has a matching `XdrDecode` and
 //!   a round-trip property test.
+//! * `transport-unwrap` — no unwrap on values tainted by transport calls.
+//! * `guard-across-blocking` — no lock guard live across a blocking wire
+//!   operation, sleep, or a callee that transitively blocks.
+//! * `bounded-recv` — every transport receive outside a dedicated reader
+//!   thread is deadline-bounded.
+//! * `telemetry-coverage` — error paths in the request-path crates touch a
+//!   telemetry counter somewhere on their call path.
 //!
 //! Output is one machine-readable line per finding
-//! (`file:line: [rule] severity: message`); the exit code is non-zero when
-//! any `deny` finding exists. CI runs `--deny-all`, which promotes every
-//! finding to `deny`.
+//! (`file:line: [rule] severity: message`), or SARIF with `--format json`;
+//! the exit code is non-zero when any `deny` finding exists. CI runs
+//! `--deny-all`, which promotes every finding to `deny`.
 //!
 //! Infallible sites are suppressed with
 //! `// ohpc-analyze: allow(<rule>) — <reason>`; an annotation without a
-//! reason is itself a deny finding.
-
-mod lexer;
-mod rules;
-mod source;
+//! reason is itself a deny finding, and one that suppresses nothing is
+//! reported stale. A committed baseline (`crates/analyze/baseline.txt`,
+//! auto-loaded when present) holds accepted findings during gradual
+//! adoption of new rules.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rules::Severity;
+use ohpc_analyze::rules::Severity;
+use ohpc_analyze::{baseline, report, rules, source};
 
 const USAGE: &str = "\
 usage: ohpc-analyze [--deny-all] [--root <dir>] [--rule <id>]...
+                    [--format text|json] [--baseline <file>] [--no-baseline]
+                    [--emit-baseline]
 
-  --deny-all    promote every finding to deny (the CI configuration)
-  --root <dir>  workspace root (default: nearest ancestor with [workspace])
-  --rule <id>   run only the named rule(s); repeatable.
-                ids: lock-order, panic-freedom, cap-symmetry, xdr-pairing,
-                annotation
+  --deny-all         promote every finding to deny (the CI configuration)
+  --root <dir>       workspace root (default: nearest ancestor with [workspace])
+  --rule <id>        run only the named rule(s); repeatable.
+                     ids: lock-order, panic-freedom, cap-symmetry, xdr-pairing,
+                     transport-unwrap, guard-across-blocking, bounded-recv,
+                     telemetry-coverage, annotation
+  --format text|json text (default): one line per finding;
+                     json: SARIF 2.1.0 on stdout (for CI artifacts)
+  --baseline <file>  suppress findings listed in <file>
+                     (default: crates/analyze/baseline.txt when it exists)
+  --no-baseline      ignore any baseline file
+  --emit-baseline    print the current findings in baseline form and exit 0
 ";
 
 fn main() -> ExitCode {
     let mut deny_all = false;
     let mut root: Option<PathBuf> = None;
     let mut only: Vec<String> = Vec::new();
+    let mut format_json = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut emit_baseline = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,6 +79,18 @@ fn main() -> ExitCode {
                 Some(r) => return usage_error(&format!("unknown rule '{r}'")),
                 None => return usage_error("--rule requires a rule id"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format_json = false,
+                Some("json") => format_json = true,
+                Some(f) => return usage_error(&format!("unknown format '{f}'")),
+                None => return usage_error("--format requires text|json"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage_error("--baseline requires a path"),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--emit-baseline" => emit_baseline = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -85,17 +116,62 @@ fn main() -> ExitCode {
     };
 
     let diags = rules::run_all(&files, deny_all, &only);
-    for d in &diags {
-        println!("{d}");
+
+    if emit_baseline {
+        print!("{}", baseline::render(&diags));
+        return ExitCode::SUCCESS;
+    }
+
+    // Baseline: explicit path, or the committed default when present.
+    let mut suppressed = 0usize;
+    let mut diags = diags;
+    let effective = match (&baseline_path, no_baseline) {
+        (_, true) => None,
+        (Some(p), _) => Some(p.clone()),
+        (None, _) => {
+            let default = root.join("crates/analyze/baseline.txt");
+            default.exists().then_some(default)
+        }
+    };
+    if let Some(path) = effective {
+        match baseline::load(&path) {
+            Ok(entries) => {
+                let (kept, n, stale) = baseline::apply(diags, &entries);
+                diags = kept;
+                suppressed = n;
+                for e in &stale {
+                    eprintln!(
+                        "ohpc-analyze: stale baseline entry ({} / {}): finding no longer \
+                         produced — remove it from {}",
+                        e.rule,
+                        e.file,
+                        path.display()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("ohpc-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if format_json {
+        print!("{}", report::to_sarif(&diags, files.len()));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
     }
     let denies = diags.iter().filter(|d| d.severity == Severity::Deny).count();
     let warns = diags.len() - denies;
     eprintln!(
-        "ohpc-analyze: scanned {} files, {} findings ({} deny, {} warn)",
+        "ohpc-analyze: scanned {} files, {} findings ({} deny, {} warn){}",
         files.len(),
         diags.len(),
         denies,
-        warns
+        warns,
+        if suppressed > 0 { format!(", {suppressed} baselined") } else { String::new() }
     );
     if denies > 0 {
         ExitCode::FAILURE

@@ -1,0 +1,109 @@
+//! SARIF-ish JSON output (`--format json`) for CI artifacts.
+//!
+//! Hand-rolled like `BENCH_overhead.json`'s emitter: the schema is the
+//! useful subset of SARIF 2.1.0 — tool driver with rule ids, one `result`
+//! per finding with `ruleId`, `level`, message text and a physical
+//! location — enough for GitHub code-scanning upload and for diffing two
+//! runs, without pulling a JSON dependency into the offline build.
+
+use crate::rules::{Diagnostic, Severity, ALL_RULES};
+
+/// Render findings as a SARIF 2.1.0 document.
+pub fn to_sarif(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::with_capacity(1024 + diags.len() * 256);
+    out.push_str("{\n  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n",
+    );
+    out.push_str("      \"tool\": {\n        \"driver\": {\n          \"name\": \"ohpc-analyze\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n          \"rules\": [\n");
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{ \"id\": {} }}{}\n",
+            json_str(rule),
+            if i + 1 < ALL_RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str(&format!(
+        "      \"properties\": {{ \"filesScanned\": {files_scanned} }},\n"
+    ));
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let level = match d.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": {},\n", json_str(d.rule)));
+        out.push_str(&format!("          \"level\": {},\n", json_str(level)));
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_str(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            json_str(&d.file)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            d.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_contains_rule_level_and_location() {
+        let d = Diagnostic {
+            file: "crates/orb/src/lib.rs".into(),
+            line: 42,
+            rule: "bounded-recv",
+            severity: Severity::Deny,
+            message: "a \"quoted\" message\nwith newline".into(),
+        };
+        let s = to_sarif(&[d], 7);
+        assert!(s.contains("\"ruleId\": \"bounded-recv\""), "{s}");
+        assert!(s.contains("\"level\": \"error\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\\n"));
+        assert!(s.contains("\"filesScanned\": 7"));
+    }
+
+    #[test]
+    fn empty_run_is_valid_shape() {
+        let s = to_sarif(&[], 0);
+        assert!(s.contains("\"results\": [\n      ]"), "{s}");
+    }
+}

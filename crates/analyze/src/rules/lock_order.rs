@@ -1,79 +1,41 @@
-//! Rule `lock-order`: static lock-acquisition ordering.
+//! Rule `lock-order`: static lock-acquisition ordering, workspace-wide.
 //!
-//! Builds, per crate, a directed graph whose nodes are the crate's
-//! `parking_lot::Mutex` / `RwLock` *fields* and whose edges mean "some
-//! function acquires B while holding A". A cycle in that graph is a
-//! potential deadlock: two threads entering the cycle from different points
-//! can each hold the lock the other wants. Re-entrant acquisition of the
-//! same field (a self-edge) is reported too — `parking_lot` locks are not
-//! re-entrant, so `lock(); …; lock()` on one field deadlocks a single
-//! thread.
+//! Builds a directed graph whose nodes are the workspace's
+//! `parking_lot::Mutex` / `RwLock` *fields* — crate-qualified, e.g.
+//! `ohpc-orb::channels` — and whose edges mean "some function acquires B
+//! while holding A". A cycle in that graph is a potential deadlock: two
+//! threads entering the cycle from different points can each hold the lock
+//! the other wants. Re-entrant acquisition of the same field (a self-edge)
+//! is reported too — `parking_lot` locks are not re-entrant, so
+//! `lock(); …; lock()` on one field deadlocks a single thread.
 //!
 //! The approximation, stated honestly:
 //!
-//! * A guard bound with `let` is considered held to the end of its enclosing
-//!   block; a temporary guard to the end of its statement; a guard created
-//!   in an `if let`/`while let`/`match` head to the end of the associated
-//!   block (Rust's pre-2024 temporary-scope rule, the edition this
-//!   workspace uses).
-//! * Calls are followed one level deep *within the crate*, and only for
-//!   `self.helper(…)`, `Self::helper(…)` and bare `helper(…)` callees —
-//!   calls on other receivers would need type inference to resolve. Callee
-//!   lock sets are propagated to a fixpoint, so chains of helpers are seen.
-//! * Fields are identified by name per crate. Two structs in one crate with
-//!   identically named lock fields share a node, which can only make the
-//!   analysis stricter (extra edges), never miss a cycle among the fields
-//!   it models.
+//! * Guard liveness comes from [`crate::dataflow`]: a `let`-bound guard is
+//!   held to the end of its enclosing block (truncated at `drop(g)`), a
+//!   temporary to the end of its statement, an `if let`/`while let`/
+//!   `match` head guard through the attached block (pre-2024 scoping).
+//! * Calls are resolved through the workspace call graph
+//!   ([`crate::graph::Workspace`]) — `self.helper(…)`, `Type::assoc(…)`,
+//!   typed receivers, trait-object fields, `use`-imported free functions —
+//!   so lock sets propagate *across crate boundaries*. Callee lock sets
+//!   reach a fixpoint, so chains of helpers are seen. Calls inside a
+//!   `spawn(…)` argument are excluded: the spawned closure acquires on its
+//!   own thread, which establishes no ordering for the spawner.
+//! * Fields are identified by name per crate. Two structs in one crate
+//!   with identically named lock fields share a node, which can only make
+//!   the analysis stricter (extra edges), never miss a cycle among the
+//!   fields it models.
 
 use std::collections::{HashMap, HashSet};
 
-use crate::lexer::TokKind;
-use crate::rules::{fn_bodies, Diagnostic, Severity};
+use crate::dataflow;
+use crate::graph::Workspace;
+use crate::rules::{Diagnostic, Severity};
 use crate::source::SourceFile;
 
 /// Rule id.
 pub const RULE: &str = "lock-order";
-
-/// One lock acquisition inside a function body.
-#[derive(Debug)]
-struct Acq {
-    field: String,
-    tok: usize,
-    line: u32,
-    /// Token index through which the guard is considered held.
-    until: usize,
-}
-
-/// How a call site names its callee; determines which functions it can
-/// resolve to (methods take `self`, free functions do not).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CallKind {
-    /// `self.helper(…)` — resolves to same-crate methods only.
-    SelfMethod,
-    /// `Self::helper(…)` — could be either.
-    SelfAssoc,
-    /// `helper(…)` — resolves to same-crate free functions only.
-    Bare,
-}
-
-/// One resolvable call inside a function body.
-#[derive(Debug)]
-struct Call {
-    callee: String,
-    kind: CallKind,
-    tok: usize,
-    line: u32,
-}
-
-/// Per-function facts.
-struct FnFacts {
-    name: String,
-    /// True when the parameter list contains `self` (a method).
-    has_self: bool,
-    file_idx: usize,
-    acqs: Vec<Acq>,
-    calls: Vec<Call>,
-}
 
 /// A lock-order edge with one example site.
 #[derive(Debug, Clone)]
@@ -85,79 +47,55 @@ struct Edge {
 }
 
 /// Entry point.
-pub fn run(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
-    let mut crates: HashSet<&str> = HashSet::new();
-    for f in files {
-        crates.insert(&f.crate_name);
+pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    // Lock fields per crate, from the workspace field table.
+    let mut fields: HashMap<&str, HashSet<String>> = HashMap::new();
+    for ((krate, field), ty) in &ws.field_types {
+        if ty.iter().any(|t| t == "Mutex" || t == "RwLock") {
+            fields.entry(krate.as_str()).or_default().insert(field.clone());
+        }
     }
-    let mut names: Vec<&str> = crates.into_iter().collect();
-    names.sort();
-    for name in names {
-        run_crate(name, files, diags);
-    }
-}
-
-fn run_crate(crate_name: &str, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
-    let fields = lock_fields(crate_name, files);
     if fields.is_empty() {
         return;
     }
+    let empty = HashSet::new();
+    let node = |krate: &str, field: &str| format!("{krate}::{field}");
 
-    // Collect per-function facts across the crate's source files.
-    let mut facts: Vec<FnFacts> = Vec::new();
-    for (fi, f) in files.iter().enumerate() {
-        if f.crate_name != crate_name || f.in_tests_dir {
+    // Per-function acquisitions of known lock fields.
+    let mut acqs: Vec<Vec<dataflow::GuardAcq>> = Vec::with_capacity(ws.fns.len());
+    for fi in &ws.fns {
+        if fi.is_test {
+            acqs.push(Vec::new());
             continue;
         }
-        for (name, fn_tok, open, close) in fn_bodies(f) {
-            if f.is_test_tok(fn_tok) || f.in_macro_def(fn_tok) {
-                continue;
-            }
-            let has_self = param_list_has_self(f, fn_tok, open);
-            facts.push(scan_fn(f, fi, name, has_self, open, close, &fields));
-        }
+        let f = &files[fi.file];
+        let crate_fields = fields.get(fi.crate_name.as_str()).unwrap_or(&empty);
+        let mut list = dataflow::guard_acqs(f, fi.open, fi.close, crate_fields);
+        list.retain(|a| crate_fields.contains(&a.root));
+        acqs.push(list);
     }
 
-    // Callee lock sets, keyed by (name, is-method). Same-named functions of
-    // the same kind are merged — strictly an over-approximation.
-    let mut reach: HashMap<(String, bool), HashSet<String>> = HashMap::new();
-    for ff in &facts {
-        let entry = reach.entry((ff.name.clone(), ff.has_self)).or_default();
-        for a in &ff.acqs {
-            entry.insert(a.field.clone());
-        }
+    // Callee lock sets, per function, propagated to a fixpoint across the
+    // resolved (cross-crate) call graph.
+    let mut reach: Vec<HashSet<String>> = Vec::with_capacity(ws.fns.len());
+    for (id, fi) in ws.fns.iter().enumerate() {
+        reach.push(acqs[id].iter().map(|a| node(&fi.crate_name, &a.root)).collect());
     }
-
-    // A call site's candidate summaries, respecting the method/free split.
-    let resolve = |reach: &HashMap<(String, bool), HashSet<String>>,
-                   c: &Call|
-     -> HashSet<String> {
-        let mut out = HashSet::new();
-        let kinds: &[bool] = match c.kind {
-            CallKind::SelfMethod => &[true],
-            CallKind::Bare => &[false],
-            CallKind::SelfAssoc => &[true, false],
-        };
-        for &k in kinds {
-            if let Some(set) = reach.get(&(c.callee.clone(), k)) {
-                out.extend(set.iter().cloned());
-            }
-        }
-        out
-    };
-
-    // Propagate callee lock sets to a fixpoint, so a helper that calls
-    // another helper that locks is still seen by the caller.
     loop {
         let mut changed = false;
-        for ff in &facts {
-            let mut add: HashSet<String> = HashSet::new();
-            for c in &ff.calls {
-                add.extend(resolve(&reach, c));
+        for id in 0..ws.fns.len() {
+            let fi = &ws.fns[id];
+            let mut add: Vec<String> = Vec::new();
+            for (ci, c) in ws.calls[id].iter().enumerate() {
+                if ws.in_spawn_arg(fi.file, c.tok) {
+                    continue;
+                }
+                for &t in &ws.targets[id][ci] {
+                    add.extend(reach[t].iter().cloned());
+                }
             }
-            let entry = reach.entry((ff.name.clone(), ff.has_self)).or_default();
             for x in add {
-                if entry.insert(x) {
+                if reach[id].insert(x) {
                     changed = true;
                 }
             }
@@ -169,27 +107,31 @@ fn run_crate(crate_name: &str, files: &[SourceFile], diags: &mut Vec<Diagnostic>
 
     // Build the edge set.
     let mut edges: HashMap<String, Vec<Edge>> = HashMap::new();
-    for ff in &facts {
-        let file = &files[ff.file_idx];
-        for a in &ff.acqs {
-            for b in &ff.acqs {
+    for (id, fi) in ws.fns.iter().enumerate() {
+        let file = &files[fi.file];
+        for a in &acqs[id] {
+            let from = node(&fi.crate_name, &a.root);
+            for b in &acqs[id] {
                 if b.tok > a.tok && b.tok <= a.until {
-                    edges.entry(a.field.clone()).or_default().push(Edge {
-                        to: b.field.clone(),
+                    edges.entry(from.clone()).or_default().push(Edge {
+                        to: node(&fi.crate_name, &b.root),
                         file: file.path.clone(),
                         line: b.line,
-                        note: format!("in fn {}", ff.name),
+                        note: format!("in fn {}", fi.name),
                     });
                 }
             }
-            for c in &ff.calls {
-                if c.tok > a.tok && c.tok <= a.until {
-                    for to in resolve(&reach, c) {
-                        edges.entry(a.field.clone()).or_default().push(Edge {
-                            to,
+            for (ci, c) in ws.calls[id].iter().enumerate() {
+                if c.tok <= a.tok || c.tok > a.until || ws.in_spawn_arg(fi.file, c.tok) {
+                    continue;
+                }
+                for &t in &ws.targets[id][ci] {
+                    for to in &reach[t] {
+                        edges.entry(from.clone()).or_default().push(Edge {
+                            to: to.clone(),
                             file: file.path.clone(),
                             line: c.line,
-                            note: format!("in fn {} via call to {}", ff.name, c.callee),
+                            note: format!("in fn {} via call to {}", fi.name, c.name),
                         });
                     }
                 }
@@ -197,199 +139,13 @@ fn run_crate(crate_name: &str, files: &[SourceFile], diags: &mut Vec<Diagnostic>
         }
     }
 
-    report_cycles(crate_name, &edges, files, diags);
+    report_cycles(&edges, files, diags);
 }
 
-/// Gather `name: Mutex<…>` / `name: RwLock<…>` field names declared in the
-/// crate's non-test source (including through wrappers like `Arc<Mutex<…>>`).
-fn lock_fields(crate_name: &str, files: &[SourceFile]) -> HashSet<String> {
-    let mut fields = HashSet::new();
-    for f in files {
-        if f.crate_name != crate_name || f.in_tests_dir {
-            continue;
-        }
-        let toks = &f.tokens;
-        for i in 0..toks.len().saturating_sub(2) {
-            if toks[i].kind != TokKind::Ident || !toks[i + 1].is_punct(':') {
-                continue;
-            }
-            // Exclude path segments (`a::b`) and `::` on either side.
-            if toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
-                continue;
-            }
-            if i > 0 && toks[i - 1].is_punct(':') {
-                continue;
-            }
-            if f.is_test_tok(i) || f.in_macro_def(i) {
-                continue;
-            }
-            // Look a few tokens ahead for Mutex/RwLock before the type ends.
-            for j in i + 2..(i + 10).min(toks.len()) {
-                let t = &toks[j];
-                if t.is_punct(',') || t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-                    break;
-                }
-                if t.is_ident("Mutex") || t.is_ident("RwLock") {
-                    fields.insert(toks[i].text.clone());
-                    break;
-                }
-            }
-        }
-    }
-    fields
-}
-
-/// Keywords that look like call syntax but are not calls.
-const NOT_CALLEES: &[&str] = &[
-    "if", "while", "for", "match", "return", "loop", "move", "else", "in", "as", "box", "await",
-    "fn", "impl", "where", "unsafe", "Some", "Ok", "Err", "None",
-];
-
-/// Does the parameter list between the fn name and the body contain `self`?
-fn param_list_has_self(f: &SourceFile, fn_tok: usize, body_open: usize) -> bool {
-    let toks = &f.tokens;
-    let Some(popen) = (fn_tok + 2..body_open).find(|&j| toks[j].is_punct('(')) else {
-        return false;
-    };
-    let pclose = f.close_of.get(&popen).copied().unwrap_or(body_open);
-    toks[popen + 1..pclose.min(body_open)].iter().any(|t| t.is_ident("self"))
-}
-
-/// Scan one function body for acquisitions and resolvable calls.
-fn scan_fn(
-    f: &SourceFile,
-    file_idx: usize,
-    name: String,
-    has_self: bool,
-    open: usize,
-    close: usize,
-    fields: &HashSet<String>,
-) -> FnFacts {
-    let toks = &f.tokens;
-    let mut acqs = Vec::new();
-    let mut calls = Vec::new();
-    // Stack of open-brace token indices enclosing the current position.
-    let mut braces: Vec<usize> = vec![open];
-
-    let mut j = open + 1;
-    while j < close {
-        let t = &toks[j];
-        if t.is_punct('{') {
-            braces.push(j);
-        } else if t.is_punct('}') {
-            braces.pop();
-        } else if t.kind == TokKind::Ident {
-            // `.lock()` / `.read()` / `.write()` with a known field receiver.
-            let is_acquire = matches!(t.text.as_str(), "lock" | "read" | "write")
-                && j >= 2
-                && toks[j - 1].is_punct('.')
-                && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
-                && toks.get(j + 2).is_some_and(|n| n.is_punct(')'));
-            if is_acquire {
-                let recv = &toks[j - 2];
-                if recv.kind == TokKind::Ident && fields.contains(&recv.text) {
-                    let until = guard_scope(f, j, close, &braces);
-                    acqs.push(Acq {
-                        field: recv.text.clone(),
-                        tok: j,
-                        line: t.line,
-                        until,
-                    });
-                }
-            } else if toks.get(j + 1).is_some_and(|n| n.is_punct('('))
-                && !NOT_CALLEES.contains(&t.text.as_str())
-            {
-                // Resolvable callees: `self.h(…)`, `Self::h(…)`, bare `h(…)`.
-                let prev_dot = j >= 1 && toks[j - 1].is_punct('.');
-                let kind = if prev_dot && j >= 2 && toks[j - 2].is_ident("self") {
-                    Some(CallKind::SelfMethod)
-                } else if j >= 3
-                    && toks[j - 1].is_punct(':')
-                    && toks[j - 2].is_punct(':')
-                    && toks[j - 3].is_ident("Self")
-                {
-                    Some(CallKind::SelfAssoc)
-                } else if !prev_dot && (j == 0 || !toks[j - 1].is_punct(':')) {
-                    Some(CallKind::Bare)
-                } else {
-                    None
-                };
-                if let Some(kind) = kind {
-                    calls.push(Call {
-                        callee: t.text.clone(),
-                        kind,
-                        tok: j,
-                        line: t.line,
-                    });
-                }
-            }
-        }
-        j += 1;
-    }
-    FnFacts { name, has_self, file_idx, acqs, calls }
-}
-
-/// Decide how long the guard produced at token `j` (the `lock`/`read`/
-/// `write` ident) stays alive, as a token index bound.
-fn guard_scope(f: &SourceFile, j: usize, body_close: usize, braces: &[usize]) -> usize {
-    let toks = &f.tokens;
-
-    // Walk back over the receiver path (`self . inner . field`).
-    let mut k = j - 2; // receiver field ident
-    while k >= 2 && toks[k - 1].is_punct('.') && toks[k - 2].kind == TokKind::Ident {
-        k -= 2;
-    }
-    // Inspect the statement prefix back to the nearest `;`, `{` or `}`.
-    let mut has_let = false;
-    let mut in_cond = false; // `if let` / `while let` / `match` head
-    let mut b = k;
-    while b > 0 {
-        b -= 1;
-        let t = &toks[b];
-        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-            break;
-        }
-        if t.is_ident("let") {
-            has_let = true;
-        }
-        if t.is_ident("if") || t.is_ident("while") || t.is_ident("match") {
-            in_cond = true;
-        }
-    }
-
-    if has_let && !in_cond {
-        // Plain `let g = …lock();` — held to the end of the enclosing block.
-        let open = braces.last().copied().unwrap_or(0);
-        return f.close_of.get(&open).copied().unwrap_or(body_close).min(body_close);
-    }
-
-    // Temporary (or condition-head) guard: held to the end of the statement,
-    // extended through the attached block if one opens first (`if let`,
-    // `while let`, `match` — the pre-2024 temporary scope).
-    let mut depth: i32 = 0;
-    let mut m = j + 3; // token after `( )`
-    while m <= body_close {
-        let t = &toks[m];
-        if t.is_punct('(') || t.is_punct('[') {
-            depth += 1;
-        } else if t.is_punct(')') || t.is_punct(']') {
-            depth -= 1;
-        } else if t.is_punct('{') && depth <= 0 {
-            return f.close_of.get(&m).copied().unwrap_or(body_close).min(body_close);
-        } else if (t.is_punct(';') || t.is_punct('}')) && depth <= 0 {
-            return m;
-        }
-        m += 1;
-    }
-    body_close
-}
-
-/// Find and report cycles (including self-edges) via DFS over each crate's
-/// edge map.
+/// Find and report cycles (including self-edges) via DFS over the edge map.
 fn report_cycles(
-    crate_name: &str,
     edges: &HashMap<String, Vec<Edge>>,
-    _files: &[SourceFile],
+    files: &[SourceFile],
     diags: &mut Vec<Diagnostic>,
 ) {
     // Deduplicate parallel edges, keeping the first example site.
@@ -433,6 +189,12 @@ fn report_cycles(
                 let mut key = cycle.clone();
                 key.sort();
                 if reported.insert(key) {
+                    // Allow on the closing edge's site suppresses the cycle.
+                    let allow_file =
+                        files.iter().find(|f| f.path == edge.file);
+                    if allow_file.is_some_and(|f| f.allowed(RULE, edge.line)) {
+                        continue;
+                    }
                     let mut hops: Vec<String> = Vec::new();
                     for (_, e) in &path {
                         hops.push(format!("{} ({}:{} {})", e.to, e.file, e.line, e.note));
@@ -444,8 +206,7 @@ fn report_cycles(
                         rule: RULE,
                         severity: Severity::Deny,
                         message: format!(
-                            "potential deadlock in {}: lock-order cycle {} -> {}",
-                            crate_name,
+                            "potential deadlock: lock-order cycle {} -> {}",
                             start,
                             hops.join(" -> "),
                         ),
@@ -453,7 +214,7 @@ fn report_cycles(
                 }
                 continue;
             }
-            if path.iter().any(|(n, _)| *n == edge.to) {
+            if edge.to == node || path.iter().any(|(n, _)| *n == edge.to) {
                 continue; // already on path; the DFS from that node reports it
             }
             if adj.contains_key(edge.to.as_str()) {
@@ -470,9 +231,13 @@ mod tests {
     use crate::rules::run_all;
 
     fn analyze(src: &str) -> Vec<Diagnostic> {
-        let f = SourceFile::from_source("crates/x/src/lib.rs", "x", false, src);
+        analyze_files(vec![SourceFile::from_source("crates/x/src/lib.rs", "x", false, src)])
+    }
+
+    fn analyze_files(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let ws = Workspace::build(&files);
         let mut diags = Vec::new();
-        run(&[f], &mut diags);
+        run(&files, &ws, &mut diags);
         diags
     }
 
@@ -546,6 +311,52 @@ mod tests {
     }
 
     #[test]
+    fn cross_crate_cycle_detected() {
+        // Crate x calls y's `flush` while holding `a` (edge a → q); y's
+        // `sync` holds `q` while calling back into x's `record`, which
+        // locks `a` (edge q → a). Neither crate sees a cycle alone.
+        let x = r#"
+            use parking_lot::Mutex;
+            use ohpc_y::Flusher;
+            pub struct Reg { a: Mutex<u32> }
+            impl Reg {
+                pub fn tick(&self, fl: &Flusher) {
+                    let g = self.a.lock();
+                    fl.flush();
+                }
+                pub fn record(&self) {
+                    let g = self.a.lock();
+                }
+            }
+        "#;
+        let y = r#"
+            use parking_lot::Mutex;
+            use ohpc_x::Reg;
+            pub struct Flusher { q: Mutex<u32>, rec: Reg }
+            impl Flusher {
+                pub fn flush(&self) {
+                    let g = self.q.lock();
+                }
+                pub fn sync(&self) {
+                    let g = self.q.lock();
+                    self.rec.record();
+                }
+            }
+        "#;
+        let files = vec![
+            SourceFile::from_source("crates/x/src/lib.rs", "ohpc-x", false, x),
+            SourceFile::from_source("crates/y/src/lib.rs", "ohpc-y", false, y),
+        ];
+        let diags = analyze_files(files);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(
+            diags[0].message.contains("ohpc-x::a") && diags[0].message.contains("ohpc-y::q"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
     fn reentrant_same_lock_is_a_self_cycle() {
         let src = r#"
             use parking_lot::Mutex;
@@ -559,7 +370,7 @@ mod tests {
         "#;
         let diags = analyze(src);
         assert_eq!(diags.len(), 1, "{diags:?}");
-        assert!(diags[0].message.contains("a -> a"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("x::a -> x::a"), "{}", diags[0].message);
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! The rule engine: diagnostics, severities, and the driver that runs every
 //! rule over the lexed workspace.
 
+pub mod bounded_recv;
 pub mod cap_symmetry;
+pub mod guard_blocking;
 pub mod lock_order;
 pub mod panic_free;
+pub mod telemetry_coverage;
 pub mod transport_unwrap;
 pub mod xdr_pairing;
 
+use crate::graph::Workspace;
 use crate::source::SourceFile;
 
 /// Finding severity. `Deny` findings fail the run (non-zero exit).
@@ -63,6 +67,9 @@ pub const ALL_RULES: &[&str] = &[
     cap_symmetry::RULE,
     xdr_pairing::RULE,
     transport_unwrap::RULE,
+    guard_blocking::RULE,
+    bounded_recv::RULE,
+    telemetry_coverage::RULE,
     RULE_ANNOTATION,
 ];
 
@@ -72,8 +79,11 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
     let mut diags = Vec::new();
     let want = |rule: &str| only.is_empty() || only.iter().any(|r| r == rule);
 
+    // The interprocedural rules share one symbol table / call graph.
+    let ws = Workspace::build(files);
+
     if want(lock_order::RULE) {
-        lock_order::run(files, &mut diags);
+        lock_order::run(files, &ws, &mut diags);
     }
     if want(panic_free::RULE) {
         panic_free::run(files, &mut diags);
@@ -87,8 +97,17 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
     if want(transport_unwrap::RULE) {
         transport_unwrap::run(files, &mut diags);
     }
+    if want(guard_blocking::RULE) {
+        guard_blocking::run(files, &ws, &mut diags);
+    }
+    if want(bounded_recv::RULE) {
+        bounded_recv::run(files, &ws, &mut diags);
+    }
+    if want(telemetry_coverage::RULE) {
+        telemetry_coverage::run(files, &ws, &mut diags);
+    }
     if want(RULE_ANNOTATION) {
-        annotation_hygiene(files, &mut diags);
+        annotation_hygiene(files, only.is_empty(), &mut diags);
     }
 
     if deny_all {
@@ -103,9 +122,31 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
 /// Annotation hygiene: a suppression without a reason is itself a finding —
 /// the reason is the reviewable artifact, and an unexplained `allow` would
 /// let findings rot silently. Malformed `ohpc-analyze:` comments likewise.
-fn annotation_hygiene(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+///
+/// When every rule ran (`all_rules_ran`), an allow that suppressed nothing
+/// is reported as stale: either the offending site was refactored away, or
+/// the annotation sits on the wrong line. With a `--rule` subset the usage
+/// information is incomplete, so the staleness check is skipped.
+fn annotation_hygiene(files: &[SourceFile], all_rules_ran: bool, diags: &mut Vec<Diagnostic>) {
     for f in files {
         for a in &f.allows {
+            if a.has_reason
+                && all_rules_ran
+                && !a.used.get()
+                && ALL_RULES.contains(&a.rule.as_str())
+            {
+                diags.push(Diagnostic {
+                    file: f.path.clone(),
+                    line: a.line,
+                    rule: RULE_ANNOTATION,
+                    severity: Severity::Warn,
+                    message: format!(
+                        "allow({}) suppresses nothing — the finding it muzzled is gone; \
+                         delete the annotation (or move it next to the site it covers)",
+                        a.rule
+                    ),
+                });
+            }
             if !a.has_reason {
                 diags.push(Diagnostic {
                     file: f.path.clone(),

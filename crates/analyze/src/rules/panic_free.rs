@@ -18,7 +18,7 @@ pub const RULE: &str = "panic-freedom";
 
 /// Crates whose non-test code must be panic-free.
 pub const TARGET_CRATES: &[&str] =
-    &["ohpc-orb", "ohpc-transport", "ohpc-caps", "ohpc-xdr", "ohpc-telemetry"];
+    &["ohpc-orb", "ohpc-transport", "ohpc-caps", "ohpc-xdr", "ohpc-telemetry", "ohpc-resilience"];
 
 /// Panicking macros (matched as `name !`).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -22,10 +22,17 @@ pub const ANNOTATION: &str = "ohpc-analyze:";
 pub struct Allow {
     /// 1-based line of the comment.
     pub line: u32,
+    /// The code line this annotation covers: its own line (trailing
+    /// comments), or the first token-bearing line after the comment block —
+    /// so a multi-line reason still lands on the statement below it.
+    pub covers: u32,
     /// The rule id inside `allow(...)`.
     pub rule: String,
     /// Whether a non-empty reason follows the `allow(...)`.
     pub has_reason: bool,
+    /// Set when the annotation actually suppressed a finding during a run;
+    /// an allow that suppresses nothing is stale and itself reported.
+    pub used: std::cell::Cell<bool>,
 }
 
 /// A malformed `ohpc-analyze:` comment (not `allow(<rule>)` shaped).
@@ -70,7 +77,14 @@ impl SourceFile {
         let close_of = match_brackets(&tokens);
         let test_ranges = find_attr_ranges(&tokens, &close_of);
         let macro_ranges = find_macro_ranges(&tokens, &close_of);
-        let (allows, bad_annotations) = parse_annotations(&comments);
+        let (mut allows, bad_annotations) = parse_annotations(&comments);
+        // A multi-line annotation comment covers the first code line below
+        // the whole block, not the next comment line.
+        for a in &mut allows {
+            if let Some(t) = tokens.iter().find(|t| t.line > a.line) {
+                a.covers = t.line;
+            }
+        }
         SourceFile {
             path: path.to_string(),
             crate_name: crate_name.to_string(),
@@ -95,10 +109,16 @@ impl SourceFile {
     }
 
     /// True when a well-formed allow annotation for `rule` covers `line`.
+    /// Marks the matching annotation as used (it suppressed something).
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|a| a.has_reason && a.rule == rule && (a.line == line || a.line + 1 == line))
+        let mut hit = false;
+        for a in &self.allows {
+            if a.has_reason && a.rule == rule && (a.line == line || a.covers == line) {
+                a.used.set(true);
+                hit = true;
+            }
+        }
+        hit
     }
 }
 
@@ -222,8 +242,10 @@ fn parse_annotations(comments: &[Comment]) -> (Vec<Allow>, Vec<BadAnnotation>) {
             .trim();
         allows.push(Allow {
             line: c.line,
+            covers: c.line + 1, // refined against the token stream by the caller
             rule,
             has_reason: !reason.is_empty(),
+            used: std::cell::Cell::new(false),
         });
     }
     (allows, bad)

@@ -217,14 +217,40 @@ impl Startpoint {
     /// Fires a one-way RSR: no reply, no ordering guarantee with failures.
     pub fn rsr(&self, handler: HandlerId, args: &XdrWriter) -> Result<(), NexusError> {
         let frame = Self::frame(TAG_ONEWAY, handler, args);
+        // ohpc-analyze: allow(guard-across-blocking) — the connection mutex
+        // is the framing discipline: concurrent startpoint users must not
+        // interleave frames on the one wire.
         self.conn.lock().send(&frame)?;
         Ok(())
     }
 
     /// Request/response RSR: returns the handler's reply body.
+    ///
+    /// No receive deadline: a silent peer blocks this caller forever. On
+    /// request paths prefer [`rsr_reply_deadline`](Self::rsr_reply_deadline)
+    /// so the ORB's retry/deadline budget can bound the wait.
     pub fn rsr_reply(&self, handler: HandlerId, args: &XdrWriter) -> Result<Bytes, NexusError> {
+        self.rsr_reply_deadline(handler, args, None)
+    }
+
+    /// [`rsr_reply`](Self::rsr_reply) with a receive deadline. The
+    /// connection's receive timeout is armed (or disarmed, for `None`) for
+    /// this exchange, so a hung server fails the call with
+    /// [`TransportError::Timeout`] instead of outliving the caller's
+    /// deadline budget.
+    pub fn rsr_reply_deadline(
+        &self,
+        handler: HandlerId,
+        args: &XdrWriter,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Bytes, NexusError> {
         let frame = Self::frame(TAG_REQUEST, handler, args);
+        // ohpc-analyze: allow(guard-across-blocking) — one RSR is one
+        // send/recv pair on the single connection; the mutex serializes
+        // whole exchanges so concurrent callers cannot steal each other's
+        // replies.
         let mut conn = self.conn.lock();
+        conn.set_recv_timeout(deadline);
         conn.send(&frame)?;
         let reply = conn.recv()?;
         drop(conn);

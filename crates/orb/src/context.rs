@@ -375,6 +375,9 @@ impl Context {
                         ReplyStatus::Exception(format!("malformed request: {e}")),
                     )
                     .to_frame();
+                    // ohpc-analyze: allow(guard-across-blocking) — the writer
+                    // mutex serializes replies from the detached reply
+                    // threads; one frame per guard is the design.
                     if writer.lock().send(&reply).is_err() {
                         return;
                     }

@@ -64,9 +64,13 @@ impl GpGroup {
         handles
             .into_iter()
             .map(|h| {
-                h.join().unwrap_or_else(|_| {
+                let res = h.join().unwrap_or_else(|_| {
                     Err(OrbError::Protocol("collective member thread panicked".into()))
-                })
+                });
+                if res.is_err() {
+                    ohpc_telemetry::inc("orb_group_member_failures_total", &[]);
+                }
+                res
             })
             .collect()
     }

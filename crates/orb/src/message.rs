@@ -97,7 +97,10 @@ impl RequestMessage {
 
     /// Decodes from a transport frame.
     pub fn from_frame(frame: &[u8]) -> Result<Self, XdrError> {
-        ohpc_xdr::decode_from_slice(frame)
+        ohpc_xdr::decode_from_slice(frame).map_err(|e| {
+            ohpc_telemetry::inc("orb_malformed_frames_total", &[("kind", "request")]);
+            e
+        })
     }
 }
 
@@ -173,6 +176,8 @@ impl XdrEncode for ReplyStatus {
 }
 
 impl XdrDecode for ReplyStatus {
+    // ohpc-analyze: allow(telemetry-coverage) — pure wire decoder; malformed
+    // frames are counted once at the framing boundary (`from_frame`).
     fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
         match r.get_u32()? {
             0 => Ok(ReplyStatus::Ok),
@@ -221,7 +226,10 @@ impl ReplyMessage {
 
     /// Decodes from a transport frame.
     pub fn from_frame(frame: &[u8]) -> Result<Self, XdrError> {
-        ohpc_xdr::decode_from_slice(frame)
+        ohpc_xdr::decode_from_slice(frame).map_err(|e| {
+            ohpc_telemetry::inc("orb_malformed_frames_total", &[("kind", "reply")]);
+            e
+        })
     }
 }
 

@@ -47,6 +47,8 @@ impl XdrEncode for ProtoData {
 }
 
 impl XdrDecode for ProtoData {
+    // ohpc-analyze: allow(telemetry-coverage) — pure wire decoder; malformed
+    // frames are counted once at the framing boundary (`from_frame`).
     fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
         match r.get_u32()? {
             0 => Ok(ProtoData::Endpoint(r.get_string()?)),
@@ -190,6 +192,8 @@ impl XdrEncode for ObjectReference {
 }
 
 impl XdrDecode for ObjectReference {
+    // ohpc-analyze: allow(telemetry-coverage) — pure wire decoder; malformed
+    // frames are counted once at the framing boundary (`from_frame`).
     fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
         let object = ObjectId::decode(r)?;
         let type_name = r.get_string()?;

@@ -149,7 +149,9 @@ impl MuxChannel {
         if let Some(e) = self.dead_error() {
             return Err(MuxError::Unsent(e));
         }
-        self.send_frame(frame).map_err(MuxError::Unsent)
+        self.send_frame(frame).map_err(MuxError::Unsent)?;
+        ohpc_telemetry::inc("mux_oneways_total", &[]);
+        Ok(())
     }
 
     /// Whether the reader has died (or the channel was shut down). A dead
@@ -214,6 +216,9 @@ impl MuxChannel {
 
     /// The framed send; the writer lock is held only for this.
     fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError> {
+        // ohpc-analyze: allow(guard-across-blocking) — the sender mutex
+        // exists precisely to serialize whole frames onto the shared wire;
+        // it guards nothing else and is held for exactly one send.
         let mut guard = self.sender.lock();
         match guard.as_mut() {
             None => Err(TransportError::Closed),
