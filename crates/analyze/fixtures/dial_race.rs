@@ -1,0 +1,33 @@
+//! fixture-crate: ohpc-dialx
+//!
+//! The PR 4 dial-race shape, as a lockset fixture: per-request handler
+//! threads (spawned in the accept loop, so the context is multi-instance)
+//! track in-flight state on a plain field. Two handlers interleave the
+//! read-modify-write on `in_flight` — the double-dial. The mutex-backed
+//! `stats` counterpart and the guard-protected endpoint table are the
+//! corrected forms and must stay silent.
+
+struct Dialer {
+    endpoints: Mutex<Vec<Endpoint>>,
+    in_flight: u64,
+    stats: Mutex<DialStats>,
+}
+
+impl Dialer {
+    pub fn serve(&self, listener: Listener) {
+        while let Some(conn) = listener.accept() {
+            std::thread::spawn(move || self.handle(conn));
+        }
+    }
+
+    fn handle(&self, conn: Conn) {
+        self.in_flight += 1; //~ shared-state
+        self.stats.lock().note_dial();
+        self.dial(conn);
+    }
+
+    fn dial(&self, conn: Conn) {
+        let eps = self.endpoints.lock();
+        conn.connect(eps.first());
+    }
+}

@@ -1,0 +1,32 @@
+//! fixture-crate: ohpc-orb
+//!
+//! `epoch-bump`: mutating a selection input (here the proto-pool membership
+//! field `protos`, designated for crate ohpc-orb) without touching an
+//! epoch/generation counter starves the planned selection cache of its
+//! invalidation signal. `add` forgets the bump; `add_bumped` and
+//! `remove_via_helper` are the accepted forms and must stay silent.
+
+struct Pool {
+    protos: Vec<Proto>,
+    epoch: AtomicU64,
+}
+
+impl Pool {
+    pub fn add(&mut self, p: Proto) {
+        self.protos.push(p); //~ epoch-bump
+    }
+
+    pub fn add_bumped(&mut self, p: Proto) {
+        self.protos.push(p);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    pub fn remove_via_helper(&mut self, id: ProtocolId) {
+        self.protos.retain(|p| p.id != id);
+        self.bump_epoch();
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,24 @@
+//! fixture-crate: ohpc-poolx
+//!
+//! Cross-crate reproduction of the PR 4 eviction-by-key race: the pool's
+//! map mutations are correctly serialized by `conns`, but the eviction
+//! counter rides outside the guard's lockset on one side — the reader
+//! thread (spawned in the sibling crate, see `reader.rs`) bumps it while
+//! the main/API context reads it unlocked.
+
+pub struct Pool {
+    conns: Mutex<HashMap<EndpointKey, Conn>>,
+    evictions: u64,
+}
+
+impl Pool {
+    pub fn evict_by_key(&self, key: &EndpointKey) {
+        let mut m = self.conns.lock();
+        m.remove(key);
+        self.evictions += 1; //~ shared-state
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}

@@ -1,0 +1,16 @@
+//! fixture-crate: ohpc-muxy
+//!
+//! The mux side of the eviction race: a dedicated reader thread reacts to
+//! connection death by evicting the dead endpoint from the shared pool —
+//! so `Pool::evict_by_key` runs on this thread while `Pool::evictions` is
+//! read from the main/API context (see `pool.rs` for the markers).
+
+pub fn spawn_reader(pool: Arc<Pool>) {
+    std::thread::spawn(move || reader_loop(pool));
+}
+
+fn reader_loop(pool: Arc<Pool>) {
+    while let Some(dead) = next_death() {
+        pool.evict_by_key(&dead);
+    }
+}

@@ -112,6 +112,30 @@ pub fn apply(
     (kept, suppressed, stale)
 }
 
+/// Turn stale baseline entries into findings of their own, so a paid-down
+/// debt line cannot silently linger in the committed file. `Warn` severity
+/// (promoted by `--deny-all` in CI, like every other finding). Only valid
+/// when every rule ran: with a `--rule` subset, entries for the rules that
+/// did not run would be falsely stale.
+pub fn stale_diags(stale: &[Entry], path: &Path) -> Vec<Diagnostic> {
+    stale
+        .iter()
+        .map(|e| Diagnostic {
+            file: e.file.clone(),
+            line: 1,
+            rule: crate::rules::RULE_ANNOTATION,
+            severity: crate::rules::Severity::Warn,
+            message: format!(
+                "stale baseline entry ({} / {}): the finding it accepted is no longer \
+                 produced — remove the line from {}",
+                e.rule,
+                e.file,
+                path.display()
+            ),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,9 +179,21 @@ mod tests {
     }
 
     #[test]
+    fn stale_entries_become_findings() {
+        let entries = parse("bounded-recv\ta.rs\tgone finding\n");
+        let (_, _, stale) = apply(Vec::new(), &entries);
+        let diags = stale_diags(&stale, Path::new("crates/analyze/baseline.txt"));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, crate::rules::RULE_ANNOTATION);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(diags[0].message.contains("stale baseline entry"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("bounded-recv"), "{}", diags[0].message);
+    }
+
+    #[test]
     fn render_roundtrips_through_parse() {
         let d = diag("lock-order", "a.rs", 7, "cycle a -> b at line 7");
-        let rendered = render(&[d.clone()]);
+        let rendered = render(std::slice::from_ref(&d));
         let entries = parse(&rendered);
         let (kept, suppressed, stale) = apply(vec![d], &entries);
         assert!(kept.is_empty() && stale.is_empty());

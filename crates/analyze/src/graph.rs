@@ -56,6 +56,9 @@ pub struct FnInfo {
     /// Trait name for `impl Trait for Type` blocks.
     pub trait_name: Option<String>,
     pub has_self: bool,
+    /// `&mut self` or `mut self` receiver: the borrow checker already
+    /// guarantees exclusive access, so field accesses here cannot race.
+    pub self_mut: bool,
     /// Token index of the `fn` keyword.
     pub fn_tok: usize,
     /// Token indices of the body `{` / `}`.
@@ -97,6 +100,28 @@ pub struct CallSite {
     pub recv: Recv,
 }
 
+/// Context id for the main/API thread context.
+pub const CTX_MAIN: usize = 0;
+
+/// One production `…spawn(…)` call: a thread-creation site. Context ids
+/// are `CTX_MAIN` (0) for the main/API context and `1 + site_index` for the
+/// thread(s) created by `spawn_sites[site_index]`.
+#[derive(Debug)]
+pub struct SpawnSite {
+    /// File index.
+    pub file: usize,
+    /// Token indices of the argument list `(` / `)`.
+    pub open: usize,
+    pub close: usize,
+    pub line: u32,
+    /// True when the site can create more than one live thread: it sits in
+    /// a `loop`/`while`/`for` body or an iterator-adapter closure
+    /// (`.map(…)`, `.for_each(…)`), or its enclosing function itself runs
+    /// in a multi-instance context. A multi-instance context can race with
+    /// *itself*.
+    pub multi: bool,
+}
+
 /// Keywords and constructors that look like call syntax but are not calls
 /// we want to follow.
 const NOT_CALLEES: &[&str] = &[
@@ -125,6 +150,19 @@ pub struct Workspace {
     /// transitively call through resolved edges: code that runs on a
     /// dedicated thread.
     pub dedicated: HashSet<usize>,
+    /// Production thread-creation sites (test spawns excluded).
+    pub spawn_sites: Vec<SpawnSite>,
+    /// Per function: sorted context ids that can reach it — `CTX_MAIN`
+    /// and/or `1 + spawn_site` entries. Empty for test fns and fns no
+    /// production context reaches.
+    pub roles: Vec<Vec<usize>>,
+    /// Functions named directly inside a production spawn argument (the
+    /// thread entry points, before transitive closure).
+    pub spawn_seeded: HashSet<usize>,
+    /// Per function: true when it is an analysis entry root — no
+    /// production non-spawn caller, or spawn-seeded. Entry-lockset
+    /// propagation starts from these with the empty lockset.
+    pub entry_roots: Vec<bool>,
 
     by_type_method: HashMap<(String, String), Vec<usize>>,
     by_trait_method: HashMap<(String, String), Vec<usize>>,
@@ -151,6 +189,10 @@ impl Workspace {
             local_hints: Vec::new(),
             spawn_ranges: Vec::new(),
             dedicated: HashSet::new(),
+            spawn_sites: Vec::new(),
+            roles: Vec::new(),
+            spawn_seeded: HashSet::new(),
+            entry_roots: Vec::new(),
             by_type_method: HashMap::new(),
             by_trait_method: HashMap::new(),
             by_crate_free: HashMap::new(),
@@ -220,6 +262,8 @@ impl Workspace {
         }
 
         ws.dedicated = ws.compute_dedicated(files);
+        ws.spawn_sites = ws.compute_spawn_sites(files);
+        ws.compute_roles(files);
         ws
     }
 
@@ -282,7 +326,7 @@ impl Workspace {
                 let hints = self.recv_hints(caller, c);
                 out.extend(self.resolve_hints(&hints, &c.name, fi));
             }
-            Recv::Path(segs) => out.extend(self.resolve_path(segs, &c.name, fi, caller)),
+            Recv::Path(segs) => out.extend(self.resolve_path(segs, &c.name, fi)),
             Recv::Bare => {
                 if let Some(v) = self.by_crate_free.get(&(fi.crate_name.clone(), c.name.clone()))
                 {
@@ -296,7 +340,6 @@ impl Workspace {
                             &segs[..segs.len() - 1],
                             &segs[segs.len() - 1],
                             fi,
-                            caller,
                         ));
                     }
                 }
@@ -333,7 +376,7 @@ impl Workspace {
     /// Resolve `segs::name(…)`: through `use` maps, crate idents
     /// (`ohpc_telemetry` → crate `ohpc-telemetry`), type names, and
     /// same-crate module paths.
-    fn resolve_path(&self, segs: &[String], name: &str, fi: &FnInfo, caller: usize) -> Vec<usize> {
+    fn resolve_path(&self, segs: &[String], name: &str, fi: &FnInfo) -> Vec<usize> {
         let mut out = Vec::new();
         let Some(first) = segs.first() else { return out };
 
@@ -343,7 +386,7 @@ impl Workspace {
                 let mut expanded = full.clone();
                 expanded.extend(segs[1..].iter().cloned());
                 if expanded != segs {
-                    return self.resolve_path(&expanded, name, fi, caller);
+                    return self.resolve_path(&expanded, name, fi);
                 }
             }
         }
@@ -426,6 +469,220 @@ impl Workspace {
         }
         seen
     }
+
+    /// Collect production spawn sites with their syntactic multi-instance
+    /// flag (loop bodies, iterator-adapter closures). The enclosing-context
+    /// part of `multi` is refined in [`Self::compute_roles`].
+    fn compute_spawn_sites(&self, files: &[SourceFile]) -> Vec<SpawnSite> {
+        let mut out = Vec::new();
+        for (fi, ranges) in self.spawn_ranges.iter().enumerate() {
+            let f = &files[fi];
+            if ranges.is_empty() {
+                continue;
+            }
+            let regions = multi_regions(f);
+            for &(a, b) in ranges {
+                if f.in_tests_dir || f.is_test_tok(a) {
+                    continue;
+                }
+                let multi = regions.iter().any(|&(ra, rb)| ra < a && a < rb);
+                out.push(SpawnSite { file: fi, open: a, close: b, line: f.tokens[a].line, multi });
+            }
+        }
+        out
+    }
+
+    /// Thread-role inference: which contexts (main, each spawn site) can
+    /// reach each function.
+    ///
+    /// Seeds: functions *named* inside a production spawn argument get that
+    /// site's context (the thread entry points); non-test functions with no
+    /// production caller outside a spawn argument get `CTX_MAIN` (they are
+    /// API surface, invoked by user code). Roles then propagate caller →
+    /// callee over every production call edge that is not itself inside a
+    /// spawn argument (a call inside the closure already runs on the
+    /// spawned thread and is covered by the seed).
+    fn compute_roles(&mut self, files: &[SourceFile]) {
+        let n = self.fns.len();
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (id, fi) in self.fns.iter().enumerate() {
+            if !fi.is_test {
+                by_name.entry(fi.name.as_str()).or_default().push(id);
+            }
+        }
+
+        // Per-site entry-point seeding. A name counts when it is call-like
+        // (`ident(`) at any depth, or a bare ident at the spawn's own
+        // argument depth (`spawn(worker)`); plain idents deeper down are
+        // data arguments (`reader_loop(chan, recv, …)`), not entry points.
+        // Tokens owned by a *nested* spawn site seed that site instead.
+        let mut roles: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        let mut spawn_seeded: HashSet<usize> = HashSet::new();
+        for (sid, s) in self.spawn_sites.iter().enumerate() {
+            let toks = &files[s.file].tokens;
+            let mut depth = 0i32;
+            for j in s.open + 1..s.close {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                }
+                if t.kind != TokKind::Ident || NOT_CALLEES.contains(&t.text.as_str()) {
+                    continue;
+                }
+                let nested = self.spawn_sites.iter().any(|o| {
+                    o.file == s.file && o.open > s.open && o.close < s.close && o.open < j && j < o.close
+                });
+                if nested {
+                    continue;
+                }
+                let call_like = toks.get(j + 1).is_some_and(|t| t.is_punct('('));
+                if !call_like && depth > 0 {
+                    continue;
+                }
+                if let Some(ids) = by_name.get(t.text.as_str()) {
+                    for &id in ids {
+                        roles[id].insert(1 + sid);
+                        spawn_seeded.insert(id);
+                    }
+                }
+            }
+        }
+
+        // Production, non-spawn-arg call edges.
+        let mut has_entry_caller = vec![false; n];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for id in 0..n {
+            if self.fns[id].is_test {
+                continue;
+            }
+            let file = self.fns[id].file;
+            for (ci, c) in self.calls[id].iter().enumerate() {
+                if self.in_spawn_arg(file, c.tok) {
+                    continue;
+                }
+                for &t in &self.targets[id][ci] {
+                    edges.push((id, t));
+                    has_entry_caller[t] = true;
+                }
+            }
+        }
+
+        // Main seeds and entry roots.
+        let mut entry_roots = vec![false; n];
+        for id in 0..n {
+            if self.fns[id].is_test {
+                continue;
+            }
+            if !has_entry_caller[id] || spawn_seeded.contains(&id) {
+                entry_roots[id] = true;
+            }
+            if !has_entry_caller[id] && !spawn_seeded.contains(&id) {
+                roles[id].insert(CTX_MAIN);
+            }
+        }
+
+        // Propagate roles caller → callee to a fixpoint.
+        loop {
+            let mut changed = false;
+            for &(a, b) in &edges {
+                if a == b {
+                    continue;
+                }
+                let add: Vec<usize> =
+                    roles[a].iter().filter(|c| !roles[b].contains(c)).copied().collect();
+                if !add.is_empty() {
+                    roles[b].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Refine `multi`: a spawn site inside a function that itself runs
+        // in a multi context — or nested in another multi site's closure —
+        // creates one thread per instance of that context.
+        loop {
+            let mut changed = false;
+            for sid in 0..self.spawn_sites.len() {
+                if self.spawn_sites[sid].multi {
+                    continue;
+                }
+                let (sfile, sopen, sclose) =
+                    (self.spawn_sites[sid].file, self.spawn_sites[sid].open, self.spawn_sites[sid].close);
+                let in_multi_parent = self.spawn_sites.iter().any(|o| {
+                    o.multi && o.file == sfile && o.open < sopen && sclose < o.close
+                });
+                let encl = self
+                    .fns
+                    .iter()
+                    .position(|f| f.file == sfile && f.open < sopen && sclose < f.close);
+                let encl_multi = encl.is_some_and(|id| {
+                    roles[id].iter().any(|&c| c != CTX_MAIN && self.spawn_sites[c - 1].multi)
+                });
+                if in_multi_parent || encl_multi {
+                    self.spawn_sites[sid].multi = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        self.roles = roles
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<usize> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        self.spawn_seeded = spawn_seeded;
+        self.entry_roots = entry_roots;
+    }
+
+    /// Can this context run more than one instance concurrently?
+    pub fn ctx_is_multi(&self, ctx: usize) -> bool {
+        ctx != CTX_MAIN && self.spawn_sites[ctx - 1].multi
+    }
+
+    /// Human-readable context description for witness chains.
+    pub fn ctx_desc(&self, ctx: usize, files: &[SourceFile]) -> String {
+        if ctx == CTX_MAIN {
+            return "main/API context".to_string();
+        }
+        let s = &self.spawn_sites[ctx - 1];
+        let at = format!("{}:{}", files[s.file].path, s.line);
+        if s.multi {
+            format!("per-request threads spawned at {at}")
+        } else {
+            format!("dedicated thread spawned at {at}")
+        }
+    }
+
+    /// The innermost production spawn site whose argument list contains
+    /// token `tok` of file `file` — code there runs on that site's thread,
+    /// whatever the enclosing function's roles say.
+    pub fn ctx_of_tok(&self, file: usize, tok: usize) -> Option<usize> {
+        self.spawn_sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.file == file && s.open < tok && tok < s.close)
+            .min_by_key(|(_, s)| s.close - s.open)
+            .map(|(sid, _)| 1 + sid)
+    }
+
+    /// Context set for an access at token `tok` inside function `id`.
+    pub fn ctxs_at(&self, id: usize, tok: usize) -> Vec<usize> {
+        match self.ctx_of_tok(self.fns[id].file, tok) {
+            Some(ctx) => vec![ctx],
+            None => self.roles[id].clone(),
+        }
+    }
 }
 
 /// Parse the file's `use` declarations into ident → path-segment map.
@@ -441,7 +698,7 @@ fn parse_uses(f: &SourceFile) -> HashMap<String, Vec<String>> {
             continue;
         }
         let end = (i + 1..toks.len()).find(|&j| toks[j].is_punct(';')).unwrap_or(toks.len());
-        parse_use_tree(f, i + 1, end, &mut Vec::new(), &mut map);
+        parse_use_tree(f, i + 1, end, &[], &mut map);
         i = end + 1;
     }
     map
@@ -452,7 +709,7 @@ fn parse_use_tree(
     f: &SourceFile,
     start: usize,
     end: usize,
-    prefix: &mut Vec<String>,
+    prefix: &[String],
     map: &mut HashMap<String, Vec<String>>,
 ) {
     let toks = &f.tokens;
@@ -470,26 +727,26 @@ fn parse_use_tree(
             let close = f.close_of.get(&i).copied().unwrap_or(end).min(end);
             let mut elem_start = i + 1;
             let mut depth = 0i32;
-            let mut full: Vec<String> = prefix.clone();
+            let mut full: Vec<String> = prefix.to_vec();
             full.extend(segs.iter().cloned());
-            for j in i + 1..close {
-                if toks[j].is_punct('{') {
+            for (j, tok) in toks.iter().enumerate().take(close).skip(i + 1) {
+                if tok.is_punct('{') {
                     depth += 1;
-                } else if toks[j].is_punct('}') {
+                } else if tok.is_punct('}') {
                     depth -= 1;
-                } else if toks[j].is_punct(',') && depth == 0 {
-                    parse_use_tree(f, elem_start, j, &mut full.clone(), map);
+                } else if tok.is_punct(',') && depth == 0 {
+                    parse_use_tree(f, elem_start, j, &full, map);
                     elem_start = j + 1;
                 }
             }
             if elem_start < close {
-                parse_use_tree(f, elem_start, close, &mut full.clone(), map);
+                parse_use_tree(f, elem_start, close, &full, map);
             }
             return;
         } else if t.is_ident("as") {
             // `path as alias`
             if let Some(alias) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
-                let mut full = prefix.clone();
+                let mut full = prefix.to_vec();
                 full.extend(segs.iter().cloned());
                 map.insert(alias.text.clone(), full);
             }
@@ -500,7 +757,7 @@ fn parse_use_tree(
         }
     }
     if let Some(last) = segs.last() {
-        let mut full = prefix.clone();
+        let mut full = prefix.to_vec();
         full.extend(segs.iter().cloned());
         map.insert(last.clone(), full);
     }
@@ -515,15 +772,15 @@ fn collect_struct_fields(f: &SourceFile, out: &mut HashMap<(String, String), Vec
         }
         // Find the body `{` before any `;` (tuple structs have none).
         let mut open = None;
-        for j in i + 1..toks.len() {
-            if toks[j].is_punct(';') {
+        for (j, tok) in toks.iter().enumerate().skip(i + 1) {
+            if tok.is_punct(';') {
                 break;
             }
-            if toks[j].is_punct('(') {
+            if tok.is_punct('(') {
                 // Tuple struct param list — skip it (a `;` follows).
                 break;
             }
-            if toks[j].is_punct('{') {
+            if tok.is_punct('{') {
                 open = Some(j);
                 break;
             }
@@ -704,8 +961,9 @@ fn parse_fn(
         .unwrap_or((None, None));
 
     let mut has_self = false;
+    let mut self_mut = false;
     let mut params = Vec::new();
-    parse_params(f, popen, pclose, &mut has_self, &mut params);
+    parse_params(f, popen, pclose, &mut has_self, &mut self_mut, &mut params);
 
     Some(FnInfo {
         file: file_idx,
@@ -714,6 +972,7 @@ fn parse_fn(
         impl_type,
         trait_name,
         has_self,
+        self_mut,
         fn_tok: i,
         open,
         close,
@@ -729,6 +988,7 @@ fn parse_params(
     popen: usize,
     pclose: usize,
     has_self: &mut bool,
+    self_mut: &mut bool,
     out: &mut Vec<Param>,
 ) {
     let toks = &f.tokens;
@@ -741,15 +1001,19 @@ fn parse_params(
         let split = at_end || (t.is_punct(',') && depth == 0);
         if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
             depth += 1;
-        } else if t.is_punct(')') && !at_end || t.is_punct(']') {
-            depth -= 1;
-        } else if t.is_punct('>') && !toks[j - 1].is_punct('-') {
+        } else if (t.is_punct(')') && !at_end)
+            || t.is_punct(']')
+            || (t.is_punct('>') && !toks[j - 1].is_punct('-'))
+        {
             depth -= 1;
         }
         if split {
             let seg = &toks[start..j];
             if seg.iter().any(|t| t.is_ident("self")) {
                 *has_self = true;
+                if seg.iter().any(|t| t.is_ident("mut")) {
+                    *self_mut = true;
+                }
             } else if let Some(colon) = seg.iter().position(|t| t.is_punct(':')) {
                 let name = seg[..colon]
                     .iter()
@@ -905,9 +1169,10 @@ fn local_hints(
             let t = &toks[k];
             if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
                 depth += 1;
-            } else if t.is_punct(')') || t.is_punct(']') {
-                depth -= 1;
-            } else if t.is_punct('>') && !toks[k - 1].is_punct('-') {
+            } else if t.is_punct(')')
+                || t.is_punct(']')
+                || (t.is_punct('>') && !toks[k - 1].is_punct('-'))
+            {
                 depth -= 1;
             } else if t.is_punct('=') && depth <= 0 && !toks[k + 1].is_punct('=') {
                 eq = Some(k);
@@ -1018,6 +1283,52 @@ fn local_hints(
 /// Does the token slice contain a `.name(` call?
 fn rhs_calls(rhs: &[crate::lexer::Token], name: &str) -> bool {
     rhs.windows(3).any(|w| w[0].is_punct('.') && w[1].is_ident(name) && w[2].is_punct('('))
+}
+
+/// Iterator adapters whose closure argument runs once per element — a
+/// spawn inside one creates a thread per element.
+const PER_ELEMENT_ADAPTERS: &[&str] = &["map", "for_each", "filter_map", "flat_map", "retain"];
+
+/// Token ranges in which a spawn site is multi-instance: the bodies of
+/// `loop`/`while`/`for`, and the argument lists of per-element iterator
+/// adapters.
+fn multi_regions(f: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for j in 0..toks.len() {
+        let t = &toks[j];
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            // The body `{` at bracket depth 0 after the loop head.
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('{') && depth <= 0 {
+                    if let Some(&close) = f.close_of.get(&k) {
+                        out.push((k, close));
+                    }
+                    break;
+                } else if t.is_punct(';') || t.is_punct('}') {
+                    break;
+                }
+                k += 1;
+            }
+        } else if t.is_punct('.')
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| PER_ELEMENT_ADAPTERS.contains(&t.text.as_str()))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(&close) = f.close_of.get(&(j + 2)) {
+                out.push((j + 2, close));
+            }
+        }
+    }
+    out
 }
 
 /// Token ranges of `…spawn(…)` argument lists.
@@ -1140,6 +1451,142 @@ mod tests {
         assert!(ws.dedicated.contains(&fn_id(&ws, "reader_loop")));
         assert!(ws.dedicated.contains(&fn_id(&ws, "helper")));
         assert!(!ws.dedicated.contains(&fn_id(&ws, "outside")));
+    }
+
+    #[test]
+    fn thread_roles_split_main_from_spawned() {
+        let src = r#"
+            fn reader_loop(n: u32) { helper(n); }
+            fn helper(n: u32) {}
+            fn api() { helper(1); }
+            fn serve() { std::thread::spawn(move || reader_loop(1)); }
+        "#;
+        let (_, ws) = ws_of(src);
+        let (r, h, a, s) =
+            (fn_id(&ws, "reader_loop"), fn_id(&ws, "helper"), fn_id(&ws, "api"), fn_id(&ws, "serve"));
+        assert_eq!(ws.spawn_sites.len(), 1);
+        assert!(!ws.spawn_sites[0].multi);
+        // api and serve are uncalled API surface → main context.
+        assert_eq!(ws.roles[a], vec![CTX_MAIN]);
+        assert_eq!(ws.roles[s], vec![CTX_MAIN]);
+        // reader_loop runs only on the spawned thread.
+        assert_eq!(ws.roles[r], vec![1]);
+        // helper is reachable from both contexts.
+        assert_eq!(ws.roles[h], vec![CTX_MAIN, 1]);
+        assert!(ws.spawn_seeded.contains(&r));
+        assert!(!ws.spawn_seeded.contains(&h));
+    }
+
+    #[test]
+    fn spawn_inside_loop_is_multi_instance() {
+        let src = r#"
+            fn handle(c: u32) {}
+            fn serve(rx: Receiver<u32>) {
+                while let Ok(c) = rx.recv() {
+                    std::thread::spawn(move || handle(c));
+                }
+            }
+        "#;
+        let (_, ws) = ws_of(src);
+        assert_eq!(ws.spawn_sites.len(), 1);
+        assert!(ws.spawn_sites[0].multi);
+        let h = fn_id(&ws, "handle");
+        assert_eq!(ws.roles[h], vec![1]);
+        assert!(ws.ctx_is_multi(1));
+    }
+
+    #[test]
+    fn spawn_inside_iterator_adapter_is_multi_instance() {
+        let src = r#"
+            fn invoke(n: u32) {}
+            fn invoke_all(members: &[u32]) {
+                let hs: Vec<_> = members.iter().map(|m| std::thread::spawn(move || invoke(*m))).collect();
+            }
+        "#;
+        let (_, ws) = ws_of(src);
+        assert_eq!(ws.spawn_sites.len(), 1);
+        assert!(ws.spawn_sites[0].multi, "spawn per member must be multi");
+    }
+
+    #[test]
+    fn nested_spawn_seeds_innermost_site_and_inherits_multi() {
+        // The accept-loop shape: a dedicated accept thread spawning one
+        // thread per connection.
+        let src = r#"
+            fn handle_conn(c: u32) {}
+            fn serve(listener: Listener) {
+                std::thread::spawn(move || {
+                    while let Ok(c) = listener.accept() {
+                        std::thread::spawn(move || handle_conn(c));
+                    }
+                });
+            }
+        "#;
+        let (_, ws) = ws_of(src);
+        assert_eq!(ws.spawn_sites.len(), 2);
+        let h = fn_id(&ws, "handle_conn");
+        // handle_conn is seeded by the inner (per-connection, multi) site only.
+        assert_eq!(ws.roles[h].len(), 1);
+        let ctx = ws.roles[h][0];
+        assert!(ws.ctx_is_multi(ctx), "per-connection threads must be multi");
+    }
+
+    #[test]
+    fn bare_data_args_inside_spawned_call_do_not_seed() {
+        // `recv` here is a data argument to reader_loop, not an entry point;
+        // the unrelated method named `recv` must keep its main role.
+        let src = r#"
+            struct C; impl C { fn recv(&self) {} }
+            fn reader_loop(a: u32, recv: u32) {}
+            fn serve(recv: u32) { std::thread::spawn(move || reader_loop(1, recv)); }
+            fn api(c: &C) { c.recv(); }
+        "#;
+        let (_, ws) = ws_of(src);
+        let r = ws
+            .fns
+            .iter()
+            .position(|f| f.name == "recv" && f.impl_type.is_some())
+            .unwrap();
+        assert_eq!(ws.roles[r], vec![CTX_MAIN], "method recv must not be spawn-seeded");
+    }
+
+    #[test]
+    fn ctx_of_tok_finds_innermost_spawn_closure() {
+        let src = r#"
+            fn serve(x: u32) {
+                before();
+                std::thread::spawn(move || { inside(x); });
+                after();
+            }
+            fn before() {} fn inside(x: u32) {} fn after() {}
+        "#;
+        let (files, ws) = ws_of(src);
+        let f = &files[0];
+        let inside_tok = f.tokens.iter().position(|t| t.is_ident("inside")).unwrap();
+        let before_tok = f.tokens.iter().position(|t| t.is_ident("before")).unwrap();
+        assert_eq!(ws.ctx_of_tok(0, inside_tok), Some(1));
+        assert_eq!(ws.ctx_of_tok(0, before_tok), None);
+        let serve = fn_id(&ws, "serve");
+        assert_eq!(ws.ctxs_at(serve, inside_tok), vec![1]);
+        assert_eq!(ws.ctxs_at(serve, before_tok), vec![CTX_MAIN]);
+    }
+
+    #[test]
+    fn mut_self_receiver_is_recorded() {
+        let src = r#"
+            struct S;
+            impl S {
+                fn a(&self) {}
+                fn b(&mut self) {}
+                fn c(mut self) {}
+                fn d(&self, mut x: u32) {}
+            }
+        "#;
+        let (_, ws) = ws_of(src);
+        assert!(!ws.fns[fn_id(&ws, "a")].self_mut);
+        assert!(ws.fns[fn_id(&ws, "b")].self_mut);
+        assert!(ws.fns[fn_id(&ws, "c")].self_mut);
+        assert!(!ws.fns[fn_id(&ws, "d")].self_mut, "mut on a non-self param is not a mut receiver");
     }
 
     #[test]

@@ -163,10 +163,14 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
-                    i += 1;
+                // Char-wise so Unicode identifiers (`größe`, `λx`) stay one
+                // token; `is_alphanumeric` approximates XID_Continue.
+                while let Some(ch) = src[i..].chars().next() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
                 }
                 let word = &src[start..i];
                 // String-literal prefixes: r"", r#""#, b"", br"", b''.
@@ -241,10 +245,28 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 i += 1;
             }
             _ => {
-                // Non-ASCII bytes in code position (only legal inside
-                // comments and literals, which are consumed above) are
-                // skipped byte-wise rather than risking a mid-char slice.
-                i += 1;
+                // Non-ASCII in code position: decode the real character. A
+                // letter starts a Unicode identifier (legal Rust); anything
+                // else is skipped whole, never slicing mid-character.
+                match src.get(i..).and_then(|s| s.chars().next()) {
+                    Some(ch) if ch.is_alphabetic() => {
+                        let start = i;
+                        while let Some(c2) = src[i..].chars().next() {
+                            if c2.is_alphanumeric() || c2 == '_' {
+                                i += c2.len_utf8();
+                            } else {
+                                break;
+                            }
+                        }
+                        toks.push(Token {
+                            kind: TokKind::Ident,
+                            text: src[start..i].to_string(),
+                            line,
+                        });
+                    }
+                    Some(ch) => i += ch.len_utf8(),
+                    None => i += 1,
+                }
             }
         }
     }

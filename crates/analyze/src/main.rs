@@ -19,6 +19,12 @@
 //!   thread is deadline-bounded.
 //! * `telemetry-coverage` — error paths in the request-path crates touch a
 //!   telemetry counter somewhere on their call path.
+//! * `shared-state` — Eraser-style lockset check: no field written from two
+//!   thread contexts (or a multi-instance spawn) without a common lock,
+//!   unless the field's type synchronizes itself.
+//! * `epoch-bump` — every mutation of a selection input (OR table, pool
+//!   membership, breaker state) bumps an epoch/generation counter, so the
+//!   planned selection cache can revalidate cheaply.
 //!
 //! Output is one machine-readable line per finding
 //! (`file:line: [rule] severity: message`), or SARIF with `--format json`;
@@ -48,7 +54,7 @@ usage: ohpc-analyze [--deny-all] [--root <dir>] [--rule <id>]...
   --rule <id>        run only the named rule(s); repeatable.
                      ids: lock-order, panic-freedom, cap-symmetry, xdr-pairing,
                      transport-unwrap, guard-across-blocking, bounded-recv,
-                     telemetry-coverage, annotation
+                     telemetry-coverage, shared-state, epoch-bump, annotation
   --format text|json text (default): one line per finding;
                      json: SARIF 2.1.0 on stdout (for CI artifacts)
   --baseline <file>  suppress findings listed in <file>
@@ -139,14 +145,28 @@ fn main() -> ExitCode {
                 let (kept, n, stale) = baseline::apply(diags, &entries);
                 diags = kept;
                 suppressed = n;
-                for e in &stale {
-                    eprintln!(
-                        "ohpc-analyze: stale baseline entry ({} / {}): finding no longer \
-                         produced — remove it from {}",
-                        e.rule,
-                        e.file,
-                        path.display()
-                    );
+                // Stale entries are findings, not just stderr noise — but
+                // only when every rule ran: with a `--rule` subset, other
+                // rules' entries would be falsely stale.
+                if only.is_empty() {
+                    let mut extra = baseline::stale_diags(&stale, &path);
+                    if deny_all {
+                        for d in &mut extra {
+                            d.severity = Severity::Deny;
+                        }
+                    }
+                    diags.extend(extra);
+                    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+                } else {
+                    for e in &stale {
+                        eprintln!(
+                            "ohpc-analyze: possibly stale baseline entry ({} / {}) — \
+                             rerun without --rule to confirm, then remove it from {}",
+                            e.rule,
+                            e.file,
+                            path.display()
+                        );
+                    }
                 }
             }
             Err(e) => {

@@ -1,0 +1,220 @@
+//! Rule `epoch-bump`: every mutation of a *selection input* must bump the
+//! owning structure's epoch counter.
+//!
+//! The ROADMAP's selection fast path caches `(or table, pool membership,
+//! breaker state) → chosen protocol` per GP and revalidates by comparing a
+//! generation counter instead of re-walking the inputs. That only works if
+//! every mutation site of those inputs also touches the counter — this rule
+//! is the enforcement hook, landed *before* the cache so the invariant is
+//! machine-checked from day one. Warn today; promoted to deny by `--deny-all`
+//! in CI and permanently once the cache lands.
+//!
+//! A "bump" is an ident containing `epoch`/`generation` followed shortly by
+//! an atomic RMW (`fetch_add`/`store`/`fetch_update`), or a call to a
+//! `bump_*` helper, anywhere in the mutating fn's body.
+
+use std::collections::HashSet;
+
+use crate::dataflow::FieldFacts;
+use crate::graph::Workspace;
+use crate::rules::{Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "epoch-bump";
+
+/// Selection inputs: `(crate, field)` pairs whose mutation must be
+/// observable through an epoch counter. The OR table and its protocol list
+/// (`ohpc-orb`), the proto-pool membership (`ohpc-orb`), and breaker state
+/// (`ohpc-resilience`).
+const DESIGNATED: &[(&str, &str)] = &[
+    ("ohpc-orb", "or"),
+    ("ohpc-orb", "protocols"),
+    ("ohpc-orb", "protos"),
+    ("ohpc-resilience", "state"),
+];
+
+/// Does the fn body contain an epoch/generation bump?
+fn has_bump(f: &SourceFile, open: usize, close: usize) -> bool {
+    let toks = &f.tokens;
+    for j in open + 1..close {
+        let t = &toks[j];
+        if t.kind != crate::lexer::TokKind::Ident {
+            continue;
+        }
+        let txt = t.text.as_str();
+        if txt.contains("epoch") || txt.contains("generation") {
+            let rmw = (j + 1..(j + 5).min(close)).any(|k| {
+                toks[k].is_ident("fetch_add")
+                    || toks[k].is_ident("store")
+                    || toks[k].is_ident("fetch_update")
+            });
+            if rmw {
+                return true;
+            }
+        }
+        if txt.starts_with("bump") && toks.get(j + 1).is_some_and(|n| n.is_punct('(')) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Entry point.
+pub fn run(files: &[SourceFile], ws: &Workspace, facts: &FieldFacts, diags: &mut Vec<Diagnostic>) {
+    let designated: HashSet<(&str, &str)> = DESIGNATED.iter().copied().collect();
+    let mut seen: HashSet<(usize, String)> = HashSet::new();
+
+    for id in 0..ws.fns.len() {
+        let fi = &ws.fns[id];
+        if fi.is_test {
+            continue;
+        }
+        // `&mut self` fns are NOT exempt here: a builder that mutates pool
+        // membership still invalidates a future cache entry.
+        for a in &facts.accesses[id] {
+            if !a.write || !designated.contains(&(fi.crate_name.as_str(), a.field.as_str())) {
+                continue;
+            }
+            if !seen.insert((id, a.field.clone())) {
+                continue;
+            }
+            let f = &files[fi.file];
+            if has_bump(f, fi.open, fi.close) {
+                continue;
+            }
+            if f.allowed(RULE, a.line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: f.path.clone(),
+                line: a.line,
+                rule: RULE,
+                severity: Severity::Warn,
+                message: format!(
+                    "`{}` mutates selection input `{}` without bumping an epoch/generation \
+                     counter — the planned selection cache would serve stale choices; \
+                     add a `fetch_add` on the epoch (or call a `bump_*` helper) in this fn",
+                    fi.name, a.field
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::field_facts;
+    use crate::graph::Workspace;
+
+    fn analyze(path: &str, krate: &str, src: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::from_source(path, krate, false, src)];
+        let ws = Workspace::build(&files);
+        let facts = field_facts(&files, &ws);
+        let mut diags = Vec::new();
+        run(&files, &ws, &facts, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unbumped_designated_write_is_flagged() {
+        let src = r#"
+            struct Gp { or: RwLock<Table> }
+            impl Gp {
+                pub fn rebind(&self, t: Table) {
+                    *self.or.write() = t;
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/gp.rs", "ohpc-orb", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`or`"), "{}", d[0].message);
+        assert_eq!(d[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn fetch_add_bump_satisfies() {
+        let src = r#"
+            struct Gp { or: RwLock<Table>, or_epoch: AtomicU64 }
+            impl Gp {
+                pub fn rebind(&self, t: Table) {
+                    let mut g = self.or.write();
+                    g.swap_in(t);
+                    self.or_epoch.fetch_add(1, Ordering::Release);
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/gp.rs", "ohpc-orb", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn bump_helper_call_satisfies() {
+        let src = r#"
+            struct Pool { protos: Vec<P> }
+            impl Pool {
+                pub fn push(&mut self, p: P) {
+                    self.protos.push(p);
+                    self.bump_epoch();
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/proto.rs", "ohpc-orb", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn mut_self_mutation_is_still_checked() {
+        let src = r#"
+            struct Pool { protos: Vec<P> }
+            impl Pool {
+                pub fn push(&mut self, p: P) {
+                    self.protos.push(p);
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/proto.rs", "ohpc-orb", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn non_designated_field_is_ignored() {
+        let src = r#"
+            struct S { scratch: Vec<u8> }
+            impl S {
+                pub fn f(&mut self) { self.scratch.push(0); }
+            }
+        "#;
+        let d = analyze("crates/orb/src/misc.rs", "ohpc-orb", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn other_crate_same_field_name_is_ignored() {
+        let src = r#"
+            struct S { state: u32 }
+            impl S {
+                pub fn f(&mut self) { self.state = 1; }
+            }
+        "#;
+        let d = analyze("crates/xdr/src/lib.rs", "ohpc-xdr", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = r#"
+            struct Pool { protos: Vec<P> }
+            impl Pool {
+                pub fn with(mut self, p: P) -> Self {
+                    // ohpc-analyze: allow(epoch-bump) — construction-time builder, pool not yet shared
+                    self.protos.push(p);
+                    self
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/proto.rs", "ohpc-orb", src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -14,7 +14,7 @@
 //! deliberately serialized single-reply-channel transport) carry an
 //! `// ohpc-analyze: allow(guard-across-blocking) — <reason>` annotation.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use crate::dataflow::{self, blocking_seed};
 use crate::graph::Workspace;
@@ -30,12 +30,7 @@ pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
 
     // RwLock fields per crate, so `.read()`/`.write()` guards are only
     // tracked on receivers we know are locks.
-    let mut rw_roots: HashMap<&str, HashSet<String>> = HashMap::new();
-    for ((krate, field), ty) in &ws.field_types {
-        if ty.iter().any(|t| t == "RwLock" || t == "Mutex") {
-            rw_roots.entry(krate.as_str()).or_default().insert(field.clone());
-        }
-    }
+    let rw_roots = dataflow::lock_field_roots(ws);
     let empty = HashSet::new();
 
     for id in 0..ws.fns.len() {

@@ -3,9 +3,11 @@
 
 pub mod bounded_recv;
 pub mod cap_symmetry;
+pub mod epoch_bump;
 pub mod guard_blocking;
 pub mod lock_order;
 pub mod panic_free;
+pub mod shared_state;
 pub mod telemetry_coverage;
 pub mod transport_unwrap;
 pub mod xdr_pairing;
@@ -70,6 +72,8 @@ pub const ALL_RULES: &[&str] = &[
     guard_blocking::RULE,
     bounded_recv::RULE,
     telemetry_coverage::RULE,
+    shared_state::RULE,
+    epoch_bump::RULE,
     RULE_ANNOTATION,
 ];
 
@@ -105,6 +109,17 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
     }
     if want(telemetry_coverage::RULE) {
         telemetry_coverage::run(files, &ws, &mut diags);
+    }
+    if want(shared_state::RULE) || want(epoch_bump::RULE) {
+        // Field-access extraction + entry-lockset fixpoint, computed once
+        // and shared by both lockset-family rules.
+        let facts = crate::dataflow::field_facts(files, &ws);
+        if want(shared_state::RULE) {
+            shared_state::run(files, &ws, &facts, &mut diags);
+        }
+        if want(epoch_bump::RULE) {
+            epoch_bump::run(files, &ws, &facts, &mut diags);
+        }
     }
     if want(RULE_ANNOTATION) {
         annotation_hygiene(files, only.is_empty(), &mut diags);

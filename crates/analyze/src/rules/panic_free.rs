@@ -17,8 +17,16 @@ use crate::source::SourceFile;
 pub const RULE: &str = "panic-freedom";
 
 /// Crates whose non-test code must be panic-free.
-pub const TARGET_CRATES: &[&str] =
-    &["ohpc-orb", "ohpc-transport", "ohpc-caps", "ohpc-xdr", "ohpc-telemetry", "ohpc-resilience"];
+pub const TARGET_CRATES: &[&str] = &[
+    "ohpc-orb",
+    "ohpc-transport",
+    "ohpc-caps",
+    "ohpc-xdr",
+    "ohpc-telemetry",
+    "ohpc-resilience",
+    "ohpc-migrate",
+    "ohpc-registry",
+];
 
 /// Panicking macros (matched as `name !`).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -43,8 +43,8 @@ pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
 
     // Direct sinks.
     let mut covered = vec![false; n];
-    for id in 0..n {
-        covered[id] = ws.calls[id].iter().any(|c| {
+    for (id, cov) in covered.iter_mut().enumerate() {
+        *cov = ws.calls[id].iter().any(|c| {
             if SINK_NAMES.contains(&c.name.as_str()) {
                 return true;
             }
@@ -85,9 +85,9 @@ pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
         }
     }
 
-    for id in 0..n {
+    for (id, cov) in covered.iter().enumerate().take(n) {
         let fi = &ws.fns[id];
-        if covered[id]
+        if *cov
             || fi.is_test
             || !TARGET_CRATES.contains(&fi.crate_name.as_str())
             || EXEMPT_FNS.contains(&fi.name.as_str())

@@ -1,0 +1,155 @@
+//! Property tests for the field-access extraction and guard liveness that
+//! feed the `shared-state` lockset detector. Three families:
+//!
+//! * total robustness — `field_facts` must not panic on arbitrary input;
+//! * nested guard scopes — a guard acquired N blocks up is live at an
+//!   access in the innermost block, and one acquired in a *sibling* block
+//!   is not;
+//! * `drop()` truncation — dropping the guard before the access removes it
+//!   from the access's lockset, dropping it after keeps it.
+//!
+//! Sources are generated structurally (depth/position parameters expanded
+//! into well-formed Rust-ish token streams) so shrinking lands on the
+//! smallest failing nesting, not on syntax soup.
+
+use ohpc_analyze::dataflow::{field_facts, FieldAccess, FieldFacts};
+use ohpc_analyze::graph::Workspace;
+use ohpc_analyze::source::SourceFile;
+use proptest::prelude::*;
+
+fn facts_of(src: &str) -> (Workspace, FieldFacts) {
+    let files = vec![SourceFile::from_source("crates/x/src/lib.rs", "x", false, src)];
+    let ws = Workspace::build(&files);
+    let facts = field_facts(&files, &ws);
+    (ws, facts)
+}
+
+fn accesses<'a>(ws: &Workspace, facts: &'a FieldFacts, fn_name: &str) -> &'a [FieldAccess] {
+    let id = ws.fns.iter().position(|f| f.name == fn_name).expect("fn present");
+    &facts.accesses[id]
+}
+
+proptest! {
+    /// The whole pipeline — lex, workspace build, role inference, field
+    /// facts — accepts arbitrary input without panicking.
+    #[test]
+    fn field_facts_never_panics(s in ".*") {
+        let files = vec![SourceFile::from_source("crates/x/src/lib.rs", "x", false, &s)];
+        let ws = Workspace::build(&files);
+        let _ = field_facts(&files, &ws);
+    }
+
+    /// Same, over inputs that actually look like code: struct + impl +
+    /// braces/guards/field pokes, so the interesting paths are exercised
+    /// rather than bailing at the first token.
+    #[test]
+    fn field_facts_never_panics_on_code_shaped_input(
+        body in "[a-z{}();=.& ]{0,160}",
+    ) {
+        let src = format!(
+            "struct S {{ m: Mutex<u32>, count: u64 }} impl S {{ fn f(&self) {{ {body} }} }}"
+        );
+        let files = vec![SourceFile::from_source("crates/x/src/lib.rs", "x", false, &src)];
+        let ws = Workspace::build(&files);
+        let _ = field_facts(&files, &ws);
+    }
+
+    /// A guard acquired `depth` blocks above an access is live at it; a
+    /// guard acquired inside an already-closed sibling block is not.
+    #[test]
+    fn nested_guard_scopes_protect_inner_accesses(depth in 0usize..5) {
+        let opens = "{ ".repeat(depth);
+        let closes = "} ".repeat(depth);
+        let src = format!(
+            r#"
+            struct S {{ m: Mutex<u32>, dead: Mutex<u32>, count: u64 }}
+            impl S {{
+                fn f(&self) {{
+                    {{ let sg = self.dead.lock(); }}
+                    let g = self.m.lock();
+                    {opens}
+                    self.count = 1;
+                    {closes}
+                }}
+            }}
+            "#
+        );
+        let (ws, facts) = facts_of(&src);
+        let acc = accesses(&ws, &facts, "f");
+        let w = acc.iter().find(|a| a.field == "count" && a.write)
+            .expect("count write recorded");
+        prop_assert!(
+            w.locks.contains("m"),
+            "guard `m` not live at depth {depth}: {:?}", acc
+        );
+        prop_assert!(
+            !w.locks.contains("dead"),
+            "sibling-scope guard `dead` leaked into the access: {:?}", acc
+        );
+    }
+
+    /// `drop(g)` truncation interplay: with `total` statements after the
+    /// acquisition and a `drop(g)` inserted at position `cut`, field pokes
+    /// before the drop carry the lock and pokes after it do not.
+    #[test]
+    fn drop_truncates_guard_liveness_exactly(total in 1usize..6, cut in 0usize..6) {
+        let cut = cut.min(total);
+        let mut stmts = String::new();
+        for k in 0..total {
+            if k == cut {
+                stmts.push_str("drop(g);\n");
+            }
+            stmts.push_str(&format!("self.count = {k};\n"));
+        }
+        if cut == total {
+            stmts.push_str("drop(g);\n");
+        }
+        let src = format!(
+            r#"
+            struct S {{ m: Mutex<u32>, count: u64 }}
+            impl S {{
+                fn f(&self) {{
+                    let g = self.m.lock();
+                    {stmts}
+                }}
+            }}
+            "#
+        );
+        let (ws, facts) = facts_of(&src);
+        let acc = accesses(&ws, &facts, "f");
+        let writes: Vec<&FieldAccess> =
+            acc.iter().filter(|a| a.field == "count" && a.write).collect();
+        prop_assert!(writes.len() == total, "{writes:?} vs total {total}: {acc:?}");
+        for (k, w) in writes.iter().enumerate() {
+            let held = w.locks.contains("m");
+            prop_assert!(
+                held == (k < cut),
+                "write #{} (cut at {}): locks {:?}", k, cut, &w.locks
+            );
+        }
+    }
+
+    /// Non-ASCII field names flow end-to-end: the access is recorded under
+    /// the exact identifier and the chain lock still attaches.
+    #[test]
+    fn non_ascii_fields_are_tracked(
+        name in "[äöüßλμ中日αβ][a-z0-9äöüßλμ中日αβ_]{0,8}",
+    ) {
+        let src = format!(
+            r#"
+            struct S {{ {name}: Mutex<u32>, zähler: u64 }}
+            impl S {{
+                fn f(&self) {{
+                    let g = self.{name}.lock();
+                    self.zähler = 1;
+                }}
+            }}
+            "#
+        );
+        let (ws, facts) = facts_of(&src);
+        let acc = accesses(&ws, &facts, "f");
+        let w = acc.iter().find(|a| a.field == "zähler" && a.write)
+            .unwrap_or_else(|| panic!("zähler write missing: {acc:?}"));
+        prop_assert!(w.locks.contains(name.as_str()), "{:?}", acc);
+    }
+}

@@ -126,6 +126,29 @@ proptest! {
         prop_assert_eq!(tokens[2].line, 1 + newlines);
     }
 
+    /// Unicode identifiers are legal Rust (`größe`, `λ日`): they must lex
+    /// as ONE Ident token with the exact text, whether they start ASCII or
+    /// not — field-access extraction keys accesses on that text.
+    #[test]
+    fn non_ascii_idents_lex_as_single_tokens(
+        head in "[a-zäöüßλμ中日αβ_]",
+        tail in "[a-z0-9äöüßλμ中日αβ_]{0,12}",
+    ) {
+        let ident = format!("{head}{tail}");
+        // (skip the degenerate draws that collide with the scaffold's own
+        // keywords — the vendored proptest has no prop_assume!)
+        if !["let", "self"].contains(&ident.as_str()) {
+            let src = format!("let {ident} = self.{ident};");
+            let (tokens, _) = lex(&src);
+
+            let hits =
+                tokens.iter().filter(|t| t.kind == TokKind::Ident && t.text == ident).count();
+            prop_assert!(hits == 2, "ident {ident:?} not lexed whole in {src:?}: {tokens:?}");
+            // Exactly `let <id> = self . <id> ;` — no fragment tokens leaked.
+            prop_assert!(tokens.len() == 7, "{tokens:?}");
+        }
+    }
+
     /// Rust block comments nest: `/* /* */ */` is one comment, not a
     /// comment followed by stray tokens. The body may contain `*`s and
     /// newlines; only the matched fences delimit it.

@@ -77,7 +77,8 @@ impl LoadBalancer {
             scores.iter().map(|(m, s, _)| (*m, *s)).collect();
 
         for (machine, score, objs) in &scores {
-            if *score <= self.marks.high || objs.is_empty() {
+            let Some(&evacuee) = objs.first() else { continue };
+            if *score <= self.marks.high {
                 continue;
             }
             // least-loaded destination below the low mark, by projected score
@@ -87,7 +88,7 @@ impl LoadBalancer {
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|(m, _)| *m);
             let Some(dest) = dest else { continue };
-            plans.push(MigrationPlan { object: objs[0], from: *machine, to: dest });
+            plans.push(MigrationPlan { object: evacuee, from: *machine, to: dest });
             // The moved object brings some load with it; bump the projection
             // so repeated planning rounds spread objects out.
             if let Some(p) = projected.iter_mut().find(|(m, _)| *m == dest) {

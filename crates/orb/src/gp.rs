@@ -56,6 +56,12 @@ fn next_request_id() -> RequestId {
 /// pool their observations.
 pub struct GlobalPointer {
     or: RwLock<ObjectReference>,
+    /// Bumped on every OR-table mutation (rebind / prefer / ban). The
+    /// ROADMAP's per-GP selection cache revalidates against this counter
+    /// (together with [`ProtoPool::epoch`] and [`HealthRegistry::generation`])
+    /// instead of re-walking its inputs; `epoch-bump` in ohpc-analyze
+    /// enforces that no mutation path forgets it.
+    or_epoch: AtomicU64,
     pool: Arc<ProtoPool>,
     local: Location,
     last_protocol: Mutex<Option<String>>,
@@ -70,6 +76,7 @@ impl GlobalPointer {
     pub fn new(or: ObjectReference, pool: Arc<ProtoPool>, local: Location) -> Self {
         Self {
             or: RwLock::new(or),
+            or_epoch: AtomicU64::new(0),
             pool,
             local,
             last_protocol: Mutex::new(None),
@@ -117,6 +124,14 @@ impl GlobalPointer {
     pub fn rebind(&self, or: ObjectReference) {
         ohpc_telemetry::inc("orb_rebinds_total", &[]);
         *self.or.write() = or;
+        self.or_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Selection-input epoch: changes whenever this GP's OR table does.
+    /// A cached selection is valid only while this (and the pool/health
+    /// counterparts) is unchanged.
+    pub fn or_epoch(&self) -> u64 {
+        self.or_epoch.load(Ordering::Acquire)
     }
 
     /// The client location this GP evaluates applicability against.
@@ -154,6 +169,8 @@ impl GlobalPointer {
             or.protocols.drain(..).partition(|e| e.id == preferred);
         first.extend(rest);
         or.protocols = first;
+        drop(or);
+        self.or_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Removes every entry for `banned` from this GP's OR table, returning
@@ -163,7 +180,10 @@ impl GlobalPointer {
         let mut or = self.or.write();
         let before = or.protocols.len();
         or.protocols.retain(|e| e.id != banned);
-        before - or.protocols.len()
+        let removed = before - or.protocols.len();
+        drop(or);
+        self.or_epoch.fetch_add(1, Ordering::Release);
+        removed
     }
 
     /// Invokes method slot `method` with pre-encoded `args`, returning the

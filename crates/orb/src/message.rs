@@ -97,9 +97,8 @@ impl RequestMessage {
 
     /// Decodes from a transport frame.
     pub fn from_frame(frame: &[u8]) -> Result<Self, XdrError> {
-        ohpc_xdr::decode_from_slice(frame).map_err(|e| {
+        ohpc_xdr::decode_from_slice(frame).inspect_err(|_| {
             ohpc_telemetry::inc("orb_malformed_frames_total", &[("kind", "request")]);
-            e
         })
     }
 }
@@ -226,9 +225,8 @@ impl ReplyMessage {
 
     /// Decodes from a transport frame.
     pub fn from_frame(frame: &[u8]) -> Result<Self, XdrError> {
-        ohpc_xdr::decode_from_slice(frame).map_err(|e| {
+        ohpc_xdr::decode_from_slice(frame).inspect_err(|_| {
             ohpc_telemetry::inc("orb_malformed_frames_total", &[("kind", "reply")]);
-            e
         })
     }
 }

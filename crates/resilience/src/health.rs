@@ -6,6 +6,7 @@
 //! applicability predicate.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -106,6 +107,11 @@ pub struct HealthRegistry {
     clock: Arc<dyn Clock>,
     policy: HealthPolicy,
     map: Mutex<HashMap<HealthKey, EndpointHealth>>,
+    /// Bumped on every breaker-state transition: selection caches keyed on
+    /// health state revalidate against this (see the ROADMAP's selection
+    /// fast path); ohpc-analyze's `epoch-bump` rule enforces that every
+    /// state mutation touches it.
+    generation: AtomicU64,
 }
 
 impl std::fmt::Debug for HealthRegistry {
@@ -132,7 +138,12 @@ impl HealthRegistry {
     /// Registry on an explicit clock (netsim's `VirtualClock`, a
     /// `ManualClock` in tests).
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
-        Self { clock, policy: HealthPolicy::default(), map: Mutex::new(HashMap::new()) }
+        Self {
+            clock,
+            policy: HealthPolicy::default(),
+            map: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
     }
 
     /// Builder: replaces the breaker tuning.
@@ -167,6 +178,7 @@ impl HealthRegistry {
                 if now.saturating_sub(h.opened_at_ns) >= self.policy.cooldown_ns {
                     h.state = Some(BreakerState::HalfOpen);
                     h.halfopen_successes = 0;
+                    self.generation.fetch_add(1, Ordering::Release);
                     record_transition(key, BreakerState::HalfOpen);
                     true
                 } else {
@@ -191,6 +203,7 @@ impl HealthRegistry {
                 if h.halfopen_successes >= self.policy.close_after {
                     h.state = Some(BreakerState::Closed);
                     h.consecutive_failures = 0;
+                    self.generation.fetch_add(1, Ordering::Release);
                     record_transition(key, BreakerState::Closed);
                 }
             }
@@ -209,6 +222,7 @@ impl HealthRegistry {
                 if h.consecutive_failures >= self.policy.failure_threshold {
                     h.state = Some(BreakerState::Open);
                     h.opened_at_ns = now;
+                    self.generation.fetch_add(1, Ordering::Release);
                     record_transition(key, BreakerState::Open);
                 }
             }
@@ -216,10 +230,17 @@ impl HealthRegistry {
             BreakerState::HalfOpen => {
                 h.state = Some(BreakerState::Open);
                 h.opened_at_ns = now;
+                self.generation.fetch_add(1, Ordering::Release);
                 record_transition(key, BreakerState::Open);
             }
             BreakerState::Open => {}
         }
+    }
+
+    /// Breaker-state generation: changes whenever any breaker transitions.
+    /// Selection caches keyed on health decisions revalidate against it.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Current breaker state (Closed for never-seen keys).
