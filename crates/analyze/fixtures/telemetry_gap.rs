@@ -21,6 +21,7 @@ fn forward_counted(frame: &[u8]) -> Result<Bytes, OrbError> {
 }
 
 fn relay(frame: &[u8]) -> Result<Bytes, OrbError> {
+    let _span = ohpc_telemetry::trace_span("relay");
     let body = forward_counted(frame)?;
     if body.is_empty() {
         return Err(OrbError::Protocol("empty body".into()));

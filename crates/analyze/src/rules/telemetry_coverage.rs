@@ -19,6 +19,15 @@
 //! Functions invisible to both directions (typically `dyn`-dispatched
 //! entry points) are covered downward through their own callees, which is
 //! why the downward pass runs first.
+//!
+//! Since the causal-tracing PR a counter alone is no longer the whole
+//! story: a failure that bumps a counter but runs outside every trace span
+//! is invisible to the *flight recorder* — the dump shows a healthy trace
+//! with a hole where the error happened. So the same bidirectional
+//! reachability is computed a second time against the **span sinks**
+//! (`trace_span`/`trace_span_with`/`trace_event`, and the transport/health
+//! funnels, which open trace events themselves): an error-returning fn that
+//! is counter-covered but not span-covered gets its own finding.
 
 use crate::graph::{Recv, Workspace};
 use crate::rules::{Diagnostic, Severity};
@@ -34,28 +43,29 @@ const TARGET_CRATES: &[&str] = &["ohpc-orb", "ohpc-transport", "ohpc-resilience"
 const SINK_NAMES: &[&str] =
     &["track_send", "track_recv", "record_failure", "record_success", "record_transition"];
 
+/// Calls that put their caller inside an active trace-span scope. The
+/// transport funnels and the breaker-transition recorder emit trace events
+/// from their own bodies, so they count as span sinks by name too (method
+/// calls on `dyn` receivers do not always resolve to their definitions).
+const SPAN_SINK_NAMES: &[&str] = &[
+    "trace_span",
+    "trace_span_with",
+    "trace_event",
+    "install",
+    "track_send",
+    "track_recv",
+    "record_transition",
+];
+
 /// Trait-impl method names that never need coverage (formatting, glue).
 const EXEMPT_FNS: &[&str] = &["fmt", "clone", "drop", "default", "eq", "cmp", "hash", "main"];
 
-/// Entry point.
-pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+/// Seeds a coverage vector with `is_sink` hits, then saturates it down the
+/// resolved callee edges and up the resolved caller edges (in that order —
+/// `dyn`-dispatched entry points are only reachable downward).
+fn reach(ws: &Workspace, is_sink: impl Fn(usize) -> bool) -> Vec<bool> {
     let n = ws.fns.len();
-
-    // Direct sinks.
-    let mut covered = vec![false; n];
-    for (id, cov) in covered.iter_mut().enumerate() {
-        *cov = ws.calls[id].iter().any(|c| {
-            if SINK_NAMES.contains(&c.name.as_str()) {
-                return true;
-            }
-            match &c.recv {
-                Recv::Path(segs) => {
-                    segs.iter().any(|s| s == "ohpc_telemetry" || s == "telem")
-                }
-                _ => false,
-            }
-        });
-    }
+    let mut covered: Vec<bool> = (0..n).map(&is_sink).collect();
 
     // Downward fixpoint: a fn whose resolved callee is covered is covered.
     loop {
@@ -84,10 +94,37 @@ pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
             break;
         }
     }
+    covered
+}
 
-    for (id, cov) in covered.iter().enumerate().take(n) {
+/// Entry point.
+pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let n = ws.fns.len();
+
+    // Counter coverage: any touch of the telemetry crate or a metric funnel.
+    let covered = reach(ws, |id| {
+        ws.calls[id].iter().any(|c| {
+            if SINK_NAMES.contains(&c.name.as_str()) {
+                return true;
+            }
+            match &c.recv {
+                Recv::Path(segs) => {
+                    segs.iter().any(|s| s == "ohpc_telemetry" || s == "telem")
+                }
+                _ => false,
+            }
+        })
+    });
+
+    // Span coverage: something on the call path opens a trace span scope
+    // (or is a funnel that records trace events itself).
+    let span_covered = reach(ws, |id| {
+        ws.calls[id].iter().any(|c| SPAN_SINK_NAMES.contains(&c.name.as_str()))
+    });
+
+    for id in 0..n {
         let fi = &ws.fns[id];
-        if *cov
+        if (covered[id] && span_covered[id])
             || fi.is_test
             || !TARGET_CRATES.contains(&fi.crate_name.as_str())
             || EXEMPT_FNS.contains(&fi.name.as_str())
@@ -104,17 +141,27 @@ pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
         if f.allowed(RULE, fi.line) {
             continue;
         }
+        let message = if !covered[id] {
+            format!(
+                "fn {} ({}) returns errors but no telemetry counter is reachable from it \
+                 (neither via its callees nor any caller); failures on this path are \
+                 invisible to introspection",
+                fi.name, fi.crate_name
+            )
+        } else {
+            format!(
+                "fn {} ({}) returns errors outside every trace span: no span scope is \
+                 opened by it, its callees, or any caller, so a failure here leaves no \
+                 record in the flight recorder",
+                fi.name, fi.crate_name
+            )
+        };
         diags.push(Diagnostic {
             file: f.path.clone(),
             line: fi.line,
             rule: RULE,
             severity: Severity::Warn,
-            message: format!(
-                "fn {} ({}) returns errors but no telemetry counter is reachable from it \
-                 (neither via its callees nor any caller); failures on this path are \
-                 invisible to introspection",
-                fi.name, fi.crate_name
-            ),
+            message,
         });
     }
 }
@@ -146,9 +193,10 @@ mod tests {
     }
 
     #[test]
-    fn direct_counter_covers() {
+    fn direct_counter_and_span_cover() {
         let src = r#"
             fn parse(b: &[u8]) -> Result<u32, E> {
+                let _span = ohpc_telemetry::trace_span("parse");
                 if b.is_empty() {
                     ohpc_telemetry::inc("parse_errors_total", &[]);
                     return Err(E::Short);
@@ -160,10 +208,27 @@ mod tests {
     }
 
     #[test]
+    fn counter_without_span_is_flagged() {
+        let src = r#"
+            fn parse(b: &[u8]) -> Result<u32, E> {
+                if b.is_empty() {
+                    ohpc_telemetry::inc("parse_errors_total", &[]);
+                    return Err(E::Short);
+                }
+                Ok(0)
+            }
+        "#;
+        let diags = analyze(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("outside every trace span"), "{diags:?}");
+    }
+
+    #[test]
     fn covered_caller_covers_helper() {
         let src = r#"
             fn helper(b: &[u8]) -> Result<u32, E> { Err(E::Short) }
             fn exchange(b: &[u8]) -> Result<u32, E> {
+                let _span = ohpc_telemetry::trace_span_with("exchange", &[]);
                 ohpc_telemetry::inc("requests_total", &[]);
                 helper(b)
             }

@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use ohpc_netsim::LinkProfile;
 
 use crate::fig5::Network;
-use crate::{fig3, fig4, fig5, overhead};
+use crate::{fig3, fig4, fig5, overhead, trace_overhead};
 
 /// Array sizes probed per hop in the fig4 walk (kept small for CI).
 pub const FIG4_PROBE_SIZES: &[usize] = &[256, 4096];
@@ -24,6 +24,12 @@ pub const OVERHEAD_SIZES: &[usize] = &[1024];
 
 /// Iterations per overhead measurement.
 pub const OVERHEAD_ITERS: u32 = 16;
+
+/// Interleaved on/off rounds for the tracing A/B (one sample each per round).
+pub const TRACING_ROUNDS: u32 = 15;
+
+/// Echo calls timed per tracing round and side.
+pub const TRACING_CALLS_PER_ROUND: u32 = 192;
 
 /// Median of a sample set; 0.0 for an empty set.
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -56,9 +62,40 @@ fn esc(s: &str) -> String {
     out
 }
 
+/// Median of the per-round paired on/off differences, as a percentage of
+/// the off side.
+fn paired_median_pct(t: &trace_overhead::TracingOverhead) -> f64 {
+    median(
+        t.on_us
+            .iter()
+            .zip(&t.off_us)
+            .filter(|(_, off)| **off > 0.0)
+            .map(|(on, off)| (on - off) / off * 100.0)
+            .collect(),
+    )
+}
+
+/// Re-runs just the tracing A/B and returns its paired-median overhead
+/// percentage. This is the budget check's retry path: a noisy-runner phase
+/// can skew one whole measurement, so the gate re-measures before failing —
+/// a genuine regression is over budget every time.
+pub fn remeasure_tracing_overhead_pct() -> f64 {
+    paired_median_pct(&trace_overhead::run(TRACING_ROUNDS, TRACING_CALLS_PER_ROUND))
+}
+
+/// The rendered artifact plus the headline numbers CI gates on.
+#[derive(Debug, Clone)]
+pub struct OverheadArtifact {
+    /// The JSON document (`BENCH_overhead.json`).
+    pub json: String,
+    /// Median per-call overhead of always-on trace recording on the fig3
+    /// path, as a percentage of the recording-off baseline.
+    pub tracing_overhead_pct: f64,
+}
+
 /// Runs the three figure harnesses plus the overhead table and renders the
 /// per-figure medians as a JSON document.
-pub fn overhead_artifact() -> String {
+pub fn overhead_artifact() -> OverheadArtifact {
     let mut j = String::new();
     j.push_str("{\n  \"artifact\": \"BENCH_overhead\",\n");
     j.push_str("  \"source\": \"ohpc-bench (fig3, fig4, fig5, overhead harnesses)\",\n");
@@ -119,6 +156,23 @@ pub fn overhead_artifact() -> String {
     }
     j.push_str("  ] },\n");
 
+    // Tracing: per-call cost of the always-on flight recorder on the fig3
+    // authenticated glue path, recording on vs off (interleaved rounds).
+    // The headline percentage is the median of *per-round paired*
+    // differences — each round times its off and on batches back-to-back,
+    // so pairing cancels the machine drift that an unpaired median of
+    // medians would read as overhead (or as a speedup).
+    let t = trace_overhead::run(TRACING_ROUNDS, TRACING_CALLS_PER_ROUND);
+    let on = median(t.on_us.clone());
+    let off = median(t.off_us.clone());
+    let tracing_overhead_pct = paired_median_pct(&t);
+    let _ = writeln!(
+        j,
+        "  \"tracing\": {{ \"path\": \"fig3 glue[auth]->tcp\", \
+         \"median_on_us\": {on:.3}, \"median_off_us\": {off:.3}, \
+         \"overhead_pct\": {tracing_overhead_pct:.2} }},"
+    );
+
     // Overhead: median CPU microseconds per capability chain.
     j.push_str("  \"overhead\": { \"chains\": [\n");
     let rows = overhead::run(OVERHEAD_SIZES, OVERHEAD_ITERS);
@@ -142,7 +196,7 @@ pub fn overhead_artifact() -> String {
         );
     }
     j.push_str("  ] }\n}\n");
-    j
+    OverheadArtifact { json: j, tracing_overhead_pct }
 }
 
 #[cfg(test)]

@@ -1,16 +1,59 @@
 //! Emits `BENCH_overhead.json`: per-figure medians from the fig3/fig4/fig5
-//! and capability-overhead harnesses, as one machine-readable artifact.
+//! and capability-overhead harnesses, plus the tracing-on/off A/B, as one
+//! machine-readable artifact.
 //!
-//! Usage: `cargo run --release -p ohpc-bench --bin bench_overhead_json [path]`
+//! Usage:
+//! `cargo run --release -p ohpc-bench --bin bench_overhead_json [path] [--max-tracing-overhead-pct N]`
 //! (default output path: `BENCH_overhead.json` in the current directory).
+//!
+//! With `--max-tracing-overhead-pct N` the process exits non-zero when the
+//! always-on flight recorder costs more than N% median latency on the fig3
+//! path — the CI gate for "tracing is invisible next to the work".
 
 fn main() {
-    let path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_overhead.json".to_string());
-    let json = ohpc_bench::artifact::overhead_artifact();
-    if let Err(e) = std::fs::write(&path, &json) {
+    let mut path = "BENCH_overhead.json".to_string();
+    let mut max_pct: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-tracing-overhead-pct" {
+            let v = args.next().and_then(|v| v.parse().ok());
+            let Some(v) = v else {
+                eprintln!("--max-tracing-overhead-pct needs a numeric value");
+                std::process::exit(1);
+            };
+            max_pct = Some(v);
+        } else {
+            path = a;
+        }
+    }
+
+    let art = ohpc_bench::artifact::overhead_artifact();
+    if let Err(e) = std::fs::write(&path, &art.json) {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {path} ({} bytes)", json.len());
+    println!("wrote {path} ({} bytes)", art.json.len());
+    if let Some(max) = max_pct {
+        let mut pct = art.tracing_overhead_pct;
+        // A shared runner can spend seconds in a skewed phase that poisons
+        // one whole A/B; re-measure before failing. A real regression is
+        // over budget on every attempt.
+        for attempt in 2..=3 {
+            if pct <= max {
+                break;
+            }
+            eprintln!(
+                "tracing overhead {pct:.2}% over the {max:.2}% budget; \
+                 re-measuring ({attempt}/3)"
+            );
+            pct = ohpc_bench::artifact::remeasure_tracing_overhead_pct();
+        }
+        if pct > max {
+            eprintln!(
+                "tracing overhead {pct:.2}% exceeds the {max:.2}% budget on the fig3 path"
+            );
+            std::process::exit(2);
+        }
+        println!("tracing overhead {pct:.2}% within the {max:.2}% budget");
+    }
 }

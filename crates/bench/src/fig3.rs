@@ -42,7 +42,7 @@ pub fn fig3_cluster(profile: LinkProfile) -> (Cluster, [MachineId; 3]) {
     (cluster, [server_m, p1_m, p2_m])
 }
 
-fn rows_for(ctx: &Context) -> Vec<OrRow> {
+pub(crate) fn rows_for(ctx: &Context) -> Vec<OrRow> {
     let auth_glue = ctx
         .add_glue(vec![AuthCap::spec(EXPERIMENT_KEY, "fig3-client", CapScope::CrossLan)])
         .expect("install auth glue");

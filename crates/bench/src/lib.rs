@@ -30,4 +30,5 @@ pub mod mux_contention;
 pub mod overhead;
 pub mod plot;
 pub mod setup;
+pub mod trace_overhead;
 pub mod workload;

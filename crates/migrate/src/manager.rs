@@ -215,6 +215,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: bytes::Bytes::copy_from_slice(w.peek()),
+            trace: None,
         });
         match reply.status {
             ReplyStatus::Ok => Ok(ohpc_xdr::decode_from_slice(&reply.body).unwrap()),

@@ -316,6 +316,10 @@ pub fn process_chain(
     let mut metas = Vec::with_capacity(caps.len());
     for cap in caps {
         let mut meta = CapMeta::new();
+        let _span = ohpc_telemetry::trace_span_with(
+            "cap_process",
+            &[("cap", cap.name()), ("dir", dir.as_label())],
+        );
         let t0 = clock.now_ns();
         let result = cap.process(dir, call, &mut meta, body);
         registry
@@ -356,6 +360,10 @@ pub fn unprocess_chain(
         }
         let meta = CapMeta::from_bytes(meta_bytes)
             .map_err(|e| CapError::Failed(format!("bad capability metadata: {e}")))?;
+        let _span = ohpc_telemetry::trace_span_with(
+            "cap_unprocess",
+            &[("cap", cap.name()), ("dir", dir.as_label())],
+        );
         let t0 = clock.now_ns();
         let result = cap.unprocess(dir, call, &meta, body);
         registry

@@ -438,8 +438,19 @@ impl Context {
     }
 
     /// Typed form of [`handle_frame`](Self::handle_frame).
+    ///
+    /// All serving paths funnel here — inline connections, per-request
+    /// threads on split connections, and the Nexus handler — so adopting the
+    /// request's wire-propagated trace context at the top is enough to make
+    /// every server-side span (dispatch, glue, capability) a child of the
+    /// client's attempt span, whichever thread this runs on.
     pub fn handle_request(&self, req: RequestMessage) -> ReplyMessage {
         let rid = req.request_id;
+        let _trace = req.trace.clone().map(ohpc_telemetry::install);
+        let mut dispatch_span = ohpc_telemetry::trace_span_with(
+            "server_dispatch",
+            &[("method", &req.method.to_string()), ("ctx", &self.inner.id.0.to_string())],
+        );
         let call = CallInfo { object: req.object, method: req.method, request_id: rid };
         // Drop-guard: records server-side handling latency on every return
         // path, including tombstone forwards and capability denials.
@@ -448,6 +459,7 @@ impl Context {
         // Tombstone? Forward the client to the object's new home.
         if let Some(new_or) = self.inner.tombstones.read().get(&req.object) {
             ohpc_telemetry::inc("orb_tombstone_hops_total", &[]);
+            dispatch_span.attr("outcome", "moved");
             return ReplyMessage::status(rid, ReplyStatus::Moved(Box::new(new_or.clone())));
         }
 
@@ -662,6 +674,7 @@ mod tests {
             oneway: false,
             glue: None,
             body,
+            trace: None,
         }
     }
 

@@ -194,6 +194,7 @@ impl ProtoObject for GlueProto {
                     .collect(),
             }),
             body,
+            trace: req.trace.clone(),
         };
 
         let mut reply = inner_proto.invoke_with_deadline(pool, inner, &glued, remaining_ns)?;
@@ -247,6 +248,7 @@ impl ProtoObject for GlueProto {
                     .collect(),
             }),
             body,
+            trace: req.trace.clone(),
         };
         inner_proto.invoke_oneway(pool, inner, &glued)
     }
@@ -398,6 +400,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: Bytes::from_static(b"xyz"),
+            trace: None,
         };
         let reply = glue.invoke(&pool, &glue_entry(), &req).unwrap();
         assert_eq!(reply.status, ReplyStatus::Ok);
@@ -482,6 +485,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: Bytes::new(),
+            trace: None,
         };
         assert!(matches!(
             glue.invoke(&pool, &nested, &req).unwrap_err(),
@@ -500,6 +504,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: Bytes::new(),
+            trace: None,
         };
         let entry = ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1");
         assert!(matches!(

@@ -197,12 +197,19 @@ impl GlobalPointer {
     /// `Moved` forwards and capability denials) are not observable; pair
     /// one-ways with an occasional two-way call to rebind after migrations.
     pub fn invoke_oneway(&self, method: u32, args: &XdrWriter) -> Result<(), OrbError> {
+        // One-ways carry trace context to the server but produce no reply
+        // half: the dispatch span records remotely, never back here.
+        let ctx = ohpc_telemetry::current().unwrap_or_else(ohpc_telemetry::TraceContext::new_root);
+        let _trace = ohpc_telemetry::install(ctx);
+        let mut span = ohpc_telemetry::trace_span("gp_oneway");
         let health = self.health.lock().clone();
         let (selection, object) = {
             let or = self.or.read();
             (select_with_health(&or, &self.pool, &self.local, Some(&health))?, or.object)
         };
-        *self.last_protocol.lock() = Some(selection.describe());
+        let described = selection.describe();
+        span.attr("proto", &described);
+        *self.last_protocol.lock() = Some(described);
         let key = health_key(&selection.entry);
         let req = RequestMessage {
             request_id: next_request_id(),
@@ -211,6 +218,7 @@ impl GlobalPointer {
             oneway: true,
             glue: None,
             body: Bytes::copy_from_slice(args.peek()),
+            trace: ohpc_telemetry::current(),
         };
         match selection.proto.invoke_oneway(&self.pool, &selection.entry, &req) {
             Ok(()) => {
@@ -256,12 +264,18 @@ impl GlobalPointer {
         let health = self.health.lock().clone();
         let clock = health.clock();
         let deadline = policy.deadline_from(clock.now_ns());
+        // Adopt the caller's trace or mint a fresh root: every retry,
+        // breaker failover, and Moved forward below shares this trace id, so
+        // one trace tells the whole story of the invocation.
+        let ctx =
+            ohpc_telemetry::current().unwrap_or_else(ohpc_telemetry::TraceContext::new_root);
+        let _trace = ohpc_telemetry::install(ctx);
         // Jitter salt: the request counter at entry, so concurrent callers
         // and successive invocations desynchronize deterministically.
         let salt = NEXT_REQUEST_ID.load(Ordering::Relaxed);
         let mut failed_attempts: u32 = 0;
         loop {
-            let err = match self.attempt_once(method, &body, &health, deadline) {
+            let err = match self.attempt_once(method, &body, &health, deadline, failed_attempts) {
                 Ok(reply_body) => return Ok(reply_body),
                 Err(e) => e,
             };
@@ -275,11 +289,18 @@ impl GlobalPointer {
                 ErrorClass::Permanent => false,
             };
             if !may_retry || failed_attempts >= policy.max_attempts {
+                if may_retry && failed_attempts >= policy.max_attempts {
+                    // The flight recorder has the whole doomed trace; keep it.
+                    ohpc_telemetry::trace_event("retry_budget_exhausted", &[]);
+                    ohpc_telemetry::dump_to_results("retry-budget-exhausted");
+                }
                 return Err(err);
             }
             let backoff = policy.backoff_ns(failed_attempts - 1, salt);
             if let Some(d) = deadline {
                 if clock.now_ns().saturating_add(backoff) > d {
+                    ohpc_telemetry::trace_event("deadline_exceeded", &[]);
+                    ohpc_telemetry::dump_to_results("deadline-exceeded");
                     return Err(OrbError::DeadlineExceeded {
                         attempts: failed_attempts,
                         last: Box::new(err),
@@ -287,6 +308,7 @@ impl GlobalPointer {
                 }
             }
             ohpc_telemetry::inc("resilience_retries_total", &[("class", class.label())]);
+            ohpc_telemetry::trace_event("retry", &[("class", class.label())]);
             let sleeper = self.sleeper.lock().clone();
             sleeper.sleep_ns(backoff);
         }
@@ -306,14 +328,27 @@ impl GlobalPointer {
         body: &Bytes,
         health: &Arc<HealthRegistry>,
         deadline: Option<u64>,
+        attempt: u32,
     ) -> Result<Bytes, OrbError> {
         let clock = health.clock();
-        for _forward in 0..=MAX_FORWARDS {
+        for forward in 0..=MAX_FORWARDS {
+            // One span per attempt×forward hop; the request inherits this
+            // span's context, so server-side dispatch parents on it.
+            let mut span = ohpc_telemetry::trace_span_with(
+                "gp_attempt",
+                &[
+                    ("attempt", &attempt.to_string()),
+                    ("forward", &forward.to_string()),
+                    ("method", &method.to_string()),
+                ],
+            );
             let (selection, object) = {
                 let or = self.or.read();
                 (select_with_health(&or, &self.pool, &self.local, Some(health))?, or.object)
             };
-            *self.last_protocol.lock() = Some(selection.describe());
+            let described = selection.describe();
+            span.attr("proto", &described);
+            *self.last_protocol.lock() = Some(described);
             let key = health_key(&selection.entry);
 
             let req = RequestMessage {
@@ -323,6 +358,7 @@ impl GlobalPointer {
                 oneway: false,
                 glue: None,
                 body: body.clone(),
+                trace: ohpc_telemetry::current(),
             };
 
             let remaining_ns = deadline.map(|d| d.saturating_sub(clock.now_ns()));
@@ -350,6 +386,10 @@ impl GlobalPointer {
                 ReplyStatus::Moved(new_or) => {
                     self.forwards_seen.fetch_add(1, Ordering::Relaxed);
                     ohpc_telemetry::inc("orb_forwards_total", &[]);
+                    ohpc_telemetry::trace_event(
+                        "forward",
+                        &[("to", &new_or.location.to_string())],
+                    );
                     self.rebind(*new_or);
                     continue;
                 }

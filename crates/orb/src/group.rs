@@ -52,13 +52,26 @@ impl GpGroup {
         args: &XdrWriter,
     ) -> Vec<Result<Bytes, OrbError>> {
         let body = Bytes::copy_from_slice(args.peek());
+        // Member calls run on their own threads, which have no trace scope
+        // of their own — carry the collective caller's context across so all
+        // member invocations (and their retries/failovers) share one trace.
+        let trace = ohpc_telemetry::current();
         let handles: Vec<_> = self
             .members
             .iter()
-            .map(|gp| {
+            .enumerate()
+            .map(|(i, gp)| {
                 let gp = gp.clone();
                 let body = body.clone();
-                std::thread::spawn(move || gp.invoke_raw(method, body))
+                let trace = trace.clone();
+                std::thread::spawn(move || {
+                    let _t = trace.map(ohpc_telemetry::install);
+                    let _span = ohpc_telemetry::trace_span_with(
+                        "group_member",
+                        &[("member", &i.to_string())],
+                    );
+                    gp.invoke_raw(method, body)
+                })
             })
             .collect();
         handles

@@ -37,6 +37,7 @@ crate::remote_interface! {
     fn metrics_text() -> String = 1;
     fn counter_total(name: String) -> u64 = 2;
     fn context_info() -> String = 3;
+    fn dump_traces() -> String = 4;
 }
 
 /// The first-party [`IntrospectionApi`] implementation every context hosts.
@@ -62,6 +63,10 @@ impl IntrospectionApi for ContextIntrospection {
 
     fn context_info(&self) -> Result<String, String> {
         Ok(format!("context={} scope=process", self.ctx))
+    }
+
+    fn dump_traces(&self) -> Result<String, String> {
+        Ok(ohpc_telemetry::TraceBuffer::global().snapshot_text())
     }
 }
 
@@ -97,5 +102,18 @@ mod tests {
         skel.dispatch(1, &mut XdrReader::new(&[]), &mut out).expect("dispatch");
         let text: String = ohpc_xdr::decode_from_slice(&out.finish()).expect("decode");
         assert!(text.contains("introspect_dispatch_test_total"), "{text}");
+    }
+
+    #[test]
+    fn skeleton_dispatches_dump_traces() {
+        {
+            let _t = ohpc_telemetry::install(ohpc_telemetry::TraceContext::new_root());
+            ohpc_telemetry::trace_event("introspect_dump_probe", &[]);
+        }
+        let skel = IntrospectionSkeleton(ContextIntrospection::new(ContextId(1)));
+        let mut out = XdrWriter::new();
+        skel.dispatch(4, &mut XdrReader::new(&[]), &mut out).expect("dispatch");
+        let text: String = ohpc_xdr::decode_from_slice(&out.finish()).expect("decode");
+        assert!(text.contains("introspect_dump_probe"), "{text}");
     }
 }

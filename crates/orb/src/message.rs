@@ -10,7 +10,50 @@ use bytes::Bytes;
 
 use crate::ids::{ObjectId, RequestId};
 use crate::objref::ObjectReference;
+use ohpc_telemetry::TraceContext;
 use ohpc_xdr::{XdrDecode, XdrEncode, XdrError, XdrReader, XdrWriter};
+
+/// Version word of the trace-context trailing extension on request frames.
+///
+/// The extension rides *after* the last request field as
+/// `XdrWriter::put_trailing_extension(version, payload)`: a frame without
+/// trace context is byte-identical to a pre-tracing frame, an old decoder
+/// never reads past the body, and a new decoder treats end-of-input as "no
+/// context" and an unknown version as an opaque skip.
+pub const TRACE_EXT_VERSION: u32 = 1;
+
+fn encode_trace(t: &TraceContext) -> Bytes {
+    let mut w = XdrWriter::with_capacity(48 + t.baggage_bytes());
+    w.put_u64((t.trace_id >> 64) as u64);
+    w.put_u64(t.trace_id as u64);
+    w.put_u64(t.span_id);
+    w.put_u64(t.parent_span_id);
+    w.put_array_len(t.baggage.len());
+    for (k, v) in &t.baggage {
+        w.put_string(k);
+        w.put_string(v);
+    }
+    w.finish()
+}
+
+fn decode_trace(payload: &[u8]) -> Result<TraceContext, XdrError> {
+    let mut r = XdrReader::new(payload);
+    let hi = r.get_u64()?;
+    let lo = r.get_u64()?;
+    let span_id = r.get_u64()?;
+    let parent_span_id = r.get_u64()?;
+    let n = r.get_array_len()?;
+    let mut baggage = Vec::with_capacity(n.min(32));
+    for _ in 0..n {
+        baggage.push((r.get_string()?, r.get_string()?));
+    }
+    Ok(TraceContext {
+        trace_id: (u128::from(hi) << 64) | u128::from(lo),
+        span_id,
+        parent_span_id,
+        baggage,
+    })
+}
 
 /// One capability's wire metadata for one direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +128,9 @@ pub struct RequestMessage {
     pub glue: Option<GlueWire>,
     /// XDR-encoded arguments (possibly transformed by capabilities).
     pub body: Bytes,
+    /// Causal trace context, carried as a versioned trailing extension so
+    /// pre-tracing frames still parse (see [`TRACE_EXT_VERSION`]).
+    pub trace: Option<TraceContext>,
 }
 
 impl RequestMessage {
@@ -111,19 +157,30 @@ impl XdrEncode for RequestMessage {
         w.put_bool(self.oneway);
         self.glue.encode(w);
         w.put_opaque(&self.body);
+        if let Some(t) = &self.trace {
+            w.put_trailing_extension(TRACE_EXT_VERSION, &encode_trace(t));
+        }
     }
 }
 
 impl XdrDecode for RequestMessage {
     fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
-        Ok(Self {
-            request_id: RequestId::decode(r)?,
-            object: ObjectId::decode(r)?,
-            method: r.get_u32()?,
-            oneway: r.get_bool()?,
-            glue: Option::<GlueWire>::decode(r)?,
-            body: Bytes::copy_from_slice(r.get_opaque()?),
-        })
+        let request_id = RequestId::decode(r)?;
+        let object = ObjectId::decode(r)?;
+        let method = r.get_u32()?;
+        let oneway = r.get_bool()?;
+        let glue = Option::<GlueWire>::decode(r)?;
+        let body = Bytes::copy_from_slice(r.get_opaque()?);
+        let trace = match r.get_trailing_extension()? {
+            // Legacy frame: no extension bytes at all.
+            None => None,
+            // A known version decodes strictly; a corrupt payload is a
+            // malformed frame, not a silently traceless one.
+            Some((TRACE_EXT_VERSION, payload)) => Some(decode_trace(payload)?),
+            // A future version is skipped whole (the payload is opaque).
+            Some((_, _)) => None,
+        };
+        Ok(Self { request_id, object, method, oneway, glue, body, trace })
     }
 }
 
@@ -279,6 +336,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: Bytes::from_static(b"args"),
+            trace: None,
         };
         let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
         assert_eq!(back, req);
@@ -299,9 +357,88 @@ mod tests {
                 ],
             }),
             body: Bytes::from_static(b"encrypted-bytes"),
+            trace: None,
         };
         let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_roundtrip_with_trace_and_baggage() {
+        let mut ctx = ohpc_telemetry::TraceContext::new_root();
+        assert!(ctx.try_add_baggage("tenant", "blue"));
+        assert!(ctx.try_add_baggage("shard", "7"));
+        let req = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: None,
+            body: Bytes::from_static(b"args"),
+            trace: Some(ctx),
+        };
+        let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn traceless_frame_is_byte_identical_to_the_legacy_encoding() {
+        // The trace rides as a trailing extension: when absent, the frame
+        // must match what a pre-trace encoder produced, byte for byte.
+        let req = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: None,
+            body: Bytes::from_static(b"args"),
+            trace: None,
+        };
+        let mut w = XdrWriter::new();
+        RequestId(5).encode(&mut w);
+        ObjectId(9).encode(&mut w);
+        w.put_u32(3);
+        w.put_bool(false);
+        false.encode(&mut w); // glue: None discriminant
+        w.put_opaque(b"args");
+        assert_eq!(&req.to_frame()[..], &w.finish()[..]);
+    }
+
+    #[test]
+    fn unknown_trace_extension_version_is_skipped() {
+        let legacy = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: None,
+            body: Bytes::from_static(b"args"),
+            trace: None,
+        };
+        let mut frame = legacy.to_frame().to_vec();
+        let mut w = XdrWriter::new();
+        w.put_trailing_extension(TRACE_EXT_VERSION + 1, b"from-the-future");
+        frame.extend_from_slice(&w.finish());
+        let back = RequestMessage::from_frame(&frame).unwrap();
+        assert_eq!(back, legacy, "unknown extension decodes as no trace");
+    }
+
+    #[test]
+    fn corrupt_trace_payload_is_a_malformed_frame() {
+        let legacy = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: None,
+            body: Bytes::new(),
+            trace: None,
+        };
+        let mut frame = legacy.to_frame().to_vec();
+        let mut w = XdrWriter::new();
+        w.put_trailing_extension(TRACE_EXT_VERSION, &[0xFF; 3]);
+        frame.extend_from_slice(&w.finish());
+        assert!(RequestMessage::from_frame(&frame).is_err());
     }
 
     #[test]
@@ -345,6 +482,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: Bytes::from_static(b"some body bytes"),
+            trace: None,
         };
         let frame = req.to_frame();
         assert!(RequestMessage::from_frame(&frame[..frame.len() - 4]).is_err());

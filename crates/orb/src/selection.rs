@@ -91,11 +91,19 @@ pub fn select_with_health(
                 "orb_selection_rejected_total",
                 &[("protocol", &proto_name), ("reason", "not-in-pool")],
             );
+            ohpc_telemetry::trace_event(
+                "selection_rejected",
+                &[("protocol", &proto_name), ("reason", "not-in-pool")],
+            );
             continue;
         };
         if !proto.applicable(pool, client, &or.location, entry) {
             ohpc_telemetry::inc(
                 "orb_selection_rejected_total",
+                &[("protocol", &proto_name), ("reason", "inapplicable")],
+            );
+            ohpc_telemetry::trace_event(
+                "selection_rejected",
                 &[("protocol", &proto_name), ("reason", "inapplicable")],
             );
             continue;
@@ -104,6 +112,10 @@ pub fn select_with_health(
             if !h.allow(&health_key(entry)) {
                 ohpc_telemetry::inc(
                     "orb_selection_rejected_total",
+                    &[("protocol", &proto_name), ("reason", "breaker-open")],
+                );
+                ohpc_telemetry::trace_event(
+                    "selection_rejected",
                     &[("protocol", &proto_name), ("reason", "breaker-open")],
                 );
                 breaker_skips += 1;
@@ -120,6 +132,14 @@ pub fn select_with_health(
         if breaker_skips > 0 {
             ohpc_telemetry::inc("resilience_failover_total", &[("protocol", &proto_name)]);
         }
+        ohpc_telemetry::trace_event(
+            "selection",
+            &[
+                ("protocol", &proto_name),
+                ("index", &index.to_string()),
+                ("outcome", if breaker_skips > 0 { "failover" } else { "selected" }),
+            ],
+        );
         return Ok(Selection { proto, entry: entry.clone(), index });
     }
     if let Some(sel) = fallback {
@@ -135,9 +155,18 @@ pub fn select_with_health(
             "resilience_breaker_fallback_total",
             &[("protocol", &proto_name)],
         );
+        ohpc_telemetry::trace_event(
+            "selection",
+            &[
+                ("protocol", &proto_name),
+                ("index", &sel.index.to_string()),
+                ("outcome", "breaker-fallback"),
+            ],
+        );
         return Ok(sel);
     }
     ohpc_telemetry::inc("orb_selection_failed_total", &[]);
+    ohpc_telemetry::trace_event("selection_failed", &[]);
     Err(OrbError::NoApplicableProtocol { offered: or.offered() })
 }
 

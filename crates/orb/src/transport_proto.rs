@@ -764,6 +764,7 @@ mod tests {
             oneway: false,
             glue: None,
             body: Bytes::from_static(body),
+            trace: None,
         }
     }
 

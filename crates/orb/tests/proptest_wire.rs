@@ -93,6 +93,7 @@ proptest! {
             oneway,
             glue,
             body: Bytes::from(body),
+            trace: None,
         };
         let back = RequestMessage::from_frame(&req.to_frame()).unwrap();
         prop_assert_eq!(back, req);

@@ -273,11 +273,14 @@ impl HealthRegistry {
     }
 }
 
-/// One breaker transition: counter for rate, gauge for current state.
+/// One breaker transition: counter for rate, gauge for current state. When
+/// the observing thread is inside a trace scope (a GP invocation), the
+/// transition also lands in that trace's flight-recorder timeline.
 fn record_transition(key: &HealthKey, to: BreakerState) {
     let labels =
         [("protocol", key.protocol.as_str()), ("endpoint", key.endpoint.as_str()), ("to", to.label())];
     ohpc_telemetry::inc("resilience_breaker_transitions_total", &labels);
+    ohpc_telemetry::trace_event("breaker_transition", &labels);
     Registry::global()
         .gauge(
             "resilience_breaker_open",

@@ -1,0 +1,53 @@
+//! Microbenchmark of the flight-recorder hot path.
+//!
+//! Prints nanoseconds per operation for span open+close, instant events,
+//! spans with attributes, and the disabled-recording fast path. Run with
+//! `cargo run --release -p ohpc-telemetry --example trace_micro` when
+//! touching the recorder; the end-to-end budget (`--max-tracing-overhead-pct`
+//! on `bench_overhead_json`) is roughly nine records per fig3 call, so every
+//! nanosecond here is ~9 ns per request.
+
+use std::time::Instant;
+
+fn main() {
+    let ctx = ohpc_telemetry::TraceContext::new_root();
+    let _scope = ohpc_telemetry::install(ctx);
+
+    // Warm.
+    for _ in 0..10_000 {
+        let _s = ohpc_telemetry::trace_span("warm");
+    }
+
+    let n = 1_000_000u32;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _s = ohpc_telemetry::trace_span("work");
+    }
+    let span_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..n {
+        ohpc_telemetry::trace_event("blip", &[("k", "v")]);
+    }
+    let event_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    let t0 = Instant::now();
+    for i in 0..n {
+        let mut s = ohpc_telemetry::trace_span_with("work", &[("attempt", "1")]);
+        s.attr("x", if i % 2 == 0 { "a" } else { "b" });
+    }
+    let span_attr_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    ohpc_telemetry::set_trace_enabled(false);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _s = ohpc_telemetry::trace_span("work");
+    }
+    let off_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    ohpc_telemetry::set_trace_enabled(true);
+
+    println!("span open+close: {span_ns:.1} ns");
+    println!("event:           {event_ns:.1} ns");
+    println!("span w/ attrs:   {span_attr_ns:.1} ns");
+    println!("disabled span:   {off_ns:.1} ns");
+}

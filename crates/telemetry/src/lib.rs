@@ -45,8 +45,14 @@ mod clock;
 mod metrics;
 mod registry;
 mod snapshot;
+mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use metrics::{default_latency_bounds_ns, Counter, Gauge, Histogram};
+pub use metrics::{default_latency_bounds_ns, Counter, Exemplar, Gauge, Histogram};
 pub use registry::{add, counter, gauge, histogram, inc, observe_ns, span, Registry, Span};
 pub use snapshot::{HistogramSnapshot, Sample, Snapshot, Value};
+pub use trace::{
+    current, current_trace_id, dump_to_results, enabled as trace_enabled, install,
+    set_enabled as set_trace_enabled, trace_event, trace_span, trace_span_with, SpanRecord,
+    TraceBuffer, TraceContext, TraceScope, TraceSpan, BAGGAGE_BUDGET_BYTES,
+};

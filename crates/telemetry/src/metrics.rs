@@ -81,6 +81,21 @@ pub struct Histogram {
     /// `bounds.len() + 1` buckets; the last one is `+Inf`.
     buckets: Vec<AtomicU64>,
     sum: AtomicU64,
+    /// Exemplar linkage: the largest traced observation so far and the trace
+    /// it belonged to, so a latency regression points at a reconstructable
+    /// causal trace. Updated with a `fetch_max` race that tolerates ties.
+    max_v: AtomicU64,
+    max_trace_hi: AtomicU64,
+    max_trace_lo: AtomicU64,
+}
+
+/// The exemplar a histogram keeps: its maximum traced observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram).
+    pub value: u64,
+    /// Trace id of the request that produced it.
+    pub trace_id: u128,
 }
 
 /// Default latency bounds in nanoseconds: 1µs → 10s in 1-2.5-5 steps.
@@ -123,7 +138,14 @@ impl Histogram {
         bounds.sort_unstable();
         bounds.dedup();
         let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
-        Self { bounds, buckets, sum: AtomicU64::new(0) }
+        Self {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            max_v: AtomicU64::new(0),
+            max_trace_hi: AtomicU64::new(0),
+            max_trace_lo: AtomicU64::new(0),
+        }
     }
 
     /// Create a histogram with [`default_latency_bounds_ns`].
@@ -146,7 +168,37 @@ impl Histogram {
         if let Some(bucket) = self.buckets.get(idx) {
             bucket.fetch_add(1, Ordering::Relaxed);
         }
+        // ohpc-analyze: allow(shared-state) — `sum` is an AtomicU64; fetch_add
+        // is a lock-free RMW, no lockset needed.
         self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// [`observe`](Self::observe) plus exemplar linkage: when `v` is the
+    /// largest observation this histogram has seen, remember `trace_id` so
+    /// the max bucket points back at the causal trace that filled it.
+    ///
+    /// The max check and the trace store are separate atomics; two racing
+    /// maxima may interleave their trace halves, which is acceptable
+    /// imprecision for a diagnostic pointer (the value itself stays exact).
+    pub fn observe_traced(&self, v: u64, trace_id: u128) {
+        self.observe(v);
+        let prev = self.max_v.fetch_max(v, Ordering::Relaxed);
+        if v >= prev {
+            self.max_trace_hi.store((trace_id >> 64) as u64, Ordering::Relaxed);
+            self.max_trace_lo.store(trace_id as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// The current exemplar: the largest traced observation and its trace.
+    /// `None` until some traced observation lands.
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        let hi = self.max_trace_hi.load(Ordering::Relaxed);
+        let lo = self.max_trace_lo.load(Ordering::Relaxed);
+        let trace_id = (u128::from(hi) << 64) | u128::from(lo);
+        if trace_id == 0 {
+            return None;
+        }
+        Some(Exemplar { value: self.max_v.load(Ordering::Relaxed), trace_id })
     }
 
     /// Per-bucket counts (non-cumulative; last entry is the `+Inf` bucket).
@@ -218,6 +270,21 @@ mod tests {
         assert_eq!(h.bucket_counts(), vec![1]);
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum(), 42);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_max_traced_observation() {
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.exemplar(), None, "no traced observation yet");
+        h.observe(1_000_000); // untraced observations never set the exemplar
+        assert_eq!(h.exemplar(), None);
+        h.observe_traced(50, 0xAAAA);
+        assert_eq!(h.exemplar(), Some(Exemplar { value: 50, trace_id: 0xAAAA }));
+        h.observe_traced(2_000_000, 0xBBBB);
+        assert_eq!(h.exemplar(), Some(Exemplar { value: 2_000_000, trace_id: 0xBBBB }));
+        h.observe_traced(10, 0xCCCC); // smaller: exemplar unchanged
+        assert_eq!(h.exemplar().map(|e| e.trace_id), Some(0xBBBB));
+        assert_eq!(h.count(), 4);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! dependencies.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::clock::{Clock, MonotonicClock};
@@ -51,6 +52,7 @@ enum Metric {
 pub struct Registry {
     metrics: RwLock<HashMap<MetricKey, Metric>>,
     clock: RwLock<Arc<dyn Clock>>,
+    clock_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for Registry {
@@ -83,6 +85,7 @@ impl Registry {
         Self {
             metrics: RwLock::new(HashMap::new()),
             clock: RwLock::new(Arc::new(MonotonicClock::new())),
+            clock_epoch: AtomicU64::new(0),
         }
     }
 
@@ -101,11 +104,25 @@ impl Registry {
     /// simulated-time deterministic.
     pub fn set_clock(&self, clock: Arc<dyn Clock>) {
         *write_lock(&self.clock) = clock;
+        self.clock_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// The currently installed clock.
     pub fn clock(&self) -> Arc<dyn Clock> {
         read_lock(&self.clock).clone()
+    }
+
+    /// Current time from the installed clock, without cloning it — the
+    /// cheap read the trace recorder uses on every span open/close.
+    pub fn now_ns(&self) -> u64 {
+        read_lock(&self.clock).now_ns()
+    }
+
+    /// Bumped on every [`set_clock`](Registry::set_clock); lets per-thread
+    /// clock caches detect a swap with one relaxed load instead of taking
+    /// the clock read lock on every timestamp.
+    pub fn clock_epoch(&self) -> u64 {
+        self.clock_epoch.load(Ordering::Acquire)
     }
 
     /// Get or register the counter `name{labels}`.
@@ -192,6 +209,7 @@ impl Registry {
                             buckets,
                             sum: h.sum(),
                             count,
+                            exemplar: h.exemplar(),
                         })
                     }
                 },
@@ -237,7 +255,7 @@ impl Span {
     pub fn finish(mut self) -> u64 {
         let elapsed = self.elapsed_ns();
         if let Some(h) = self.hist.take() {
-            h.observe(elapsed);
+            observe_maybe_traced(&h, elapsed);
         }
         elapsed
     }
@@ -251,8 +269,17 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(h) = self.hist.take() {
-            h.observe(self.clock.now_ns().saturating_sub(self.start_ns));
+            observe_maybe_traced(&h, self.clock.now_ns().saturating_sub(self.start_ns));
         }
+    }
+}
+
+/// Observes `v`, linking the installed trace as the histogram's exemplar
+/// when one is present (so the max bucket points at a causal trace).
+fn observe_maybe_traced(h: &Histogram, v: u64) {
+    match crate::trace::current_trace_id() {
+        Some(trace_id) => h.observe_traced(v, trace_id),
+        None => h.observe(v),
     }
 }
 
@@ -276,9 +303,10 @@ pub fn span(name: &str, labels: &[(&str, &str)]) -> Span {
     Registry::global().span(name, labels)
 }
 
-/// One-shot observation of a duration already measured by the caller.
+/// One-shot observation of a duration already measured by the caller
+/// (exemplar-linked to the installed trace, like a [`Span`]).
 pub fn observe_ns(name: &str, labels: &[(&str, &str)], ns: u64) {
-    Registry::global().histogram(name, labels).observe(ns);
+    observe_maybe_traced(&Registry::global().histogram(name, labels), ns);
 }
 
 // Counter-bump without holding a handle: cheap enough for cold paths

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use crate::metrics::Exemplar;
+
 /// A frozen copy of one histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -14,6 +16,8 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Total observations; always equals `buckets.iter().sum()`.
     pub count: u64,
+    /// The largest traced observation and its trace id, if any landed.
+    pub exemplar: Option<Exemplar>,
 }
 
 /// A frozen metric value.
@@ -151,6 +155,18 @@ impl Snapshot {
                         fmt_labels(&s.labels, None),
                         h.count
                     );
+                    if let Some(ex) = &h.exemplar {
+                        // OpenMetrics-flavored exemplar comment: links the
+                        // max observation back to its causal trace.
+                        let _ = writeln!(
+                            out,
+                            "# {}_max{} {} trace_id=\"{:032x}\"",
+                            s.name,
+                            fmt_labels(&s.labels, None),
+                            ex.value,
+                            ex.trace_id
+                        );
+                    }
                 }
             }
         }
@@ -203,6 +219,18 @@ mod tests {
         assert!(text.contains("lat_ns_bucket{op=\"x\",le=\"+Inf\"} 3\n"), "{text}");
         assert!(text.contains("lat_ns_sum{op=\"x\"} 119\n"), "{text}");
         assert!(text.contains("lat_ns_count{op=\"x\"} 3\n"), "{text}");
+    }
+
+    #[test]
+    fn text_encoder_emits_exemplar_comment() {
+        let r = Registry::new();
+        let h = r.histogram_with_bounds("lat_ns", &[], &[10]);
+        h.observe_traced(7, 0xFACE);
+        let text = r.snapshot().to_text();
+        assert!(
+            text.contains("# lat_ns_max 7 trace_id=\"0000000000000000000000000000face\""),
+            "{text}"
+        );
     }
 
     #[test]

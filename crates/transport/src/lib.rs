@@ -43,6 +43,8 @@ pub(crate) mod telem {
     }
 
     /// Record the outcome of a send of `n` bytes and pass the result through.
+    /// When the sending thread is inside an active trace scope, the send also
+    /// lands in the flight recorder as a zero-duration event.
     pub(crate) fn track_send(
         fabric: &'static str,
         n: usize,
@@ -52,8 +54,18 @@ pub(crate) mod telem {
             Ok(()) => {
                 ohpc_telemetry::add("transport_send_bytes_total", &[("fabric", fabric)], n as u64);
                 ohpc_telemetry::inc("transport_send_frames_total", &[("fabric", fabric)]);
+                ohpc_telemetry::trace_event(
+                    "transport_send",
+                    &[("fabric", fabric), ("bytes", &n.to_string())],
+                );
             }
-            Err(e) => fail(fabric, "send", e),
+            Err(e) => {
+                fail(fabric, "send", e);
+                ohpc_telemetry::trace_event(
+                    "transport_send_error",
+                    &[("fabric", fabric), ("err", &e.to_string())],
+                );
+            }
         }
         r
     }
@@ -71,8 +83,18 @@ pub(crate) mod telem {
                     frame.len() as u64,
                 );
                 ohpc_telemetry::inc("transport_recv_frames_total", &[("fabric", fabric)]);
+                ohpc_telemetry::trace_event(
+                    "transport_recv",
+                    &[("fabric", fabric), ("bytes", &frame.len().to_string())],
+                );
             }
-            Err(e) => fail(fabric, "recv", e),
+            Err(e) => {
+                fail(fabric, "recv", e);
+                ohpc_telemetry::trace_event(
+                    "transport_recv_error",
+                    &[("fabric", fabric), ("err", &e.to_string())],
+                );
+            }
         }
         r
     }

@@ -75,8 +75,17 @@ impl std::fmt::Display for MuxError {
 /// Reply slot: the one-shot channel a caller waits on.
 type ReplySender = Sender<Result<Bytes, TransportError>>;
 
+/// A registered waiter: its reply channel plus the trace context that was
+/// current on the calling thread at registration. The demux reader thread
+/// serves every caller and has no trace scope of its own, so the context is
+/// carried across the thread boundary here and re-installed at delivery.
+struct Waiter {
+    tx: ReplySender,
+    trace: Option<ohpc_telemetry::TraceContext>,
+}
+
 struct PendingState {
-    waiters: HashMap<u64, ReplySender>,
+    waiters: HashMap<u64, Waiter>,
     /// Set exactly once, under the `pending` lock, when the channel dies;
     /// registration checks it under the same lock, so no waiter can slip in
     /// after the drain and hang.
@@ -151,6 +160,7 @@ impl MuxChannel {
         }
         self.send_frame(frame).map_err(MuxError::Unsent)?;
         ohpc_telemetry::inc("mux_oneways_total", &[]);
+        ohpc_telemetry::trace_event("mux_send_oneway", &[("bytes", &frame.len().to_string())]);
         Ok(())
     }
 
@@ -196,7 +206,7 @@ impl MuxChannel {
                 "duplicate in-flight request id {id}"
             ))));
         }
-        st.waiters.insert(id, tx);
+        st.waiters.insert(id, Waiter { tx, trace: ohpc_telemetry::current() });
         drop(st);
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         ohpc_telemetry::gauge("mux_in_flight", &[]).set(now);
@@ -266,10 +276,17 @@ impl MuxChannel {
     fn deliver(&self, id: u64, frame: Bytes) {
         let slot = self.pending.lock().waiters.remove(&id);
         match slot {
-            Some(tx) => {
+            Some(w) => {
                 let now = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
                 ohpc_telemetry::gauge("mux_in_flight", &[]).set(now);
-                let _ = tx.send(Ok(frame));
+                if let Some(ctx) = &w.trace {
+                    let _t = ohpc_telemetry::install(ctx.clone());
+                    ohpc_telemetry::trace_event(
+                        "mux_demux_recv",
+                        &[("bytes", &frame.len().to_string())],
+                    );
+                }
+                let _ = w.tx.send(Ok(frame));
             }
             None => {
                 // Caller gave up (deadline) before the reply arrived.
@@ -286,7 +303,7 @@ impl MuxChannel {
             if st.dead.is_none() {
                 st.dead = Some(cause.clone());
             }
-            st.waiters.drain().map(|(_, tx)| tx).collect()
+            st.waiters.drain().map(|(_, w)| w.tx).collect()
         };
         if !drained.is_empty() {
             let now =
@@ -458,6 +475,14 @@ mod tests {
             assert!(matches!(err, MuxError::Lost(_)), "{err}");
         }
         assert!(mux.is_dead());
+        // Waiters are failed before the reader thread invokes the hook, so
+        // give it a moment rather than racing it.
+        for _ in 0..200 {
+            if deaths.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
         assert_eq!(deaths.load(Ordering::Relaxed), 1, "death hook fired once");
         // Post-death calls fail fast as Unsent (the frame never goes out).
         assert!(matches!(mux.call(9, &frame(9, b"y"), None), Err(MuxError::Unsent(_))));

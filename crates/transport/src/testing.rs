@@ -18,11 +18,16 @@
 //! schedule that never triggered.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 
 use crate::{Connection, Dialer, Endpoint, TransportError};
+
+/// Cap on remembered fault→trace attributions, so a long chaos run cannot
+/// grow the list without bound. The interesting faults in a failing test are
+/// overwhelmingly the recent ones anyway.
+const MAX_FAULTED_TRACES: usize = 256;
 
 /// Which operation a fault was injected into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +85,9 @@ pub struct FaultPlan {
     send_faults: AtomicU64,
     recv_faults: AtomicU64,
     corruptions: AtomicU64,
+    /// Recent (kind, trace_id) attributions: which traces the injected
+    /// faults landed in. `trace_id` is 0 when no trace scope was active.
+    faulted: Mutex<Vec<(FaultKind, u128)>>,
 }
 
 impl FaultPlan {
@@ -137,6 +145,23 @@ impl FaultPlan {
             FaultKind::Corrupt => &self.corruptions,
         }
         .fetch_add(1, Ordering::Relaxed);
+        // Tag the fault with the invocation trace it struck (faults fire on
+        // the calling thread, inside the GP's trace scope), so a failing
+        // chaos test can print exactly which traces were sabotaged.
+        let trace_id = ohpc_telemetry::current_trace_id().unwrap_or(0);
+        ohpc_telemetry::trace_event("fault_injected", &[("kind", kind.label())]);
+        if let Ok(mut faulted) = self.faulted.lock() {
+            if faulted.len() < MAX_FAULTED_TRACES {
+                faulted.push((kind, trace_id));
+            }
+        }
+    }
+
+    /// The (kind, trace id) of every fault injected so far (bounded; trace
+    /// id 0 means the fault struck outside any trace scope). Failing chaos
+    /// tests print these to link sabotage to flight-recorder dumps.
+    pub fn faulted_traces(&self) -> Vec<(FaultKind, u128)> {
+        self.faulted.lock().map(|v| v.clone()).unwrap_or_default()
     }
 
     fn should_fail(&self, kind: FaultKind) -> bool {
@@ -305,6 +330,23 @@ mod tests {
         assert_eq!(diffs, 1);
         assert_eq!(plan.injected_of(FaultKind::Corrupt), 1);
         assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn faults_are_tagged_with_the_active_trace() {
+        let plan = FaultPlan::every(1);
+        let id = {
+            let _t = ohpc_telemetry::install(ohpc_telemetry::TraceContext::new_root());
+            let id = ohpc_telemetry::current_trace_id().unwrap();
+            assert!(plan.should_fail(FaultKind::Send));
+            id
+        };
+        // Outside any scope, faults attribute to trace 0.
+        assert!(plan.should_fail(FaultKind::Recv));
+        assert_eq!(
+            plan.faulted_traces(),
+            vec![(FaultKind::Send, id), (FaultKind::Recv, 0)]
+        );
     }
 
     #[test]

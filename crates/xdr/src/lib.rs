@@ -79,6 +79,37 @@ mod tests {
     }
 
     #[test]
+    fn trailing_extension_roundtrip_and_absence() {
+        // A frame with the extension appended after its last field.
+        let mut w = XdrWriter::new();
+        7u32.encode(&mut w);
+        w.put_trailing_extension(1, b"ctx");
+        let buf = w.finish();
+        let mut r = XdrReader::new(&buf);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        let ext = r.get_trailing_extension().unwrap();
+        assert_eq!(ext, Some((1, &b"ctx"[..])));
+        assert!(r.is_empty(), "extension consumes to end of input");
+
+        // A legacy frame without it: same prefix, no extension bytes.
+        let legacy = encode_to_vec(&7u32);
+        let mut r = XdrReader::new(&legacy);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_trailing_extension().unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_extension_truncation_is_an_error_not_none() {
+        // Version word present but payload cut off: a corrupt frame must
+        // surface as Truncated, not be mistaken for a legacy frame.
+        let mut w = XdrWriter::new();
+        w.put_trailing_extension(1, b"payload");
+        let buf = w.finish();
+        let mut r = XdrReader::new(&buf[..buf.len() - 4]);
+        assert!(r.get_trailing_extension().is_err());
+    }
+
+    #[test]
     fn decode_rejects_trailing() {
         let mut w = XdrWriter::new();
         7u32.encode(&mut w);

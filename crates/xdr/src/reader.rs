@@ -143,6 +143,25 @@ impl<'a> XdrReader<'a> {
         let len = self.get_u32()?;
         self.check_len(len)
     }
+
+    /// Decodes a *trailing extension*: the backward-compatible way to append
+    /// optional data to the end of a message.
+    ///
+    /// Returns `None` when the reader is already at end of input — a legacy
+    /// frame encoded before the extension existed. Otherwise reads a `u32`
+    /// version word followed by an opaque payload; callers decode payloads of
+    /// versions they know and ignore the rest, so old decoders skip new
+    /// extensions and new decoders accept old frames. Must be the last field
+    /// read (anything after it would be indistinguishable from the
+    /// extension's absence).
+    pub fn get_trailing_extension(&mut self) -> Result<Option<(u32, &'a [u8])>, XdrError> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let version = self.get_u32()?;
+        let payload = self.get_opaque()?;
+        Ok(Some((version, payload)))
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,14 @@ impl XdrWriter {
     pub fn put_array_len(&mut self, n: usize) {
         self.put_u32(n as u32);
     }
+
+    /// Encodes a trailing extension: a version word plus an opaque payload.
+    /// Pairs with [`XdrReader::get_trailing_extension`](crate::XdrReader::get_trailing_extension);
+    /// must be the last field of the message.
+    pub fn put_trailing_extension(&mut self, version: u32, payload: &[u8]) {
+        self.put_u32(version);
+        self.put_opaque(payload);
+    }
 }
 
 #[cfg(test)]

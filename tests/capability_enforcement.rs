@@ -53,6 +53,7 @@ fn server_budget_cuts_off_even_if_client_lies() {
                 caps: vec![CapWireMeta { name: "timeout".into(), meta: empty_meta.clone() }],
             }),
             body: Bytes::new(),
+            trace: None,
         };
         match server.handle_request(req).status {
             ReplyStatus::Ok => {}
@@ -92,6 +93,7 @@ fn acl_cannot_be_bypassed_by_raw_requests() {
                     caps: vec![CapWireMeta { name: "acl".into(), meta: empty_meta.clone() }],
                 }),
                 body: Bytes::copy_from_slice(w.peek()),
+                trace: None,
             })
             .status
     };
@@ -139,6 +141,7 @@ fn requests_without_glue_cannot_reach_glued_entry_semantics() {
             caps: vec![CapWireMeta { name: "auth".into(), meta: meta.to_bytes() }],
         }),
         body: Bytes::new(),
+        trace: None,
     });
     assert!(matches!(reply.status, ReplyStatus::CapabilityDenied(_)));
     server.shutdown();
@@ -156,6 +159,7 @@ fn unknown_glue_id_is_rejected_cleanly() {
         oneway: false,
         glue: Some(GlueWire { glue_id: 0xDEAD, caps: vec![] }),
         body: Bytes::new(),
+        trace: None,
     });
     assert_eq!(reply.status, ReplyStatus::UnknownGlue(0xDEAD));
     server.shutdown();

@@ -165,6 +165,7 @@ mod mux_stress {
             oneway: false,
             glue: None,
             body: Bytes::from_static(b"stress"),
+            trace: None,
         }
     }
 

@@ -81,6 +81,47 @@ fn remote_metrics_snapshot_through_encrypted_glue() {
 }
 
 #[test]
+fn flight_recorder_dump_through_encrypted_glue() {
+    let (dep, m_client, m_server) = two_machine_deployment();
+    let server = dep.server(m_server);
+
+    let object = server.register(Arc::new(WeatherSkeleton(WeatherService::seeded())));
+    let glue_id = server.add_glue(vec![EncryptionCap::spec(EXPERIMENT_KEY)]).unwrap();
+    let or = server
+        .make_or(object, &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+    let weather = WeatherClient::new(dep.client_gp(m_client, or));
+
+    // A traced request whose id we can then look for in the remote dump.
+    let root = ohpc_telemetry::TraceContext::new_root();
+    let trace_id = root.trace_id;
+    {
+        let _scope = ohpc_telemetry::install(root);
+        assert_eq!(weather.regions().unwrap().len(), 3);
+    }
+
+    // Pull the flight recorder over the same encrypted entry: the dump must
+    // contain the traced request's id and its server-side dispatch span.
+    let intro_or = server
+        .make_or(server.introspection_id(), &[OrRow::Glue { glue_id, inner: ProtocolId::TCP }])
+        .unwrap();
+    let intro = IntrospectionClient::new(dep.client_gp(m_client, intro_or));
+    let dump = intro.dump_traces().unwrap();
+    assert_eq!(intro.gp().last_protocol().unwrap(), "glue[security]->tcp");
+
+    let needle = format!("trace={trace_id:032x}");
+    let trace_lines: Vec<&str> =
+        dump.lines().filter(|l| l.contains(&needle)).collect();
+    assert!(!trace_lines.is_empty(), "traced request absent from remote dump:\n{dump}");
+    assert!(
+        trace_lines.iter().any(|l| l.contains("server_dispatch")),
+        "server dispatch span missing for {needle}:\n{trace_lines:?}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
 fn introspection_object_is_present_but_uncounted() {
     let (dep, _m_client, m_server) = two_machine_deployment();
     let server = dep.server(m_server);

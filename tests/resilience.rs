@@ -303,7 +303,9 @@ fn chaos_with_corruption_never_yields_wrong_data() {
     for _ in 0..300 {
         match client.get_map("midwest".to_string()) {
             Ok(map) => {
-                assert_eq!(map, expected, "a corrupted frame must never decode to wrong data");
+                if map != expected {
+                    chaos_failure(&plan, "a corrupted frame decoded to wrong data");
+                }
                 ok += 1;
             }
             Err(_e) => {
@@ -312,7 +314,24 @@ fn chaos_with_corruption_never_yields_wrong_data() {
             }
         }
     }
-    assert!(ok >= 150, "most calls still succeed under chaos: {ok}/300");
+    if ok < 150 {
+        chaos_failure(&plan, &format!("too few calls succeeded under chaos: {ok}/300"));
+    }
     assert!(plan.injected() > 0, "faults were injected");
     ctx.shutdown();
+}
+
+/// Chaos assertion failure: dump the flight recorder to `results/` and print
+/// which traces the injected faults struck, so the failure is debuggable
+/// from CI artifacts alone.
+fn chaos_failure(plan: &FaultPlan, msg: &str) -> ! {
+    let dump = ohpc_telemetry::dump_to_results("chaos-failure");
+    let mut lines = String::new();
+    for (kind, trace_id) in plan.faulted_traces() {
+        lines.push_str(&format!("  fault={} trace={trace_id:032x}\n", kind.label()));
+    }
+    panic!(
+        "{msg}\nflight recorder dump: {dump:?}\nfaulted traces ({} injected):\n{lines}",
+        plan.injected(),
+    );
 }
