@@ -140,7 +140,9 @@ pub struct Workspace {
     pub callees: Vec<Vec<usize>>,
     /// Deduplicated reverse edges (resolved callers).
     pub callers: Vec<Vec<usize>>,
-    /// (crate, field name) → type idents of the field's declared type.
+    /// (crate, field name) → type idents of the field's declared type,
+    /// unioned across every same-named field in the crate (field identity
+    /// is name-based everywhere downstream).
     pub field_types: HashMap<(String, String), Vec<String>>,
     /// Per function: binding name → type idents (params + `let` inference).
     pub local_hints: Vec<HashMap<String, Vec<String>>>,
@@ -817,7 +819,11 @@ fn collect_struct_fields(f: &SourceFile, out: &mut HashMap<(String, String), Vec
                     }
                     k += 1;
                 }
-                out.insert((f.crate_name.clone(), field), ty);
+                // Union over same-named fields: field identity downstream is
+                // (crate, name), so `Gauge.value: AtomicI64` and
+                // `Exemplar.value: u64` must both contribute their idents —
+                // last-wins would hide the atomic from the exemption checks.
+                out.entry((f.crate_name.clone(), field)).or_default().extend(ty);
                 j = k;
             }
             j += 1;

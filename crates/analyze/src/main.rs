@@ -17,6 +17,8 @@
 //!   operation, sleep, or a callee that transitively blocks.
 //! * `bounded-recv` — every transport receive outside a dedicated reader
 //!   thread is deadline-bounded.
+//! * `unbounded-spawn` — no thread spawn reachable from the per-request
+//!   dispatch roots; request work goes through the bounded executor.
 //! * `telemetry-coverage` — error paths in the request-path crates touch a
 //!   telemetry counter somewhere on their call path.
 //! * `shared-state` — Eraser-style lockset check: no field written from two
@@ -54,7 +56,8 @@ usage: ohpc-analyze [--deny-all] [--root <dir>] [--rule <id>]...
   --rule <id>        run only the named rule(s); repeatable.
                      ids: lock-order, panic-freedom, cap-symmetry, xdr-pairing,
                      transport-unwrap, guard-across-blocking, bounded-recv,
-                     telemetry-coverage, shared-state, epoch-bump, annotation
+                     unbounded-spawn, telemetry-coverage, shared-state,
+                     epoch-bump, annotation
   --format text|json text (default): one line per finding;
                      json: SARIF 2.1.0 on stdout (for CI artifacts)
   --baseline <file>  suppress findings listed in <file>

@@ -10,6 +10,7 @@ pub mod panic_free;
 pub mod shared_state;
 pub mod telemetry_coverage;
 pub mod transport_unwrap;
+pub mod unbounded_spawn;
 pub mod xdr_pairing;
 
 use crate::graph::Workspace;
@@ -71,6 +72,7 @@ pub const ALL_RULES: &[&str] = &[
     transport_unwrap::RULE,
     guard_blocking::RULE,
     bounded_recv::RULE,
+    unbounded_spawn::RULE,
     telemetry_coverage::RULE,
     shared_state::RULE,
     epoch_bump::RULE,
@@ -106,6 +108,9 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
     }
     if want(bounded_recv::RULE) {
         bounded_recv::run(files, &ws, &mut diags);
+    }
+    if want(unbounded_spawn::RULE) {
+        unbounded_spawn::run(files, &ws, &mut diags);
     }
     if want(telemetry_coverage::RULE) {
         telemetry_coverage::run(files, &ws, &mut diags);

@@ -28,6 +28,7 @@ pub mod fig5;
 pub mod loadbalance;
 pub mod mux_contention;
 pub mod overhead;
+pub mod overload;
 pub mod plot;
 pub mod setup;
 pub mod trace_overhead;

@@ -22,11 +22,13 @@ use ohpc_xdr::{XdrDecode, XdrEncode, XdrReader, XdrWriter};
 
 use crate::bad_config;
 
-/// Wire name of this capability.
-pub const NAME: &str = "deadline";
+/// Wire name of this capability. Shared with the ORB's admission-time
+/// deadline peek ([`ohpc_orb::message::RequestMessage::deadline_expires_ns`]),
+/// which reads the stamp straight off the wire metadata.
+pub const NAME: &str = ohpc_orb::message::DEADLINE_CAP_NAME;
 
 /// Metadata key carrying the absolute expiry (clock nanoseconds).
-const META_KEY: &str = "deadline.expires_ns";
+const META_KEY: &str = ohpc_orb::message::DEADLINE_META_KEY;
 
 const NS_PER_MS: u64 = 1_000_000;
 
@@ -65,8 +67,10 @@ impl DeadlineCap {
         let mut r = XdrReader::new(raw);
         let expires_ns = u64::decode(&mut r).map_err(|e| bad_config(NAME, e))?;
         if self.clock.now_ns() > expires_ns {
-            ohpc_telemetry::inc("resilience_deadline_shed_total", &[]);
-            return Err(CapError::Denied(format!(
+            // Same counter as the ORB's admission-time peek; the label says
+            // how far the request got before the expiry was caught.
+            ohpc_telemetry::inc("orb_deadline_shed_total", &[("at", "glue")]);
+            return Err(CapError::Expired(format!(
                 "deadline of {} ms exceeded before dispatch",
                 self.budget_ms
             )));
@@ -137,10 +141,12 @@ mod tests {
         clock.advance(49 * NS_PER_MS);
         assert!(cap.unprocess(Direction::Request, &call(), &meta, Bytes::new()).is_ok());
 
-        // Arrives past budget: shed before the object sees it.
+        // Arrives past budget: shed before the object sees it. `Expired`
+        // (not `Denied`) so the server replies `DeadlineExpired` — a
+        // non-retryable shed, not a capability denial.
         clock.advance(2 * NS_PER_MS);
         let err = cap.unprocess(Direction::Request, &call(), &meta, Bytes::new()).unwrap_err();
-        assert!(matches!(err, CapError::Denied(_)), "{err:?}");
+        assert!(matches!(err, CapError::Expired(_)), "{err:?}");
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub enum CapError {
     /// unauthenticated peer, lease expired, …). Deny reasons travel to the
     /// peer as `CapabilityDenied`.
     Denied(String),
+    /// The request's time budget expired before dispatch (the deadline
+    /// cap's shed path). Travels to the peer as `DeadlineExpired` — a
+    /// distinct, non-retryable class — not as a capability denial.
+    Expired(String),
     /// The transform itself failed (corrupt data, bad config).
     Failed(String),
     /// A spec named a capability the local registry cannot build.
@@ -86,6 +90,7 @@ impl std::fmt::Display for CapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CapError::Denied(m) => write!(f, "denied: {m}"),
+            CapError::Expired(m) => write!(f, "expired: {m}"),
             CapError::Failed(m) => write!(f, "failed: {m}"),
             CapError::Unknown(name) => write!(f, "unknown capability '{name}'"),
         }

@@ -17,6 +17,8 @@ use parking_lot::{Mutex, RwLock};
 
 use ohpc_nexus::NexusService;
 use ohpc_netsim::Location;
+use ohpc_resilience::{BreakerState, HealthKey, HealthPolicy, HealthRegistry};
+use ohpc_runtime::{AdmissionController, Executor, Permit, SerialQueue};
 use ohpc_transport::{Connection, Listener};
 use ohpc_xdr::{XdrReader, XdrWriter};
 
@@ -84,6 +86,23 @@ struct ContextInner {
     meter: RwLock<Option<Arc<dyn ComputeMeter>>>,
     requests_served: AtomicU64,
     stopping: std::sync::atomic::AtomicBool,
+    /// Executes two-way dispatch on split connections. Pluggable so tests
+    /// can pin deterministic inline dispatch or A/B the legacy
+    /// thread-per-request strategy; defaults to the shared work-stealing
+    /// pool.
+    executor: RwLock<Arc<dyn Executor>>,
+    /// Bounds admitted-but-unfinished requests (queued + executing).
+    admission: AdmissionController,
+    /// Server-local breaker over the admission gate: sustained shedding
+    /// with no completions in between trips it, halving the effective
+    /// in-flight limit until the backlog drains (hysteresis against
+    /// admit/shed flapping right at the bound).
+    dispatch_health: Arc<HealthRegistry>,
+    dispatch_key: HealthKey,
+    /// Set on the first shed; while set, completions feed the breaker.
+    /// Avoids taking the health-map lock on every request when the server
+    /// has never been under pressure.
+    dispatch_pressure: std::sync::atomic::AtomicBool,
 }
 
 /// A server context. Clones share state.
@@ -127,6 +146,18 @@ impl Context {
                 meter: RwLock::new(None),
                 requests_served: AtomicU64::new(0),
                 stopping: std::sync::atomic::AtomicBool::new(false),
+                executor: RwLock::new(ohpc_runtime::shared_pool()),
+                admission: AdmissionController::from_env(),
+                dispatch_health: Arc::new(HealthRegistry::new().with_policy(HealthPolicy {
+                    // Tripping requires this many sheds with not a single
+                    // completion in between — a genuine stall, not a blip
+                    // at the admission bound.
+                    failure_threshold: 8,
+                    cooldown_ns: 100_000_000,
+                    close_after: 2,
+                })),
+                dispatch_key: HealthKey::new("dispatch", format!("ctx-{}", id.0)),
+                dispatch_pressure: std::sync::atomic::AtomicBool::new(false),
             }),
         }
     }
@@ -160,6 +191,36 @@ impl Context {
     /// Total requests dispatched by this context.
     pub fn requests_served(&self) -> u64 {
         self.inner.requests_served.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------- executor
+
+    /// Replaces the dispatch executor. Affects split connections accepted
+    /// after the call; inline (non-splittable) connections always dispatch
+    /// on the reader thread regardless.
+    pub fn set_executor(&self, executor: Arc<dyn Executor>) {
+        *self.inner.executor.write() = executor;
+    }
+
+    /// The executor two-way requests on split connections run on.
+    pub fn executor(&self) -> Arc<dyn Executor> {
+        self.inner.executor.read().clone()
+    }
+
+    /// Overrides the admitted-in-flight bound (`None` disables shedding).
+    /// The default comes from `OHPC_QUEUE_BOUND` (1024 when unset).
+    pub fn set_admission_limit(&self, limit: Option<usize>) {
+        self.inner.admission.set_limit(limit);
+    }
+
+    /// Requests currently admitted and not yet finished (queued + executing).
+    pub fn admitted_in_flight(&self) -> usize {
+        self.inner.admission.in_flight()
+    }
+
+    /// State of the dispatch breaker layered over the admission gate.
+    pub fn dispatch_breaker(&self) -> BreakerState {
+        self.inner.dispatch_health.state(&self.inner.dispatch_key)
     }
 
     // ---------------------------------------------------------------- objects
@@ -348,19 +409,27 @@ impl Context {
     }
 
     /// Concurrent server loop for split connections: the reader decodes
-    /// frames in arrival order, dispatches one-way requests **inline** (they
-    /// keep their ordering relative to everything read after them — clients
-    /// rely on "one-ways dispatched before a later two-way is answered"),
-    /// and hands each two-way request to its own thread. Reply writers share
-    /// the send half behind a lock; the transport's framing keeps
-    /// interleaved replies whole, and the client demultiplexes by request
-    /// id, so reply order does not matter.
+    /// frames in arrival order, runs admission, and hands admitted requests
+    /// to the context's executor. Reply writers share the send half behind
+    /// a lock; the transport's framing keeps interleaved replies whole, and
+    /// the client demultiplexes by request id, so reply order does not
+    /// matter.
+    ///
+    /// Ordering guarantee: one-way requests from one connection run through
+    /// a per-connection FIFO lane ([`SerialQueue`]), and every two-way
+    /// request barriers on the one-ways read before it (`wait_for`), so
+    /// clients keep the invariant "one-ways dispatched before a later
+    /// two-way is answered" — previously provided by running one-ways
+    /// inline on the reader thread, which let a slow one-way starve the
+    /// demux loop.
     fn serve_connection_split(
         &self,
         tx: Box<dyn ohpc_transport::SendHalf>,
         mut rx: Box<dyn ohpc_transport::RecvHalf>,
     ) {
         let writer = Arc::new(Mutex::new(tx));
+        let executor = self.executor();
+        let oneways = SerialQueue::new(executor.clone());
         while let Ok(frame) = rx.recv() {
             if self.inner.stopping.load(Ordering::Acquire) {
                 return; // drop the connection: this context is gone
@@ -376,35 +445,125 @@ impl Context {
                     )
                     .to_frame();
                     // ohpc-analyze: allow(guard-across-blocking) — the writer
-                    // mutex serializes replies from the detached reply
-                    // threads; one frame per guard is the design.
+                    // mutex serializes replies from the executor tasks; one
+                    // frame per guard is the design.
                     if writer.lock().send(&reply).is_err() {
                         return;
                     }
                     continue;
                 }
             };
-            if req.oneway {
-                let _ = self.handle_request(req);
+            let rid = req.request_id;
+            let oneway = req.oneway;
+            let permit = match self.admit(&req) {
+                Ok(p) => p,
+                Err(status) => {
+                    if oneway {
+                        // No reply channel to signal backpressure on; the
+                        // drop shows in the shed counters and the trace.
+                        ohpc_telemetry::inc("orb_oneway_shed_total", &[]);
+                        continue;
+                    }
+                    // Shed replies go out straight from the reader thread:
+                    // gracefully degrading means rejections stay fast when
+                    // the pool is the thing that is saturated.
+                    let reply = ReplyMessage::status(rid, status).to_frame();
+                    // ohpc-analyze: allow(guard-across-blocking) — see above.
+                    if writer.lock().send(&reply).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if oneway {
+                let ctx = self.clone();
+                oneways.enqueue(Box::new(move || {
+                    let _ = ctx.dispatch_admitted(req, permit);
+                }));
                 continue;
             }
+            // Two-way: barrier on the one-ways read before this request,
+            // then dispatch and reply. The permit rides inside the task so
+            // queue time counts against the admission bound.
+            let mark = oneways.mark();
+            let lane = oneways.clone();
             let ctx = self.clone();
             let writer = writer.clone();
-            // Reply threads are detached: each exits after one reply (or on
-            // a send error once the client hung up).
-            std::thread::spawn(move || {
-                let reply = ctx.handle_request(req).to_frame();
+            executor.execute(Box::new(move || {
+                lane.wait_for(mark);
+                let reply = ctx.dispatch_admitted(req, permit).to_frame();
+                // ohpc-analyze: allow(guard-across-blocking) — the writer
+                // mutex serializes replies from the executor tasks; one
+                // frame per guard is the design.
                 let _ = writer.lock().send(&reply);
-            });
+            }));
         }
+    }
+
+    // ------------------------------------------------------------ admission
+
+    /// Admission control at the transport→dispatch boundary. Runs before
+    /// any glue or object work, so a shed request costs microseconds
+    /// instead of a worker. `Ok` carries the permit bounding in-flight
+    /// work; `Err` carries the reply status to send back — the request was
+    /// **not** executed, and the status tells the client whether retrying
+    /// can help ([`ReplyStatus::Overloaded`] is retryable,
+    /// [`ReplyStatus::DeadlineExpired`] is not).
+    fn admit(&self, req: &RequestMessage) -> Result<Permit, ReplyStatus> {
+        // Adopt the request's wire-propagated trace so shed events land in
+        // the client's causal trace and the flight recorder.
+        let _trace = req.trace.clone().map(ohpc_telemetry::install);
+
+        // A request whose deadline stamp already expired is dead weight:
+        // dispatching it spends a worker on a reply the caller has given
+        // up on. The stamp travels in the clear in the capability
+        // metadata, so this peek needs no glue-chain construction.
+        if let Some(expires_ns) = req.deadline_expires_ns() {
+            if ohpc_telemetry::Registry::global().now_ns() > expires_ns {
+                ohpc_telemetry::inc("orb_deadline_shed_total", &[("at", "admission")]);
+                ohpc_telemetry::trace_event("request_shed", &[("reason", "deadline")]);
+                return Err(ReplyStatus::DeadlineExpired(
+                    "deadline expired before dispatch".into(),
+                ));
+            }
+        }
+
+        let degraded = !self.inner.dispatch_health.allow(&self.inner.dispatch_key);
+        match self.inner.admission.try_admit(degraded) {
+            Ok(permit) => Ok(permit),
+            Err(shed) => {
+                let reason = if shed.degraded { "degraded" } else { "queue_full" };
+                ohpc_telemetry::inc("orb_overload_shed_total", &[("reason", reason)]);
+                ohpc_telemetry::trace_event("request_shed", &[("reason", reason)]);
+                self.inner.dispatch_pressure.store(true, Ordering::Relaxed);
+                self.inner.dispatch_health.record_failure(&self.inner.dispatch_key);
+                Err(ReplyStatus::Overloaded(shed.to_string()))
+            }
+        }
+    }
+
+    /// Runs an admitted request to completion, then feeds the dispatch
+    /// breaker and releases the admission permit (the permit also releases
+    /// if the handler panics — it is owned by this frame).
+    fn dispatch_admitted(&self, req: RequestMessage, permit: Permit) -> ReplyMessage {
+        let reply = self.handle_request(req);
+        if self.inner.dispatch_pressure.load(Ordering::Relaxed) {
+            let health = &self.inner.dispatch_health;
+            health.record_success(&self.inner.dispatch_key);
+            if health.state(&self.inner.dispatch_key) == BreakerState::Closed {
+                self.inner.dispatch_pressure.store(false, Ordering::Relaxed);
+            }
+        }
+        drop(permit);
+        reply
     }
 
     // ------------------------------------------------------------- dispatch
 
-    /// Core server path: decodes a request frame, runs the glue chain,
-    /// dispatches to the object, and encodes a reply frame. One-way requests
-    /// still produce an encoded (dropped-by-the-caller) reply; use
-    /// [`handle_frame_opt`](Self::handle_frame_opt) on serving paths.
+    /// Core server path: runs admission control, then decodes and
+    /// dispatches (see [`handle_request`](Self::handle_request)). One-way
+    /// requests still produce an encoded (dropped-by-the-caller) reply;
+    /// use [`handle_frame_opt`](Self::handle_frame_opt) on serving paths.
     pub fn handle_frame(&self, frame: &[u8]) -> Bytes {
         self.handle_frame_opt(frame).unwrap_or_else(|| {
             ReplyMessage::status(crate::ids::RequestId(0), ReplyStatus::Ok).to_frame()
@@ -412,7 +571,8 @@ impl Context {
     }
 
     /// Like [`handle_frame`](Self::handle_frame) but returns `None` for
-    /// one-way requests (which are dispatched and produce no reply frame).
+    /// one-way requests (which are dispatched — or shed — and produce no
+    /// reply frame).
     pub fn handle_frame_opt(&self, frame: &[u8]) -> Option<Bytes> {
         let req = match RequestMessage::from_frame(frame) {
             Ok(r) => r,
@@ -428,8 +588,20 @@ impl Context {
                 );
             }
         };
+        let rid = req.request_id;
         let oneway = req.oneway;
-        let reply = self.handle_request(req);
+        let reply = match self.admit(&req) {
+            Ok(permit) => self.dispatch_admitted(req, permit),
+            Err(status) => {
+                if oneway {
+                    // No reply channel to signal backpressure on; the drop
+                    // is visible in the shed counters and the trace.
+                    ohpc_telemetry::inc("orb_oneway_shed_total", &[]);
+                    return None;
+                }
+                ReplyMessage::status(rid, status)
+            }
+        };
         if oneway {
             None
         } else {
@@ -483,6 +655,13 @@ impl Context {
                     Ok(b) => (b, Some((wire.glue_id, chain))),
                     Err(CapError::Denied(msg)) => {
                         return ReplyMessage::status(rid, ReplyStatus::CapabilityDenied(msg));
+                    }
+                    Err(CapError::Expired(msg)) => {
+                        // Deadline caught in the chain (e.g. the stamp was
+                        // fresh at admission but queue time ate the rest of
+                        // the budget): same non-retryable wire status as an
+                        // admission-time deadline shed.
+                        return ReplyMessage::status(rid, ReplyStatus::DeadlineExpired(msg));
                     }
                     Err(e) => {
                         return ReplyMessage::status(
@@ -541,6 +720,9 @@ impl Context {
                     },
                     Err(CapError::Denied(msg)) => {
                         ReplyMessage::status(rid, ReplyStatus::CapabilityDenied(msg))
+                    }
+                    Err(CapError::Expired(msg)) => {
+                        ReplyMessage::status(rid, ReplyStatus::DeadlineExpired(msg))
                     }
                     Err(e) => ReplyMessage::status(
                         rid,

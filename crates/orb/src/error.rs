@@ -48,6 +48,15 @@ pub enum OrbError {
     Protocol(String),
     /// Server-side glue chain referenced by the request is unknown.
     UnknownGlue(u64),
+    /// The server shed the request at admission (in-flight bound hit or
+    /// dispatch breaker open). The request was never executed, so a retry
+    /// is always safe; the backoff gives the server room to drain.
+    Overloaded(String),
+    /// The server shed the request because its deadline stamp had already
+    /// expired on arrival. Permanent: by the time this reply lands, the
+    /// budget is even further gone, and the client's own deadline
+    /// accounting is the authority on what to do next.
+    DeadlineExpired(String),
 }
 
 impl std::fmt::Display for OrbError {
@@ -71,6 +80,10 @@ impl std::fmt::Display for OrbError {
             OrbError::TooManyForwards(n) => write!(f, "object moved {n} times; giving up"),
             OrbError::Protocol(m) => write!(f, "protocol violation: {m}"),
             OrbError::UnknownGlue(id) => write!(f, "unknown glue chain {id}"),
+            OrbError::Overloaded(m) => write!(f, "server overloaded (shed at admission): {m}"),
+            OrbError::DeadlineExpired(m) => {
+                write!(f, "server shed expired request: {m}")
+            }
         }
     }
 }
@@ -82,10 +95,12 @@ impl OrbError {
     /// [`ohpc_resilience::ErrorClass`]).
     ///
     /// Transport failures classify by kind; ambiguous transport failures are
-    /// at best [`ErrorClass::Ambiguous`] (idempotent-only retry), and
-    /// everything else — application exceptions, capability denials,
-    /// marshaling failures, selection failures — is permanent: retrying the
-    /// same request cannot change the outcome.
+    /// at best [`ErrorClass::Ambiguous`] (idempotent-only retry). An
+    /// admission-control shed is retryable — the server answered, proving
+    /// the wire, and explicitly promised the request never ran. Everything
+    /// else — application exceptions, capability denials, marshaling
+    /// failures, selection failures, server-side deadline sheds — is
+    /// permanent: retrying the same request cannot change the outcome.
     pub fn retry_class(&self) -> ErrorClass {
         match self {
             OrbError::Transport(e) => classify(e),
@@ -93,6 +108,7 @@ impl OrbError {
                 ErrorClass::Permanent => ErrorClass::Permanent,
                 _ => ErrorClass::Ambiguous,
             },
+            OrbError::Overloaded(_) => ErrorClass::Retryable,
             _ => ErrorClass::Permanent,
         }
     }
@@ -151,6 +167,17 @@ mod tests {
         );
         assert_eq!(OrbError::RemoteException("x".into()).retry_class(), ErrorClass::Permanent);
         assert_eq!(OrbError::NoSuchMethod(1).retry_class(), ErrorClass::Permanent);
+        assert_eq!(
+            OrbError::Overloaded("512 in flight".into()).retry_class(),
+            ErrorClass::Retryable,
+            "an admission shed never executed the request; retry-with-backoff is safe"
+        );
+        assert_eq!(
+            OrbError::DeadlineExpired("50 ms gone".into()).retry_class(),
+            ErrorClass::Permanent,
+            "a deadline shed only gets staler on retry"
+        );
+        assert!(!OrbError::Overloaded(String::new()).is_transport());
         assert!(OrbError::AmbiguousTransport(TransportError::Closed).is_transport());
         assert!(!OrbError::NoSuchObject(ObjectId(1)).is_transport());
     }

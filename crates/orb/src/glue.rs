@@ -45,7 +45,9 @@ impl ComputeMeter for SimNet {
 pub struct GlueProto {
     registry: Arc<CapabilityRegistry>,
     chains: Mutex<HashMap<u64, CachedChain>>,
-    meter: Option<Arc<dyn ComputeMeter>>,
+    // Named distinctly from `ContextInner.meter`: set once by the
+    // by-value builder below, then read-only — no lock needed.
+    compute_meter: Option<Arc<dyn ComputeMeter>>,
 }
 
 struct CachedChain {
@@ -58,12 +60,12 @@ struct CachedChain {
 impl GlueProto {
     /// Builds a glue proto-object over the process's capability registry.
     pub fn new(registry: Arc<CapabilityRegistry>) -> Self {
-        Self { registry, chains: Mutex::new(HashMap::new()), meter: None }
+        Self { registry, chains: Mutex::new(HashMap::new()), compute_meter: None }
     }
 
     /// Attaches a compute meter (used by the simulation harness).
     pub fn with_meter(mut self, meter: Arc<dyn ComputeMeter>) -> Self {
-        self.meter = Some(meter);
+        self.compute_meter = Some(meter);
         self
     }
 
@@ -96,7 +98,7 @@ impl GlueProto {
     }
 
     fn metered<T>(&self, f: impl FnOnce() -> T) -> T {
-        match &self.meter {
+        match &self.compute_meter {
             None => f(),
             Some(m) => {
                 let t0 = Instant::now();

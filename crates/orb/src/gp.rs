@@ -400,6 +400,18 @@ impl GlobalPointer {
                     return Err(OrbError::Capability(crate::capability::CapError::Denied(msg)));
                 }
                 ReplyStatus::UnknownGlue(id) => return Err(OrbError::UnknownGlue(id)),
+                ReplyStatus::Overloaded(msg) => {
+                    // The server shed before executing; the retry loop
+                    // above backs off and re-offers (possibly to another
+                    // replica once selection consults breakers).
+                    ohpc_telemetry::inc("orb_overloaded_replies_total", &[]);
+                    ohpc_telemetry::trace_event("server_overloaded", &[]);
+                    return Err(OrbError::Overloaded(msg));
+                }
+                ReplyStatus::DeadlineExpired(msg) => {
+                    ohpc_telemetry::inc("orb_deadline_expired_replies_total", &[]);
+                    return Err(OrbError::DeadlineExpired(msg));
+                }
             }
         }
         Err(OrbError::TooManyForwards(MAX_FORWARDS))

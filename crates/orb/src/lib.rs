@@ -74,6 +74,12 @@ pub use transport_proto::{NexusProto, PoolMode, TransportProto};
 // Re-export the location vocabulary: every applicability decision speaks it.
 pub use ohpc_netsim::{LanId, LinkClass, Location, MachineId, SiteId};
 
+/// Dispatch executors, re-exported so servers can tune dispatch without a
+/// direct `ohpc-runtime` dependency.
+pub use ohpc_runtime::{
+    AdmissionController, Executor, InlineExecutor, ThreadPerRequestExecutor, WorkStealingPool,
+};
+
 // Hidden re-export so `remote_interface!` expansions resolve XDR items
 // without requiring consumers to depend on ohpc-xdr directly.
 #[doc(hidden)]

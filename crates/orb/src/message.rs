@@ -133,7 +133,32 @@ pub struct RequestMessage {
     pub trace: Option<TraceContext>,
 }
 
+/// Wire name of the deadline capability. The cap itself lives in
+/// `ohpc-caps` (which depends on this crate); the name is defined here so
+/// the admission gate can peek deadline stamps without building the chain.
+pub const DEADLINE_CAP_NAME: &str = "deadline";
+
+/// Capability-metadata key carrying the absolute expiry (clock ns) stamped
+/// by the client-side deadline capability.
+pub const DEADLINE_META_KEY: &str = "deadline.expires_ns";
+
 impl RequestMessage {
+    /// Absolute expiry (clock nanoseconds) stamped by a deadline capability
+    /// in this request's glue section, if present.
+    ///
+    /// Decoded *without* building the server-side chain: capability
+    /// metadata travels in the clear (only bodies are transformed), so the
+    /// admission gate can shed an already-expired request in microseconds,
+    /// before it ever queues. Malformed stamps read as "no deadline" here —
+    /// the chain's own `unprocess` reports them properly at dispatch.
+    pub fn deadline_expires_ns(&self) -> Option<u64> {
+        let wire = self.glue.as_ref()?;
+        let meta_bytes = &wire.caps.iter().find(|c| c.name == DEADLINE_CAP_NAME)?.meta;
+        let meta = crate::capability::CapMeta::from_bytes(meta_bytes).ok()?;
+        let raw = meta.get(DEADLINE_META_KEY)?;
+        XdrReader::new(raw).get_u64().ok()
+    }
+
     /// Encodes to a transport frame.
     pub fn to_frame(&self) -> Bytes {
         let mut w = XdrWriter::with_capacity(self.body.len() + 64);
@@ -202,6 +227,14 @@ pub enum ReplyStatus {
     CapabilityDenied(String),
     /// Server could not find the glue chain named by the request.
     UnknownGlue(u64),
+    /// Admission control shed the request: the server's in-flight bound was
+    /// hit (or its dispatch breaker is open). The request was **not**
+    /// executed, so clients classify this retryable-with-backoff.
+    Overloaded(String),
+    /// The request's deadline stamp had already expired when it reached the
+    /// dispatch boundary; the server shed it unexecuted. Non-retryable —
+    /// the caller's own deadline machinery has moved on.
+    DeadlineExpired(String),
 }
 
 impl ReplyStatus {
@@ -214,6 +247,8 @@ impl ReplyStatus {
             ReplyStatus::NoSuchMethod(_) => 4,
             ReplyStatus::CapabilityDenied(_) => 5,
             ReplyStatus::UnknownGlue(_) => 6,
+            ReplyStatus::Overloaded(_) => 7,
+            ReplyStatus::DeadlineExpired(_) => 8,
         }
     }
 }
@@ -223,7 +258,10 @@ impl XdrEncode for ReplyStatus {
         w.put_u32(self.tag());
         match self {
             ReplyStatus::Ok | ReplyStatus::NoSuchObject => {}
-            ReplyStatus::Exception(m) | ReplyStatus::CapabilityDenied(m) => w.put_string(m),
+            ReplyStatus::Exception(m)
+            | ReplyStatus::CapabilityDenied(m)
+            | ReplyStatus::Overloaded(m)
+            | ReplyStatus::DeadlineExpired(m) => w.put_string(m),
             ReplyStatus::Moved(or) => or.encode(w),
             ReplyStatus::NoSuchMethod(m) => w.put_u32(*m),
             ReplyStatus::UnknownGlue(id) => w.put_u64(*id),
@@ -243,6 +281,8 @@ impl XdrDecode for ReplyStatus {
             4 => Ok(ReplyStatus::NoSuchMethod(r.get_u32()?)),
             5 => Ok(ReplyStatus::CapabilityDenied(r.get_string()?)),
             6 => Ok(ReplyStatus::UnknownGlue(r.get_u64()?)),
+            7 => Ok(ReplyStatus::Overloaded(r.get_string()?)),
+            8 => Ok(ReplyStatus::DeadlineExpired(r.get_string()?)),
             t => Err(XdrError::InvalidDiscriminant(t)),
         }
     }
@@ -442,6 +482,49 @@ mod tests {
     }
 
     #[test]
+    fn deadline_peek_reads_the_stamp_without_building_the_chain() {
+        let mut meta = crate::capability::CapMeta::new();
+        let mut w = XdrWriter::new();
+        w.put_u64(123_456);
+        meta.set(DEADLINE_META_KEY, w.finish());
+        let mut req = RequestMessage {
+            request_id: RequestId(5),
+            object: ObjectId(9),
+            method: 3,
+            oneway: false,
+            glue: Some(GlueWire {
+                glue_id: 1,
+                caps: vec![
+                    CapWireMeta { name: "encrypt".into(), meta: Bytes::from_static(&[9]) },
+                    CapWireMeta { name: DEADLINE_CAP_NAME.into(), meta: meta.to_bytes() },
+                ],
+            }),
+            body: Bytes::new(),
+            trace: None,
+        };
+        assert_eq!(req.deadline_expires_ns(), Some(123_456));
+
+        // No glue, or a glue without a deadline cap: no stamp.
+        req.glue = None;
+        assert_eq!(req.deadline_expires_ns(), None);
+        req.glue = Some(GlueWire {
+            glue_id: 1,
+            caps: vec![CapWireMeta { name: "encrypt".into(), meta: Bytes::new() }],
+        });
+        assert_eq!(req.deadline_expires_ns(), None);
+
+        // A corrupt stamp peeks as "no deadline" (the chain reports it).
+        req.glue = Some(GlueWire {
+            glue_id: 1,
+            caps: vec![CapWireMeta {
+                name: DEADLINE_CAP_NAME.into(),
+                meta: Bytes::from_static(&[0xFF; 2]),
+            }],
+        });
+        assert_eq!(req.deadline_expires_ns(), None);
+    }
+
+    #[test]
     fn reply_status_roundtrips() {
         let statuses = vec![
             ReplyStatus::Ok,
@@ -451,6 +534,8 @@ mod tests {
             ReplyStatus::NoSuchMethod(17),
             ReplyStatus::CapabilityDenied("budget exhausted".into()),
             ReplyStatus::UnknownGlue(0xBEEF),
+            ReplyStatus::Overloaded("512 in flight (limit 512)".into()),
+            ReplyStatus::DeadlineExpired("deadline of 50 ms exceeded before dispatch".into()),
         ];
         for status in statuses {
             let reply = ReplyMessage {

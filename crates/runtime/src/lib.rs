@@ -1,0 +1,129 @@
+//! Bounded server runtime: pluggable executors and admission control.
+//!
+//! PR 4's split serving spawned one OS thread per two-way request — the
+//! thread-per-request model of the 1999 paper, which collapses under
+//! sustained load: 10k in-flight requests mean 10k stacks and a scheduler
+//! meltdown, and the failure mode is timeout-late instead of reject-early.
+//! This crate replaces that with:
+//!
+//! * [`Executor`] — the dispatch strategy the ORB context hands request
+//!   tasks to. Three implementations ship: [`InlineExecutor`] (run on the
+//!   calling thread; deterministic, what netsim serving already does),
+//!   [`ThreadPerRequestExecutor`] (the legacy model, kept for A/B
+//!   benchmarking), and [`WorkStealingPool`] (the default: a fixed pool of
+//!   workers with per-worker LIFO slots + steal-half deques and a global
+//!   injector).
+//! * [`AdmissionController`] — a queue-depth/in-flight bound applied at the
+//!   transport→dispatch boundary. When the server is at capacity the
+//!   request is shed in microseconds with a retryable `Overloaded` status
+//!   instead of queueing until the client's deadline burns down.
+//! * [`SerialQueue`] — per-connection FIFO lane over any executor, used to
+//!   route one-way requests off the demux reader thread without giving up
+//!   their ordering guarantee.
+//!
+//! Everything here is `std`-only and feeds `ohpc-telemetry` (queue-depth /
+//! parked-worker gauges, steal/park/shed counters), so overload is visible
+//! in the same snapshot as the rest of the request path.
+
+mod admission;
+mod pool;
+mod serial;
+
+pub use admission::{AdmissionController, Permit, Shed, DEFAULT_QUEUE_BOUND};
+pub use pool::{default_workers, shared_pool, WorkStealingPool};
+pub use serial::SerialQueue;
+
+/// A unit of work handed to an executor (one request dispatch).
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A dispatch strategy: where request handlers run.
+///
+/// Implementations must never drop a submitted task silently while the
+/// executor is live — admission control depends on every admitted task
+/// eventually running (its permit is released by the task's drop).
+pub trait Executor: Send + Sync {
+    /// Runs (or queues) `task`.
+    fn execute(&self, task: Task);
+
+    /// Short label for telemetry and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Upper bound on threads this executor will ever run tasks on, when
+    /// one exists (`None` for inline / thread-per-request strategies).
+    fn worker_cap(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Runs every task on the submitting thread.
+///
+/// Deterministic: dispatch order is exactly arrival order, and no new
+/// threads appear — netsim experiments keep their byte-stable schedules.
+/// The cost is that one slow handler blocks the connection it arrived on.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InlineExecutor;
+
+impl Executor for InlineExecutor {
+    fn execute(&self, task: Task) {
+        task();
+    }
+
+    fn name(&self) -> &'static str {
+        "inline"
+    }
+}
+
+/// The legacy PR 4 model: one detached OS thread per task.
+///
+/// Kept for A/B comparison in the overload benchmark; under sustained load
+/// it exhibits exactly the thread explosion the work-stealing pool bounds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadPerRequestExecutor;
+
+impl Executor for ThreadPerRequestExecutor {
+    fn execute(&self, task: Task) {
+        ohpc_telemetry::inc("runtime_spawned_threads_total", &[]);
+        std::thread::spawn(task);
+    }
+
+    fn name(&self) -> &'static str {
+        "thread-per-request"
+    }
+}
+
+/// Recovers the guard from a poisoned mutex: a panicking request handler
+/// must not wedge the whole runtime, and every structure here remains
+/// consistent across a mid-critical-section unwind (counters are atomics,
+/// queues are plain `VecDeque`s).
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn inline_runs_on_the_caller() {
+        let tid = std::thread::current().id();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = ran.clone();
+        InlineExecutor.execute(Box::new(move || {
+            assert_eq!(std::thread::current().id(), tid);
+            r2.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn thread_per_request_runs_elsewhere() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let tid = std::thread::current().id();
+        ThreadPerRequestExecutor.execute(Box::new(move || {
+            let _ = tx.send(std::thread::current().id() != tid);
+        }));
+        assert!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap());
+    }
+}

@@ -1,0 +1,516 @@
+//! The bounded work-stealing pool.
+//!
+//! Classic shape (Cilk / crossbeam-deque / tokio's blocking-friendly
+//! variant), hand-rolled on `std` because the workspace is offline:
+//!
+//! * each worker owns a **LIFO slot** (the task it just produced runs next,
+//!   cache-warm) and a **deque** — the owner pops the newest end, thieves
+//!   take **half** from the oldest end, so stolen batches amortize the
+//!   steal and the victim keeps its hot tail;
+//! * a **global injector** receives tasks submitted from non-worker
+//!   threads (the demux reader, the accept loop); idle workers drain it in
+//!   batches proportional to `len / workers`;
+//! * **park/unpark** is epoch-based: a submitter bumps the epoch under the
+//!   sync lock and wakes one sleeper; a worker re-checks every queue
+//!   against the epoch it read before deciding to sleep, so a submission
+//!   racing a park can never be lost.
+//!
+//! The pool is *fixed size*: under overload the queues grow (until
+//! admission control sheds) but the thread count does not — the property
+//! the 10k-in-flight benchmark gates on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use ohpc_telemetry::{Gauge, Registry};
+
+use crate::{lock, Executor, Task};
+
+thread_local! {
+    /// (pool identity, worker index) when the current thread is a pool
+    /// worker — submissions from worker threads go to their own LIFO slot.
+    static CURRENT_WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+struct WorkerQueue {
+    /// Newest task produced on this worker; runs next, never stolen.
+    lifo: Mutex<Option<Task>>,
+    /// Owner pops the back (newest), thieves drain the front (oldest).
+    deque: Mutex<VecDeque<Task>>,
+}
+
+struct PoolSync {
+    /// Bumped on every submission; parked workers sleep on it.
+    epoch: u64,
+    parked: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    name: String,
+    workers: Vec<WorkerQueue>,
+    injector: Mutex<VecDeque<Task>>,
+    sync: Mutex<PoolSync>,
+    cv: Condvar,
+    /// Tasks queued but not yet picked up by a worker.
+    queued: AtomicUsize,
+    depth_gauge: Arc<Gauge>,
+    parked_gauge: Arc<Gauge>,
+}
+
+impl PoolInner {
+    fn ident(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Submission path; holds the sync lock across the queue push so a
+    /// parking worker that re-checked the queues under an older epoch is
+    /// guaranteed to observe the bump.
+    fn submit(self: &Arc<Self>, task: Task) {
+        ohpc_telemetry::inc("runtime_tasks_total", &[("pool", &self.name)]);
+        let mut s = lock(&self.sync);
+        if s.shutdown {
+            // A context shutting down races its last replies against the
+            // pool teardown; run the straggler inline rather than leak it
+            // (its admission permit must still be released).
+            drop(s);
+            task();
+            return;
+        }
+        let on_own_worker = CURRENT_WORKER
+            .with(std::cell::Cell::get)
+            .filter(|(pool, _)| *pool == self.ident())
+            .map(|(_, ix)| ix);
+        match on_own_worker {
+            Some(ix) => {
+                // LIFO slot: the newest task runs next on this worker;
+                // whatever it displaces becomes stealable work.
+                let displaced = lock(&self.workers[ix].lifo).replace(task);
+                if let Some(d) = displaced {
+                    lock(&self.workers[ix].deque).push_back(d);
+                }
+            }
+            None => lock(&self.injector).push_back(task),
+        }
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.depth_gauge.add(1);
+        s.epoch = s.epoch.wrapping_add(1);
+        if s.parked > 0 {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Finds the next task for worker `ix`: LIFO slot, own deque, injector
+    /// batch, then steal-half sweeps over the other workers.
+    fn find_task(&self, ix: usize) -> Option<Task> {
+        if let Some(t) = lock(&self.workers[ix].lifo).take() {
+            ohpc_telemetry::inc("runtime_lifo_hits_total", &[("pool", &self.name)]);
+            return Some(t);
+        }
+        if let Some(t) = lock(&self.workers[ix].deque).pop_back() {
+            return Some(t);
+        }
+        {
+            let mut inj = lock(&self.injector);
+            if !inj.is_empty() {
+                // Batch: leave the rest for other idle workers.
+                let take = (inj.len() / self.workers.len()).max(1).min(inj.len());
+                let first = inj.pop_front();
+                let mut own = lock(&self.workers[ix].deque);
+                for _ in 1..take {
+                    if let Some(t) = inj.pop_front() {
+                        own.push_back(t);
+                    }
+                }
+                return first;
+            }
+        }
+        let n = self.workers.len();
+        for k in 1..n {
+            let victim = (ix + k) % n;
+            let mut vd = lock(&self.workers[victim].deque);
+            let len = vd.len();
+            if len == 0 {
+                continue;
+            }
+            // Steal half (rounded up) from the *oldest* end.
+            let take = len.div_ceil(2);
+            let mut batch: Vec<Task> = vd.drain(..take).collect();
+            drop(vd);
+            ohpc_telemetry::add("runtime_steals_total", &[("pool", &self.name)], take as u64);
+            let first = batch.remove(0);
+            if !batch.is_empty() {
+                let mut own = lock(&self.workers[ix].deque);
+                for t in batch {
+                    own.push_back(t);
+                }
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    fn run_worker(self: Arc<Self>, ix: usize) {
+        CURRENT_WORKER.with(|c| c.set(Some((self.ident(), ix))));
+        loop {
+            if let Some(t) = self.find_task(ix) {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                self.depth_gauge.sub(1);
+                // A panicking handler must not shrink the pool: the worker
+                // counts it and moves on (the task's drop guards — permits,
+                // spans — already ran during the unwind).
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(t)).is_err() {
+                    ohpc_telemetry::inc("runtime_task_panics_total", &[("pool", &self.name)]);
+                }
+                continue;
+            }
+            // Park protocol: remember the epoch, re-check for work, then
+            // sleep only if no submission bumped the epoch in between.
+            let e = {
+                let s = lock(&self.sync);
+                if s.shutdown {
+                    return;
+                }
+                s.epoch
+            };
+            if self.have_work(ix) {
+                continue;
+            }
+            let mut s = lock(&self.sync);
+            if s.shutdown {
+                return;
+            }
+            if s.epoch != e {
+                continue; // a submission raced our queue check
+            }
+            ohpc_telemetry::inc("runtime_parks_total", &[("pool", &self.name)]);
+            s.parked += 1;
+            self.parked_gauge.add(1);
+            while s.epoch == e && !s.shutdown {
+                s = self
+                    .cv
+                    .wait(s)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            s.parked -= 1;
+            self.parked_gauge.sub(1);
+            if s.shutdown {
+                return;
+            }
+        }
+    }
+
+    fn have_work(&self, ix: usize) -> bool {
+        if lock(&self.workers[ix].lifo).is_some() || !lock(&self.injector).is_empty() {
+            return true;
+        }
+        self.workers.iter().any(|w| !lock(&w.deque).is_empty())
+    }
+}
+
+/// The bounded work-stealing executor.
+///
+/// Construct with [`WorkStealingPool::new`] (or use the process-wide
+/// [`shared_pool`]); wrap in an `Arc` and hand to
+/// `Context::set_executor`. Explicit pools should be [`shutdown`]
+/// (idempotent) when done — the shared pool lives for the process.
+///
+/// [`shutdown`]: WorkStealingPool::shutdown
+pub struct WorkStealingPool {
+    inner: Arc<PoolInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkStealingPool {
+    /// Pool named `name` (telemetry label) with `workers` threads
+    /// (minimum 1).
+    pub fn new(name: &str, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let reg = Registry::global();
+        let labels = [("pool", name)];
+        let inner = Arc::new(PoolInner {
+            name: name.to_string(),
+            workers: (0..workers)
+                .map(|_| WorkerQueue {
+                    lifo: Mutex::new(None),
+                    deque: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sync: Mutex::new(PoolSync { epoch: 0, parked: 0, shutdown: false }),
+            cv: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            depth_gauge: reg.gauge("runtime_queue_depth", &labels),
+            parked_gauge: reg.gauge("runtime_workers_parked", &labels),
+        });
+        reg.gauge("runtime_workers", &labels).set(workers as i64);
+        let mut handles = Vec::with_capacity(workers);
+        for ix in 0..workers {
+            let inner = inner.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("ohpc-{name}-{ix}"))
+                .spawn(move || inner.run_worker(ix));
+            if let Ok(h) = h {
+                handles.push(h);
+            }
+        }
+        Self { inner, handles: Mutex::new(handles) }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers.len()
+    }
+
+    /// Tasks queued and not yet running.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queued.load(Ordering::Relaxed)
+    }
+
+    /// Stops the workers and joins them. Tasks still queued are dropped
+    /// (releasing their admission permits); tasks mid-execution finish.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut s = lock(&self.inner.sync);
+            if s.shutdown {
+                return;
+            }
+            s.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        for h in lock(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+        // Drop abandoned tasks so their drop guards run.
+        let mut dropped = 0usize;
+        dropped += lock(&self.inner.injector).drain(..).count();
+        for w in &self.inner.workers {
+            dropped += lock(&w.lifo).take().is_some() as usize;
+            dropped += lock(&w.deque).drain(..).count();
+        }
+        if dropped > 0 {
+            self.inner.queued.fetch_sub(dropped, Ordering::Relaxed);
+            self.inner.depth_gauge.sub(dropped as i64);
+        }
+    }
+}
+
+impl Executor for WorkStealingPool {
+    fn execute(&self, task: Task) {
+        self.inner.submit(task);
+    }
+
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn worker_cap(&self) -> Option<usize> {
+        Some(self.inner.workers.len())
+    }
+}
+
+impl std::fmt::Debug for WorkStealingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingPool")
+            .field("name", &self.inner.name)
+            .field("workers", &self.inner.workers.len())
+            .field("queued", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// Worker count for the shared pool: `OHPC_WORKERS` when set, else
+/// `4 × available_parallelism` clamped to `[8, 64]` — request handlers
+/// block (they sleep, wait on locks, call out), so the sweet spot is well
+/// above the core count but still bounded.
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("OHPC_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n.min(1024);
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    (cores * 4).clamp(8, 64)
+}
+
+/// The process-wide pool ORB contexts dispatch on by default. Sized once
+/// (first use) from [`default_workers`]; never shut down.
+pub fn shared_pool() -> Arc<WorkStealingPool> {
+    static SHARED: OnceLock<Arc<WorkStealingPool>> = OnceLock::new();
+    SHARED
+        .get_or_init(|| Arc::new(WorkStealingPool::new("shared", default_workers())))
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_tasks_within_the_worker_cap() {
+        let pool = Arc::new(WorkStealingPool::new("t-cap", 4));
+        let (tx, rx) = mpsc::channel();
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        const N: usize = 2000;
+        for i in 0..N {
+            let (tx, live, peak) = (tx.clone(), live.clone(), peak.clone());
+            pool.execute(Box::new(move || {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                if i % 64 == 0 {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                live.fetch_sub(1, Ordering::SeqCst);
+                let _ = tx.send(std::thread::current().id());
+            }));
+        }
+        drop(tx);
+        let mut tids = HashSet::new();
+        for _ in 0..N {
+            tids.insert(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        assert!(tids.len() <= 4, "ran on {} threads, cap is 4", tids.len());
+        assert!(peak.load(Ordering::SeqCst) <= 4, "concurrency exceeded the worker cap");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_submissions_hit_the_lifo_slot_and_still_complete() {
+        let pool = Arc::new(WorkStealingPool::new("t-lifo", 2));
+        let (tx, rx) = mpsc::channel();
+        let p2 = pool.clone();
+        pool.execute(Box::new(move || {
+            // Submit from a worker thread: lands in the LIFO slot / deque.
+            for _ in 0..100 {
+                let tx = tx.clone();
+                p2.execute(Box::new(move || {
+                    let _ = tx.send(());
+                }));
+            }
+        }));
+        for _ in 0..100 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn steals_spread_a_burst_across_workers() {
+        // One worker floods its own deque; the others must steal to finish
+        // the batch in reasonable time (sleeps serialize to 1.6 s on one
+        // thread but ~400 ms across four).
+        let pool = Arc::new(WorkStealingPool::new("t-steal", 4));
+        let (tx, rx) = mpsc::channel();
+        let p2 = pool.clone();
+        pool.execute(Box::new(move || {
+            for _ in 0..80 {
+                let tx = tx.clone();
+                p2.execute(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let _ = tx.send(std::thread::current().id());
+                }));
+            }
+        }));
+        let mut tids = HashSet::new();
+        for _ in 0..80 {
+            tids.insert(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        assert!(tids.len() > 1, "no steals happened: every task ran on one worker");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn park_and_unpark_do_not_lose_wakeups() {
+        let pool = Arc::new(WorkStealingPool::new("t-park", 2));
+        // Repeated idle → submit cycles: each submission after an idle gap
+        // must wake a parked worker.
+        for round in 0..20 {
+            std::thread::sleep(Duration::from_millis(2));
+            let (tx, rx) = mpsc::channel();
+            pool.execute(Box::new(move || {
+                let _ = tx.send(round);
+            }));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), round);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_task_does_not_shrink_the_pool() {
+        let pool = Arc::new(WorkStealingPool::new("t-panic", 1));
+        pool.execute(Box::new(|| panic!("handler bug")));
+        let (tx, rx) = mpsc::channel();
+        pool.execute(Box::new(move || {
+            let _ = tx.send(());
+        }));
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("the lone worker survived the panic");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drops_queued_tasks_and_runs_their_guards() {
+        struct Bump(Arc<AtomicU64>);
+        impl Drop for Bump {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = Arc::new(WorkStealingPool::new("t-drop", 1));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g2 = gate.clone();
+        // Occupy the lone worker…
+        pool.execute(Box::new(move || {
+            let (m, cv) = &*g2;
+            let mut open = lock(m);
+            while !*open {
+                open = cv.wait(open).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }));
+        // …and queue guarded tasks behind it.
+        for _ in 0..5 {
+            let b = Bump(dropped.clone());
+            pool.execute(Box::new(move || {
+                let _b = b;
+            }));
+        }
+        {
+            let (m, cv) = &*gate;
+            *lock(m) = true;
+            cv.notify_all();
+        }
+        pool.shutdown();
+        assert_eq!(dropped.load(Ordering::SeqCst), 5, "queued tasks' guards must run");
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn post_shutdown_submission_runs_inline() {
+        let pool = WorkStealingPool::new("t-late", 1);
+        pool.shutdown();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = ran.clone();
+        pool.execute(Box::new(move || {
+            r2.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn default_workers_is_bounded() {
+        let n = default_workers();
+        assert!((1..=1024).contains(&n));
+    }
+}

@@ -168,8 +168,6 @@ impl Histogram {
         if let Some(bucket) = self.buckets.get(idx) {
             bucket.fetch_add(1, Ordering::Relaxed);
         }
-        // ohpc-analyze: allow(shared-state) — `sum` is an AtomicU64; fetch_add
-        // is a lock-free RMW, no lockset needed.
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
