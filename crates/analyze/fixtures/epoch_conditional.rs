@@ -1,0 +1,55 @@
+//! fixture-crate: ohpc-orb
+//!
+//! `epoch-bump`, PR 9 additions. Two things are pinned here:
+//!
+//! * the GP's `health` registry slot is a designated selection input —
+//!   swapping registries changes which breakers selection consults, so
+//!   `swap_registry` (no bump) must be flagged while `swap_registry_bumped`
+//!   stays silent;
+//! * the *conditional* bump is the blessed pattern for mutators that may be
+//!   no-ops (`ban_conditional` bumps only when rows were actually removed;
+//!   `prefer_conditional` returns early on an absent id). A gratuitous
+//!   unconditional bump would invalidate every cached selection for nothing,
+//!   and the rule must not force that sloppy form.
+
+struct Gp {
+    or: RwLock<Table>,
+    or_epoch: AtomicU64,
+    health: Mutex<Arc<HealthRegistry>>,
+}
+
+impl Gp {
+    pub fn swap_registry(&self, h: Arc<HealthRegistry>) {
+        *self.health.lock() = h; //~ epoch-bump
+    }
+
+    pub fn swap_registry_bumped(&self, h: Arc<HealthRegistry>) {
+        *self.health.lock() = h;
+        self.or_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    pub fn ban_conditional(&self, banned: ProtocolId) -> usize {
+        let mut or = self.or.write();
+        let before = or.protocols.len();
+        or.protocols.retain(|e| e.id != banned);
+        let removed = before - or.protocols.len();
+        drop(or);
+        if removed > 0 {
+            self.or_epoch.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    pub fn prefer_conditional(&self, preferred: ProtocolId) {
+        let mut or = self.or.write();
+        let (mut first, rest): (Vec<Entry>, Vec<Entry>) =
+            or.protocols.iter().cloned().partition(|e| e.id == preferred);
+        if first.is_empty() {
+            return;
+        }
+        first.extend(rest);
+        or.protocols = first;
+        drop(or);
+        self.or_epoch.fetch_add(1, Ordering::Release);
+    }
+}

@@ -1,17 +1,23 @@
 //! Rule `epoch-bump`: every mutation of a *selection input* must bump the
 //! owning structure's epoch counter.
 //!
-//! The ROADMAP's selection fast path caches `(or table, pool membership,
-//! breaker state) → chosen protocol` per GP and revalidates by comparing a
-//! generation counter instead of re-walking the inputs. That only works if
-//! every mutation site of those inputs also touches the counter — this rule
-//! is the enforcement hook, landed *before* the cache so the invariant is
-//! machine-checked from day one. Warn today; promoted to deny by `--deny-all`
-//! in CI and permanently once the cache lands.
+//! The selection fast path (live since PR 9, see `ohpc-orb`'s `selcache`)
+//! caches `(or table, pool membership, breaker state, health registry) →
+//! chosen protocol` per GP and revalidates by comparing generation counters
+//! instead of re-walking the inputs. That only works if every mutation site
+//! of those inputs also touches a counter — this rule is the enforcement
+//! hook: a forgotten bump is a CI failure, not a stale route served in
+//! production. The designated set includes the GP's `health` registry slot
+//! (swapping registries changes which breakers selection consults, so the
+//! swap site must bump the GP's epoch).
 //!
 //! A "bump" is an ident containing `epoch`/`generation` followed shortly by
 //! an atomic RMW (`fetch_add`/`store`/`fetch_update`), or a call to a
-//! `bump_*` helper, anywhere in the mutating fn's body.
+//! `bump_*` helper, anywhere in the mutating fn's body. The whole-body scan
+//! deliberately accepts *conditional* bumps (`if removed > 0 { …fetch_add… }`):
+//! skipping the bump when the input did not actually change is the correct
+//! pattern — a gratuitous bump needlessly invalidates every cached
+//! selection — and the rule must not force the sloppy unconditional form.
 
 use std::collections::HashSet;
 
@@ -25,12 +31,14 @@ pub const RULE: &str = "epoch-bump";
 
 /// Selection inputs: `(crate, field)` pairs whose mutation must be
 /// observable through an epoch counter. The OR table and its protocol list
-/// (`ohpc-orb`), the proto-pool membership (`ohpc-orb`), and breaker state
-/// (`ohpc-resilience`).
+/// (`ohpc-orb`), the proto-pool membership (`ohpc-orb`), the GP's health
+/// registry slot (`ohpc-orb` — swapping it redirects which breakers
+/// selection consults), and breaker state (`ohpc-resilience`).
 const DESIGNATED: &[(&str, &str)] = &[
     ("ohpc-orb", "or"),
     ("ohpc-orb", "protocols"),
     ("ohpc-orb", "protos"),
+    ("ohpc-orb", "health"),
     ("ohpc-resilience", "state"),
 ];
 
@@ -176,6 +184,45 @@ mod tests {
         "#;
         let d = analyze("crates/orb/src/proto.rs", "ohpc-orb", src);
         assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn registry_swap_without_bump_is_flagged() {
+        let src = r#"
+            struct Gp { health: Mutex<Arc<HealthRegistry>> }
+            impl Gp {
+                pub fn set_health_registry(&self, h: Arc<HealthRegistry>) {
+                    *self.health.lock() = h;
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/gp.rs", "ohpc-orb", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`health`"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn conditional_bump_satisfies() {
+        // The correct pattern for mutators that may be no-ops: bump only
+        // when the input actually changed. The whole-body scan accepts it.
+        let src = r#"
+            struct Gp { or: RwLock<Table>, or_epoch: AtomicU64 }
+            impl Gp {
+                pub fn ban(&self, banned: ProtocolId) -> usize {
+                    let mut or = self.or.write();
+                    let before = or.protocols.len();
+                    or.protocols.retain(|e| e.id != banned);
+                    let removed = before - or.protocols.len();
+                    drop(or);
+                    if removed > 0 {
+                        self.or_epoch.fetch_add(1, Ordering::Release);
+                    }
+                    removed
+                }
+            }
+        "#;
+        let d = analyze("crates/orb/src/gp.rs", "ohpc-orb", src);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

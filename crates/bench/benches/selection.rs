@@ -1,76 +1,38 @@
 //! Protocol-selection cost: the per-request price of the open ORB's
 //! adaptivity, as a function of OR table size and position of the match.
-
-use std::sync::Arc;
+//!
+//! Two series per table size:
+//!
+//! * `worst_case_walk` — the full uncached walk (every row rejected until
+//!   the last), which grows linearly in table size;
+//! * `cached_hit` — the per-GP selection cache's hit path (four atomic
+//!   loads + memo clone), which must stay flat across table sizes. The
+//!   `bench_selection_json --gate` binary enforces that flatness in CI;
+//!   this bench is the statistical view of the same scenario.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ohpc_netsim::Location;
-use ohpc_orb::objref::ProtoEntry;
+use ohpc_bench::selection_cost::{SelectionScenario, TABLE_SIZES};
 use ohpc_orb::selection::select;
-use ohpc_orb::{
-    ApplicabilityRule, ObjectId, ObjectReference, OrbError, ProtoObject, ProtoPool, ProtocolId,
-    ReplyMessage, RequestMessage,
-};
-
-struct RuleProto {
-    id: ProtocolId,
-    rule: ApplicabilityRule,
-}
-
-impl ProtoObject for RuleProto {
-    fn protocol_id(&self) -> ProtocolId {
-        self.id
-    }
-    fn applicable(
-        &self,
-        _p: &ProtoPool,
-        c: &Location,
-        s: &Location,
-        _e: &ProtoEntry,
-    ) -> bool {
-        self.rule.allows(c, s)
-    }
-    fn invoke(
-        &self,
-        _p: &ProtoPool,
-        _e: &ProtoEntry,
-        req: &RequestMessage,
-    ) -> Result<ReplyMessage, OrbError> {
-        Ok(ReplyMessage::ok(req.request_id, bytes::Bytes::new()))
-    }
-}
 
 fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection");
-    for &table_len in &[2usize, 8, 32] {
-        // Table of same-machine-only entries with one Always entry at the
-        // end: a remote client walks the whole table.
-        let mut pool = ProtoPool::new();
-        let mut protocols = Vec::new();
-        for i in 0..table_len as u16 {
-            let id = ProtocolId(200 + i);
-            let rule = if (i as usize) < table_len - 1 {
-                ApplicabilityRule::SameMachineOnly
-            } else {
-                ApplicabilityRule::Always
-            };
-            pool.push(Arc::new(RuleProto { id, rule }));
-            protocols.push(ProtoEntry::endpoint(id, format!("tcp://h:{i}")));
-        }
-        let or = ObjectReference {
-            object: ObjectId(1),
-            type_name: "T".into(),
-            location: Location::new(0, 0),
-            protocols,
-        };
-        let client = Location::new(9, 9);
+    for &table_len in TABLE_SIZES {
+        let scenario = SelectionScenario::new(table_len);
         group.bench_with_input(
             BenchmarkId::new("worst_case_walk", table_len),
             &table_len,
             |b, _| {
-                b.iter(|| std::hint::black_box(select(&or, &pool, &client).unwrap().index));
+                b.iter(|| {
+                    std::hint::black_box(
+                        select(&scenario.or, &scenario.pool, &scenario.client).unwrap().index,
+                    )
+                });
             },
         );
+        let gp = scenario.warmed_gp();
+        group.bench_with_input(BenchmarkId::new("cached_hit", table_len), &table_len, |b, _| {
+            b.iter(|| std::hint::black_box(gp.select_cached().unwrap()));
+        });
     }
     group.finish();
 }

@@ -73,8 +73,8 @@ pub fn run(profile: LinkProfile) -> Vec<Phase> {
         p2.ping().expect("p2 ping");
         Phase {
             label: label.to_string(),
-            p1_selected: p1.gp().last_protocol().unwrap_or_default(),
-            p2_selected: p2.gp().last_protocol().unwrap_or_default(),
+            p1_selected: p1.gp().last_protocol().map(|s| s.to_string()).unwrap_or_default(),
+            p2_selected: p2.gp().last_protocol().map(|s| s.to_string()).unwrap_or_default(),
         }
     };
 

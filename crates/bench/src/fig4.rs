@@ -109,7 +109,7 @@ pub fn run(lan_profile: LinkProfile, probe_sizes: &[usize]) -> Vec<HopResult> {
         // One ping makes the GP chase the tombstone and records the
         // selection for this hop.
         client.ping().expect("ping");
-        let selected = client.gp().last_protocol().unwrap_or_default();
+        let selected = client.gp().last_protocol().map(|s| s.to_string()).unwrap_or_default();
 
         let mut bandwidth = Vec::new();
         for &elements in probe_sizes {

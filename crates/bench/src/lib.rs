@@ -30,6 +30,7 @@ pub mod mux_contention;
 pub mod overhead;
 pub mod overload;
 pub mod plot;
+pub mod selection_cost;
 pub mod setup;
 pub mod trace_overhead;
 pub mod workload;

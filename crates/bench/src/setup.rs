@@ -137,7 +137,7 @@ mod tests {
             .unwrap();
         let client = EchoArrayClient::new(dep.client_gp(m0, or));
         client.ping().unwrap();
-        assert_eq!(client.gp().last_protocol().unwrap(), "shm");
+        assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "shm");
         server.shutdown();
     }
 

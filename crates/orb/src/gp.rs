@@ -15,6 +15,7 @@ use crate::ids::RequestId;
 use crate::message::{ReplyStatus, RequestMessage};
 use crate::objref::ObjectReference;
 use crate::proto::ProtoPool;
+use crate::selcache::{cache_enabled, registry_ptr, CachedSelection, Lookup, SelectionCache};
 use crate::selection::{health_key, select_with_health, Selection};
 
 /// How many `Moved` forwards one invocation will chase before giving up.
@@ -31,10 +32,16 @@ fn next_request_id() -> RequestId {
 
 /// A global pointer: an OR plus the local machinery to act on it.
 ///
-/// The GP re-runs protocol selection on *every* invocation (the paper's
-/// "the system selects an appropriate proto-object for each individual
-/// remote request"), so changes to locations, the OR (via `Moved` rebinds or
-/// [`rebind`](Self::rebind)), or the pool take effect immediately.
+/// The GP re-decides protocol selection on *every* invocation attempt (the
+/// paper's "the system selects an appropriate proto-object for each
+/// individual remote request"), so changes to locations, the OR (via `Moved`
+/// rebinds or [`rebind`](Self::rebind)), or the pool take effect on the very
+/// next attempt. Since PR 9 the decision is served from a per-GP cache
+/// revalidated with four atomic loads (`or_epoch`, pool epoch, health
+/// registry identity + generation) and re-walked only on a mismatch — the
+/// adaptivity is preserved by construction, the re-walk cost is not paid on
+/// the happy path (see `selcache` / DESIGN.md §15). Set
+/// `OHPC_SELECTION_CACHE=0` to force the full walk on every attempt.
 ///
 /// # Fault awareness
 ///
@@ -56,19 +63,24 @@ fn next_request_id() -> RequestId {
 /// pool their observations.
 pub struct GlobalPointer {
     or: RwLock<ObjectReference>,
-    /// Bumped on every OR-table mutation (rebind / prefer / ban). The
-    /// ROADMAP's per-GP selection cache revalidates against this counter
-    /// (together with [`ProtoPool::epoch`] and [`HealthRegistry::generation`])
-    /// instead of re-walking its inputs; `epoch-bump` in ohpc-analyze
-    /// enforces that no mutation path forgets it.
+    /// Selection-input epoch: bumped on every mutation of this GP's inputs
+    /// that the pool/health counters don't already cover — OR-table changes
+    /// (rebind, effective prefer/ban) *and* health-registry swaps. The
+    /// per-GP selection cache revalidates against this counter (together
+    /// with [`ProtoPool::epoch`] and [`HealthRegistry::generation`]) instead
+    /// of re-walking its inputs; `epoch-bump` in ohpc-analyze enforces that
+    /// no mutation path forgets it.
     or_epoch: AtomicU64,
     pool: Arc<ProtoPool>,
     local: Location,
-    last_protocol: Mutex<Option<String>>,
+    /// Description of the last selection, rendered once at cache fill and
+    /// shared as `Arc<str>` — the hot path never re-formats it.
+    last_protocol: Mutex<Option<Arc<str>>>,
     forwards_seen: AtomicU64,
     retry: Mutex<RetryPolicy>,
     health: Mutex<Arc<HealthRegistry>>,
     sleeper: Mutex<Arc<dyn Sleeper>>,
+    cache: SelectionCache,
 }
 
 impl GlobalPointer {
@@ -84,6 +96,7 @@ impl GlobalPointer {
             retry: Mutex::new(RetryPolicy::default()),
             health: Mutex::new(Arc::new(HealthRegistry::new())),
             sleeper: Mutex::new(Arc::new(ThreadSleeper)),
+            cache: SelectionCache::default(),
         }
     }
 
@@ -104,8 +117,15 @@ impl GlobalPointer {
 
     /// Shares a health registry (typically one per process, or one driven by
     /// a netsim `VirtualClock` in tests).
+    ///
+    /// Swapping the registry is a selection-input mutation: a cached
+    /// selection keyed on the *old* registry's generation would keep serving
+    /// choices that never consult the new breakers (and a new registry's
+    /// generation can numerically collide with the old one's). The epoch
+    /// bump makes every cached selection strictly older than the swap.
     pub fn set_health_registry(&self, health: Arc<HealthRegistry>) {
         *self.health.lock() = health;
+        self.or_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Replaces how backoff pauses are spent — tests inject a
@@ -140,16 +160,37 @@ impl GlobalPointer {
     }
 
     /// Runs protocol selection without invoking, for inspection. Consults
-    /// the health registry exactly like a real invocation would.
+    /// the health registry exactly like a real invocation would, but always
+    /// performs the full table walk — this is the *uncached* reference the
+    /// cache is validated against (tests assert
+    /// `select_cached() ≡ select().index` under arbitrary mutation
+    /// interleavings).
     pub fn select(&self) -> Result<Selection, OrbError> {
         let health = self.health.lock().clone();
         let or = self.or.read();
         select_with_health(&or, &self.pool, &self.local, Some(&health))
     }
 
+    /// Selection exactly as the next invocation attempt would perform it:
+    /// through the per-GP cache (revalidate-or-walk-and-refill). Returns the
+    /// chosen OR-table row index. Used by the selection benchmarks and the
+    /// cache-consistency tests; real invocations share the same path.
+    pub fn select_cached(&self) -> Result<usize, OrbError> {
+        let health = self.health.lock().clone();
+        Ok(self.attempt_selection(&health)?.selection.index)
+    }
+
+    /// Cache hits served by this GP's selection cache (process-wide totals
+    /// are on `orb_selection_cache_total{outcome}`).
+    pub fn selection_cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
     /// Description of the protocol used by the most recent invocation
-    /// (e.g. `glue[timeout+security]->tcp`), for experiment logs.
-    pub fn last_protocol(&self) -> Option<String> {
+    /// (e.g. `glue[timeout+security]->tcp`), for experiment logs. The string
+    /// is rendered once per selection-cache fill and shared — cloning the
+    /// `Arc` is free.
+    pub fn last_protocol(&self) -> Option<Arc<str>> {
         self.last_protocol.lock().clone()
     }
 
@@ -166,8 +207,18 @@ impl GlobalPointer {
     pub fn prefer(&self, preferred: crate::ids::ProtocolId) {
         let mut or = self.or.write();
         let (mut first, rest): (Vec<_>, Vec<_>) =
-            or.protocols.drain(..).partition(|e| e.id == preferred);
+            or.protocols.iter().cloned().partition(|e| e.id == preferred);
+        if first.is_empty() {
+            // Unknown id: the table is untouched, so the epoch must not
+            // move — a gratuitous bump would invalidate the selection cache
+            // for nothing.
+            return;
+        }
         first.extend(rest);
+        if first == or.protocols {
+            // Already preferred-first: reordering was a no-op.
+            return;
+        }
         or.protocols = first;
         drop(or);
         self.or_epoch.fetch_add(1, Ordering::Release);
@@ -182,8 +233,52 @@ impl GlobalPointer {
         or.protocols.retain(|e| e.id != banned);
         let removed = before - or.protocols.len();
         drop(or);
-        self.or_epoch.fetch_add(1, Ordering::Release);
+        if removed > 0 {
+            self.or_epoch.fetch_add(1, Ordering::Release);
+        }
         removed
+    }
+
+    /// Selection for one attempt: revalidate the per-GP cache with four
+    /// atomic loads, serve the memo on a hit, otherwise run the full
+    /// health-aware walk and (if the result is steady) refill.
+    ///
+    /// Key values are read *before* the walk and stamped onto the memo: a
+    /// mutation landing between the reads and the walk leaves the memo
+    /// stamped with pre-mutation epochs, so the next lookup conservatively
+    /// misses. Reading keys after the walk would permit the reverse — a
+    /// fresh stamp on a stale walk, served until the next unrelated bump.
+    fn attempt_selection(
+        &self,
+        health: &Arc<HealthRegistry>,
+    ) -> Result<Arc<CachedSelection>, OrbError> {
+        let or_epoch = self.or_epoch.load(Ordering::Acquire);
+        let pool_epoch = self.pool.epoch();
+        let hptr = registry_ptr(health);
+        let hgen = health.generation();
+        if cache_enabled() {
+            if let Lookup::Hit(cached) = self.cache.lookup(or_epoch, pool_epoch, hptr, hgen) {
+                ohpc_telemetry::trace_event("selection", &[("outcome", "cached")]);
+                return Ok(cached);
+            }
+        }
+        let (selection, object) = {
+            let or = self.or.read();
+            (select_with_health(&or, &self.pool, &self.local, Some(health))?, or.object)
+        };
+        let described: Arc<str> = selection.describe().into();
+        let key = health_key(&selection.entry);
+        let steady = selection.steady;
+        let cached = Arc::new(CachedSelection::new(
+            selection, object, described, key, or_epoch, pool_epoch, hptr, hgen,
+        ));
+        if steady && cache_enabled() {
+            // Breaker-influenced choices are never memoized: an open
+            // breaker's cooldown elapsing changes the outcome with time
+            // alone, without any generation bump to invalidate on.
+            self.cache.fill(cached.clone());
+        }
+        Ok(cached)
     }
 
     /// Invokes method slot `method` with pre-encoded `args`, returning the
@@ -203,31 +298,26 @@ impl GlobalPointer {
         let _trace = ohpc_telemetry::install(ctx);
         let mut span = ohpc_telemetry::trace_span("gp_oneway");
         let health = self.health.lock().clone();
-        let (selection, object) = {
-            let or = self.or.read();
-            (select_with_health(&or, &self.pool, &self.local, Some(&health))?, or.object)
-        };
-        let described = selection.describe();
-        span.attr("proto", &described);
-        *self.last_protocol.lock() = Some(described);
-        let key = health_key(&selection.entry);
+        let cached = self.attempt_selection(&health)?;
+        span.attr("proto", &cached.described);
+        *self.last_protocol.lock() = Some(cached.described.clone());
         let req = RequestMessage {
             request_id: next_request_id(),
-            object,
+            object: cached.object,
             method,
             oneway: true,
             glue: None,
             body: Bytes::copy_from_slice(args.peek()),
             trace: ohpc_telemetry::current(),
         };
-        match selection.proto.invoke_oneway(&self.pool, &selection.entry, &req) {
+        match cached.selection.proto.invoke_oneway(&self.pool, &cached.selection.entry, &req) {
             Ok(()) => {
-                health.record_success(&key);
+                health.record_success(&cached.key);
                 Ok(())
             }
             Err(e) => {
                 if e.is_transport() {
-                    health.record_failure(&key);
+                    health.record_failure(&cached.key);
                 }
                 Err(e)
             }
@@ -342,14 +432,10 @@ impl GlobalPointer {
                     ("method", &method.to_string()),
                 ],
             );
-            let (selection, object) = {
-                let or = self.or.read();
-                (select_with_health(&or, &self.pool, &self.local, Some(health))?, or.object)
-            };
-            let described = selection.describe();
-            span.attr("proto", &described);
-            *self.last_protocol.lock() = Some(described);
-            let key = health_key(&selection.entry);
+            let cached = self.attempt_selection(health)?;
+            let object = cached.object;
+            span.attr("proto", &cached.described);
+            *self.last_protocol.lock() = Some(cached.described.clone());
 
             let req = RequestMessage {
                 request_id: next_request_id(),
@@ -362,21 +448,21 @@ impl GlobalPointer {
             };
 
             let remaining_ns = deadline.map(|d| d.saturating_sub(clock.now_ns()));
-            let reply = match selection.proto.invoke_with_deadline(
+            let reply = match cached.selection.proto.invoke_with_deadline(
                 &self.pool,
-                &selection.entry,
+                &cached.selection.entry,
                 &req,
                 remaining_ns,
             ) {
                 Ok(reply) => {
                     // Any delivered reply proves the wire works, whatever
                     // the application-level status says.
-                    health.record_success(&key);
+                    health.record_success(&cached.key);
                     reply
                 }
                 Err(e) => {
                     if e.is_transport() {
-                        health.record_failure(&key);
+                        health.record_failure(&cached.key);
                     }
                     return Err(e);
                 }
@@ -482,7 +568,7 @@ mod tests {
         let out = gp.invoke_raw(1, Bytes::from_static(b"abc")).unwrap();
         assert_eq!(&out[..], b"abc");
         assert_eq!(proto.calls.load(Ordering::Relaxed), 1);
-        assert_eq!(gp.last_protocol().unwrap(), "tcp");
+        assert_eq!(gp.last_protocol().as_deref(), Some("tcp"));
     }
 
     #[test]
@@ -790,6 +876,92 @@ mod tests {
         }
         assert_eq!(bad.calls.load(Ordering::Relaxed), 3, "open breaker diverts traffic");
         assert_eq!(good.calls.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn noop_prefer_and_ban_leave_the_epoch_alone() {
+        let (gp, _) = gp_with(vec![]);
+        let epoch = gp.or_epoch();
+        // Absent id: table untouched, no invalidation.
+        gp.prefer(ProtocolId(999));
+        assert_eq!(gp.or_epoch(), epoch, "prefer of an absent id must not bump");
+        // Already preferred-first: reordering is a no-op.
+        gp.prefer(ProtocolId::TCP);
+        assert_eq!(gp.or_epoch(), epoch, "prefer that changes nothing must not bump");
+        // Ban that removes zero rows: no invalidation.
+        assert_eq!(gp.ban(ProtocolId(999)), 0);
+        assert_eq!(gp.or_epoch(), epoch, "ban removing nothing must not bump");
+        // A ban that does remove rows still bumps.
+        assert_eq!(gp.ban(ProtocolId::TCP), 1);
+        assert_eq!(gp.or_epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn registry_swap_bumps_the_epoch_and_invalidates_cached_selections() {
+        use ohpc_resilience::BreakerState;
+        let good_a = FailProto::new(ProtocolId::TCP, 0, || unreachable!());
+        let good_b = FailProto::new(ProtocolId::NEXUS_TCP, 0, || unreachable!());
+        let or = ObjectReference {
+            object: ObjectId(1),
+            type_name: "T".into(),
+            location: Location::new(0, 0),
+            protocols: vec![
+                ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1"),
+                ProtoEntry::endpoint(ProtocolId::NEXUS_TCP, "tcp://h:2"),
+            ],
+        };
+        let pool = Arc::new(ProtoPool::new().with(good_a.clone()).with(good_b.clone()));
+        let gp = GlobalPointer::new(or, pool, Location::new(5, 1));
+        quiet(&gp);
+
+        // Warm the cache on row 0 and prove it serves hits.
+        for _ in 0..3 {
+            gp.invoke_raw(1, Bytes::new()).unwrap();
+        }
+        let epoch_before = gp.or_epoch();
+
+        // Build a replacement registry whose breaker for row 0 is already
+        // open. If the swap did not invalidate, the cached selection would
+        // keep routing to row 0 without ever consulting these breakers.
+        let fresh = Arc::new(ohpc_resilience::HealthRegistry::with_clock(Arc::new(
+            ohpc_telemetry::ManualClock::new(),
+        )));
+        let key0 = crate::selection::health_key(&gp.object_reference().protocols[0]);
+        for _ in 0..3 {
+            fresh.record_failure(&key0);
+        }
+        assert_eq!(fresh.state(&key0), BreakerState::Open);
+        gp.set_health_registry(fresh);
+        assert_eq!(gp.or_epoch(), epoch_before + 1, "swap must bump the selection epoch");
+
+        let a_before = good_a.calls.load(Ordering::Relaxed);
+        gp.invoke_raw(1, Bytes::new()).unwrap();
+        assert_eq!(
+            good_a.calls.load(Ordering::Relaxed),
+            a_before,
+            "post-swap traffic must respect the new registry's open breaker"
+        );
+        assert_eq!(good_b.calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn steady_selections_are_served_from_the_cache() {
+        if !crate::selcache::cache_enabled() {
+            return; // OHPC_SELECTION_CACHE=0 run: nothing to assert.
+        }
+        let (gp, proto) = gp_with((0..10).map(|_| ReplyStatus::Ok).collect());
+        for _ in 0..10 {
+            gp.invoke_raw(1, Bytes::new()).unwrap();
+        }
+        assert_eq!(proto.calls.load(Ordering::Relaxed), 10);
+        // First attempt misses (fill), the rest hit.
+        assert_eq!(gp.selection_cache_hits(), 9);
+        // Rebind invalidates; the next attempt re-walks then hits again.
+        gp.rebind(or_at(0));
+        assert_eq!(gp.select_cached().unwrap(), 0);
+        let hits = gp.selection_cache_hits();
+        assert_eq!(gp.select_cached().unwrap(), 0);
+        assert_eq!(gp.selection_cache_hits(), hits + 1);
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub struct Selection {
     pub entry: ProtoEntry,
     /// Index of the row in the OR table (for experiment logs).
     pub index: usize,
+    /// True when no circuit breaker influenced this choice: nothing was
+    /// skipped as `breaker-open` and this is not the all-denied fallback.
+    ///
+    /// Only steady selections are safe to memoize in the per-GP selection
+    /// cache: a breaker-influenced choice can change with the mere passage
+    /// of time (an open breaker's cooldown elapsing re-admits the preferred
+    /// row *without* bumping [`HealthRegistry::generation`] until the next
+    /// walk observes it), so the cache must keep re-walking while any
+    /// breaker is steering traffic.
+    pub steady: bool,
 }
 
 impl Selection {
@@ -120,7 +130,8 @@ pub fn select_with_health(
                 );
                 breaker_skips += 1;
                 if fallback.is_none() {
-                    fallback = Some(Selection { proto, entry: entry.clone(), index });
+                    fallback =
+                        Some(Selection { proto, entry: entry.clone(), index, steady: false });
                 }
                 continue;
             }
@@ -140,7 +151,7 @@ pub fn select_with_health(
                 ("outcome", if breaker_skips > 0 { "failover" } else { "selected" }),
             ],
         );
-        return Ok(Selection { proto, entry: entry.clone(), index });
+        return Ok(Selection { proto, entry: entry.clone(), index, steady: breaker_skips == 0 });
     }
     if let Some(sel) = fallback {
         // Every applicable row is breaker-denied. Refusing to select would

@@ -118,7 +118,7 @@ fn mem_fabric_end_to_end_typed_stub() {
         client.fail("nope".into()).unwrap_err(),
         OrbError::RemoteException("nope".into())
     );
-    assert_eq!(client.gp().last_protocol().unwrap(), "shm");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "shm");
 
     ctx.shutdown();
 }
@@ -171,7 +171,7 @@ fn glue_chain_end_to_end() {
     let client = CounterClient::new(gp);
     assert_eq!(client.add(4).unwrap(), 4);
     assert_eq!(client.get().unwrap(), 4);
-    assert_eq!(client.gp().last_protocol().unwrap(), "glue[xor]->tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "glue[xor]->tcp");
     ctx.shutdown();
 }
 
@@ -206,7 +206,7 @@ fn selection_prefers_glue_but_falls_back_by_applicability() {
     let gp = GlobalPointer::new(or, pool, Location::new(2, 2));
     let client = CounterClient::new(gp);
     assert_eq!(client.add(1).unwrap(), 1);
-    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "tcp");
     ctx.shutdown();
 }
 
@@ -481,7 +481,7 @@ fn or_restriction_denies_protocols() {
     let gp = GlobalPointer::new(restricted, pool, Location::new(0, 0));
     let client = CounterClient::new(gp);
     assert_eq!(client.add(2).unwrap(), 2);
-    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "tcp");
     ctx.shutdown();
 }
 

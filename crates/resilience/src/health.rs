@@ -107,10 +107,19 @@ pub struct HealthRegistry {
     clock: Arc<dyn Clock>,
     policy: HealthPolicy,
     map: Mutex<HashMap<HealthKey, EndpointHealth>>,
-    /// Bumped on every breaker-state transition: selection caches keyed on
-    /// health state revalidate against this (see the ROADMAP's selection
-    /// fast path); ohpc-analyze's `epoch-bump` rule enforces that every
-    /// state mutation touches it.
+    /// Bumped on every breaker-state transition — all four of them:
+    /// Closed→Open and HalfOpen→Open (`record_failure`), →Closed
+    /// (`record_success`), Open→HalfOpen (`allow` after cooldown). The ORB's
+    /// per-GP selection cache keys on this counter, so a missed bump would
+    /// silently serve routes that ignore a breaker; ohpc-analyze's
+    /// `epoch-bump` rule enforces that every state mutation touches it, and
+    /// `every_transition_bumps_the_generation` audits the four transitions.
+    ///
+    /// Note what does *not* bump: successes and sub-threshold failures on a
+    /// Closed breaker, and time passing on an Open one. The last is why the
+    /// cache only memoizes selections no breaker influenced — an Open
+    /// breaker's cooldown elapsing changes selection without touching this
+    /// counter until the next `allow` observes it.
     generation: AtomicU64,
 }
 
@@ -407,6 +416,60 @@ mod tests {
         assert_eq!(r.state(&k), BreakerState::HalfOpen, "one success is not enough");
         r.record_success(&k);
         assert_eq!(r.state(&k), BreakerState::Closed);
+    }
+
+    /// The generation audit: every one of the four breaker transitions must
+    /// bump the counter the ORB's selection cache keys on, and
+    /// non-transition events must not. A transition that forgets the bump
+    /// would let a cached selection keep routing as if the transition never
+    /// happened.
+    #[test]
+    fn every_transition_bumps_the_generation() {
+        let clock = Arc::new(ManualClock::new());
+        let r = reg(&clock);
+        let k = key();
+
+        // Non-transitions leave the generation alone.
+        let g0 = r.generation();
+        r.record_success(&k); // unseen key: no-op
+        r.record_failure(&k); // 1 of 3: still Closed
+        r.record_failure(&k); // 2 of 3: still Closed
+        assert!(r.allow(&k));
+        assert_eq!(r.generation(), g0, "sub-threshold activity must not bump");
+
+        // Closed → Open (record_failure at threshold).
+        r.record_failure(&k);
+        assert_eq!(r.state(&k), BreakerState::Open);
+        assert_eq!(r.generation(), g0 + 1);
+
+        // Time passing while Open does not bump — the cache's reason to
+        // never memoize breaker-influenced selections.
+        clock.advance(999);
+        assert!(!r.allow(&k));
+        assert_eq!(r.generation(), g0 + 1);
+
+        // Open → HalfOpen (allow after cooldown).
+        clock.advance(1);
+        assert!(r.allow(&k));
+        assert_eq!(r.state(&k), BreakerState::HalfOpen);
+        assert_eq!(r.generation(), g0 + 2);
+
+        // HalfOpen → Open (failed probe).
+        r.record_failure(&k);
+        assert_eq!(r.state(&k), BreakerState::Open);
+        assert_eq!(r.generation(), g0 + 3);
+
+        // Open/HalfOpen → Closed (successful probe).
+        clock.advance(1_000);
+        assert!(r.allow(&k)); // → HalfOpen: g0 + 4
+        r.record_success(&k);
+        assert_eq!(r.state(&k), BreakerState::Closed);
+        assert_eq!(r.generation(), g0 + 5);
+
+        // Steady-state successes on a Closed breaker stay silent.
+        r.record_success(&k);
+        r.record_success(&k);
+        assert_eq!(r.generation(), g0 + 5);
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn main() {
     let local = WeatherClient::new(GlobalPointer::new(or.clone(), pool.clone(), Location::new(0, 0)));
     println!("regions = {:?}", local.regions().unwrap());
     println!("colocated client selected: {}", local.gp().last_protocol().unwrap());
-    assert_eq!(local.gp().last_protocol().unwrap(), "direct-dispatch");
+    assert_eq!(local.gp().last_protocol().as_deref().unwrap(), "direct-dispatch");
 
     // A client on another machine: direct dispatch inapplicable, and so is
     // shm — selection reports it cleanly instead of guessing.

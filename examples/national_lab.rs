@@ -140,7 +140,7 @@ fn main() {
         map.len(),
         lab_client_view.gp().last_protocol().unwrap(),
     );
-    assert_eq!(lab_client_view.gp().last_protocol().unwrap(), "shm");
+    assert_eq!(lab_client_view.gp().last_protocol().as_deref().unwrap(), "shm");
 
     let (reqs, _, bytes_out, _) = dep.stats.snapshot();
     println!(

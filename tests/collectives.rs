@@ -57,7 +57,7 @@ fn one_collective_three_protocols() {
     assert!(regions.iter().all(|r| r.len() == 3));
 
     let selected: Vec<String> =
-        group.members().iter().map(|gp| gp.last_protocol().unwrap()).collect();
+        group.members().iter().map(|gp| gp.last_protocol().unwrap().to_string()).collect();
     assert_eq!(selected[0], "shm", "co-located member over shared memory");
     assert_eq!(selected[1], "tcp", "LAN member over plain TCP (auth scope is cross-site)");
     assert_eq!(selected[2], "glue[auth]->tcp", "remote-site member authenticates");

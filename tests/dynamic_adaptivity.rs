@@ -43,7 +43,7 @@ fn pool_editing_disables_protocols_at_runtime() {
     let client =
         WeatherClient::new(GlobalPointer::new(or.clone(), Arc::new(pool.clone()), location));
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "tcp");
 
     // Administrator removes TCP from local policy → same OR now selects the
     // baseline. (Pools are immutable snapshots behind Arc, so the edit is a
@@ -51,7 +51,7 @@ fn pool_editing_disables_protocols_at_runtime() {
     assert_eq!(pool.remove(ProtocolId::TCP), 1);
     let client2 = WeatherClient::new(GlobalPointer::new(or, Arc::new(pool), location));
     client2.regions().unwrap();
-    assert_eq!(client2.gp().last_protocol().unwrap(), "nexus(nexus-tcp)");
+    assert_eq!(client2.gp().last_protocol().as_deref().unwrap(), "nexus(nexus-tcp)");
     server.shutdown();
 }
 
@@ -73,22 +73,22 @@ fn gp_preference_overrides_or_order_but_not_applicability() {
     let client = WeatherClient::new(dep.client_gp(m_client, or));
 
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "tcp", "OR order wins by default");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "tcp", "OR order wins by default");
 
     client.gp().prefer(ProtocolId::NEXUS_TCP);
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "nexus(nexus-tcp)");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "nexus(nexus-tcp)");
 
     // Preferring an inapplicable protocol cannot force it: SHM needs the
     // same machine, so selection falls through to the next applicable row.
     client.gp().prefer(ProtocolId::SHM);
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "nexus(nexus-tcp)");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "nexus(nexus-tcp)");
 
     // Banning is absolute.
     client.gp().ban(ProtocolId::NEXUS_TCP);
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "tcp");
     server.shutdown();
 }
 
@@ -108,7 +108,7 @@ fn replace_glue_swaps_capabilities_under_live_references() {
 
     let client = WeatherClient::new(dep.client_gp(m_client, or_v1));
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "glue[log]->tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "glue[log]->tcp");
 
     // Server hardens the chain in place.
     server
@@ -126,7 +126,7 @@ fn replace_glue_swaps_capabilities_under_live_references() {
     // with the stronger capabilities.
     client.gp().rebind(or_v2);
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "glue[log+security]->tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "glue[log+security]->tcp");
     server.shutdown();
 }
 

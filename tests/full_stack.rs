@@ -52,7 +52,7 @@ fn weather_over_simulated_network_with_full_chain() {
     let n = client.feed_data("atlantic".into(), map.clone()).unwrap();
     assert_eq!(n, 256);
     assert_eq!(
-        client.gp().last_protocol().unwrap(),
+        client.gp().last_protocol().as_deref().unwrap(),
         "glue[compress+security+auth+log]->tcp"
     );
     // the log capability saw traffic on both sides

@@ -52,7 +52,7 @@ fn remote_metrics_snapshot_through_encrypted_glue() {
 
     let text = intro.metrics_text().unwrap();
     assert!(!text.is_empty(), "snapshot must not be empty");
-    assert_eq!(intro.gp().last_protocol().unwrap(), "glue[security]->tcp");
+    assert_eq!(intro.gp().last_protocol().as_deref().unwrap(), "glue[security]->tcp");
 
     // ≥1 selection event from this test's own calls.
     let selections = intro.counter_total("orb_selection_total".into()).unwrap();
@@ -107,7 +107,7 @@ fn flight_recorder_dump_through_encrypted_glue() {
         .unwrap();
     let intro = IntrospectionClient::new(dep.client_gp(m_client, intro_or));
     let dump = intro.dump_traces().unwrap();
-    assert_eq!(intro.gp().last_protocol().unwrap(), "glue[security]->tcp");
+    assert_eq!(intro.gp().last_protocol().as_deref().unwrap(), "glue[security]->tcp");
 
     let needle = format!("trace={trace_id:032x}");
     let trace_lines: Vec<&str> =

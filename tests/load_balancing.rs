@@ -125,7 +125,7 @@ fn migration_to_client_machine_switches_to_shared_memory() {
     let client = WeatherClient::new(bed.dep.client_gp(client_machine, or));
 
     client.regions().unwrap();
-    assert_eq!(client.gp().last_protocol().unwrap(), "tcp");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "tcp");
 
     let t0 = bed.dep.net.clock().now();
     client.get_map("atlantic".into()).unwrap();
@@ -134,7 +134,7 @@ fn migration_to_client_machine_switches_to_shared_memory() {
     manager.migrate(object, &bed.contexts[1], &rows).unwrap();
 
     client.regions().unwrap(); // chases the tombstone, reselects
-    assert_eq!(client.gp().last_protocol().unwrap(), "shm");
+    assert_eq!(client.gp().last_protocol().as_deref().unwrap(), "shm");
     let t1 = bed.dep.net.clock().now();
     client.get_map("atlantic".into()).unwrap();
     let local_time = bed.dep.net.clock().now().saturating_sub(t1);

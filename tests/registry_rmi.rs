@@ -55,7 +55,7 @@ fn bootstrap_everything_through_a_remote_registry() {
         dep.net.cluster().location_of(m_client),
     ));
     assert_eq!(weather.regions().unwrap().len(), 3);
-    assert_eq!(weather.gp().last_protocol().unwrap(), "glue[timeout]->tcp");
+    assert_eq!(weather.gp().last_protocol().as_deref().unwrap(), "glue[timeout]->tcp");
 
     // Listing and unbinding over RMI.
     assert_eq!(reg_client.list("svc/".into()).unwrap(), vec!["svc/weather"]);
