@@ -1,0 +1,11 @@
+//! Unbalanced glue hop: the client applies the request chain once but
+//! unprocesses the reply chain twice — the second unprocess undoes
+//! transformations no sender ever applied, and the body comes out garbage.
+
+fn relay(chain: &CapabilityChain, call: &CallInfo, body: Bytes) -> Result<Bytes, OrbError> {
+    let wire = process_chain(chain, Direction::Request, call, body)?;
+    let reply = transmit(wire)?;
+    let once = unprocess_chain(chain, Direction::Reply, call, &[], reply)?;
+    let twice = unprocess_chain(chain, Direction::Reply, call, &[], once)?; //~ glue-balance
+    Ok(twice)
+}

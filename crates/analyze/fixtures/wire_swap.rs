@@ -1,0 +1,24 @@
+//! The classic silent-corruption codec bug: encode writes `name` then
+//! `payload`, decode reads them in the opposite order. Round-trip tests
+//! catch this only for values where the two fields happen to be
+//! interchangeable; wire-symmetry proves the op sequences diverge.
+
+struct SwappedMeta {
+    name: String,
+    payload: Bytes,
+}
+
+impl XdrEncode for SwappedMeta {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_string(&self.name);
+        w.put_opaque(&self.payload);
+    }
+}
+
+impl XdrDecode for SwappedMeta { //~ wire-symmetry
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        let payload = r.get_opaque()?;
+        let name = r.get_string()?;
+        Ok(SwappedMeta { name, payload })
+    }
+}

@@ -1,0 +1,33 @@
+//! The PR 8 hazard shape: two union arms claiming the same wire tag, and a
+//! tag dispatch with no unknown-tag arm. Both ends "agree" on the bytes but
+//! not on their meaning, and a frame from a newer peer has no defined
+//! failure path.
+
+enum ProtoFrame {
+    Text(String),
+    Counter(u64),
+}
+
+impl XdrEncode for ProtoFrame {
+    fn encode(&self, w: &mut XdrWriter) {
+        match self {
+            ProtoFrame::Text(s) => {
+                w.put_u32(3);
+                w.put_string(s);
+            }
+            ProtoFrame::Counter(x) => { //~ wire-compat
+                w.put_u32(3);
+                w.put_u64(*x);
+            }
+        }
+    }
+}
+
+impl XdrDecode for ProtoFrame {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        match r.get_u32()? { //~ wire-compat
+            3 => Ok(ProtoFrame::Text(r.get_string()?)),
+            3 => Ok(ProtoFrame::Counter(r.get_u64()?)), //~ wire-compat
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The PR 7 compat hazard: a field written after the trailing extension.
+//! A legacy peer treats everything past the base frame as extension
+//! payload, so the checksum would be silently swallowed (or corrupt the
+//! extension). Extensions are only backward compatible as the final field.
+
+struct Extended {
+    version: u32,
+    extra: Bytes,
+    checksum: u64,
+}
+
+impl XdrEncode for Extended {
+    fn encode(&self, w: &mut XdrWriter) {
+        w.put_u32(self.version);
+        w.put_trailing_extension(1, &self.extra);
+        w.put_u64(self.checksum); //~ wire-compat
+    }
+}
+
+impl XdrDecode for Extended {
+    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+        let version = r.get_u32()?;
+        let extra = r.get_trailing_extension()?;
+        let checksum = r.get_u64()?; //~ wire-compat
+        Ok(Extended { version, extra, checksum })
+    }
+}

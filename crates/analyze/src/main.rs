@@ -7,11 +7,16 @@
 //!   (potential deadlocks), followed interprocedurally across crates.
 //! * `panic-freedom` — no `unwrap`/`expect`/panicking macros/slice indexing
 //!   in the non-test code of the wire-facing crates.
-//! * `cap-symmetry` — capability impls handle both `Direction` arms
-//!   explicitly, and every capability `NAME` is registered in
-//!   `register_standard`.
-//! * `xdr-pairing` — every `XdrEncode` impl has a matching `XdrDecode` and
-//!   a round-trip property test.
+//! * `wire-symmetry` — every codec's decode op-sequence (recovered by the
+//!   wireshape abstract interpreter) mirrors its encode exactly, per tag
+//!   arm; plus the pairing/round-trip-coverage checks inherited from the
+//!   retired `xdr-pairing` token scan.
+//! * `wire-compat` — wire tags are unique, decode has an explicit
+//!   unknown-tag arm, and optional extensions are trailing-only.
+//! * `glue-balance` — capability `process`/`unprocess` hops balance as a
+//!   stack along every call-graph path (interprocedural re-implementation
+//!   of the retired `cap-symmetry`, whose Direction-wildcard and registry
+//!   checks ride along).
 //! * `transport-unwrap` — no unwrap on values tainted by transport calls.
 //! * `guard-across-blocking` — no lock guard live across a blocking wire
 //!   operation, sleep, or a callee that transitively blocks.
@@ -49,21 +54,22 @@ use ohpc_analyze::{baseline, report, rules, source};
 const USAGE: &str = "\
 usage: ohpc-analyze [--deny-all] [--root <dir>] [--rule <id>]...
                     [--format text|json] [--baseline <file>] [--no-baseline]
-                    [--emit-baseline]
+                    [--emit-baseline] [--timings]
 
   --deny-all         promote every finding to deny (the CI configuration)
   --root <dir>       workspace root (default: nearest ancestor with [workspace])
   --rule <id>        run only the named rule(s); repeatable.
-                     ids: lock-order, panic-freedom, cap-symmetry, xdr-pairing,
-                     transport-unwrap, guard-across-blocking, bounded-recv,
-                     unbounded-spawn, telemetry-coverage, shared-state,
-                     epoch-bump, annotation
+                     ids: lock-order, panic-freedom, wire-symmetry, wire-compat,
+                     glue-balance, transport-unwrap, guard-across-blocking,
+                     bounded-recv, unbounded-spawn, telemetry-coverage,
+                     shared-state, epoch-bump, annotation
   --format text|json text (default): one line per finding;
                      json: SARIF 2.1.0 on stdout (for CI artifacts)
   --baseline <file>  suppress findings listed in <file>
                      (default: crates/analyze/baseline.txt when it exists)
   --no-baseline      ignore any baseline file
   --emit-baseline    print the current findings in baseline form and exit 0
+  --timings          print per-pass wall times to stderr (CI budget blame)
 ";
 
 fn main() -> ExitCode {
@@ -74,6 +80,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut no_baseline = false;
     let mut emit_baseline = false;
+    let mut timings = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -100,6 +107,7 @@ fn main() -> ExitCode {
             },
             "--no-baseline" => no_baseline = true,
             "--emit-baseline" => emit_baseline = true,
+            "--timings" => timings = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -124,7 +132,14 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = rules::run_all(&files, deny_all, &only);
+    let (diags, pass_times) = rules::run_all_timed(&files, deny_all, &only);
+    if timings {
+        let total: std::time::Duration = pass_times.iter().map(|(_, d)| *d).sum();
+        eprintln!("ohpc-analyze: per-pass timings ({} ms total):", total.as_millis());
+        for (name, d) in &pass_times {
+            eprintln!("ohpc-analyze:   {:<20} {:>8.1} ms", name, d.as_secs_f64() * 1e3);
+        }
+    }
 
     if emit_baseline {
         print!("{}", baseline::render(&diags));

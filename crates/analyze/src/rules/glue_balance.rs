@@ -1,0 +1,679 @@
+//! Rule `glue-balance`: capability glue must be applied and removed
+//! symmetrically along every call-graph path a message takes.
+//!
+//! The paper's capability model wraps each message in a chain of
+//! transformations: the client *processes* the request chain, the server
+//! *unprocesses* it, the server *processes* the reply chain, the client
+//! *unprocesses* that. If any hop is missing or doubled on some path —
+//! a retry path that re-encodes without re-processing, an error return
+//! between unprocess and the reply processing — the receiver undoes
+//! transformations the sender never applied (or vice versa) and the body
+//! is garbage.
+//!
+//! The core check models `process_chain`/`unprocess_chain` call sites as
+//! stack operations and validates every call-graph path from each root
+//! (interprocedurally — callee hop sequences are spliced into callers in
+//! token order, memoized, cycle-cut):
+//!
+//! * `process(Request)` opens a client region; it is closed by
+//!   `unprocess(Reply)` — or by an immediately following
+//!   `unprocess(Request)` when both endpoints live on the same path (the
+//!   in-process loopback shape the overhead benchmark uses).
+//! * `unprocess(Request)` (no open client region) opens a server region,
+//!   closed by `process(Reply)`.
+//! * A close with no matching open, or an open left dangling at the end of
+//!   a root path, is a deny — except a dangling `process(Request)` inside
+//!   a `*oneway*` function, which legitimately never sees a reply.
+//!
+//! Hops whose `Direction` is not a literal (passed through a variable) are
+//! out of model and skipped. Two shallow checks from the retired
+//! `cap-symmetry` token scan ride along under this rule id:
+//!
+//! * no `_ =>` wildcard in a `match` over `Direction` inside a
+//!   `impl Capability for …` block (`Direction` has exactly two variants;
+//!   a wildcard silently drops one side of the protocol);
+//! * every capability `NAME` declared by an `ohpc-caps` module must be
+//!   registered in `register_standard`, or peers cannot build chains
+//!   carrying it.
+
+use std::collections::HashMap;
+
+use crate::graph::Workspace;
+use crate::lexer::TokKind;
+use crate::rules::{fn_bodies, Diagnostic, Severity};
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "glue-balance";
+
+/// Crates that define or implement capabilities (direction-match check).
+const TARGET_CRATES: &[&str] = &["ohpc-caps", "ohpc-orb"];
+
+/// Entry point.
+pub fn run(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        if !TARGET_CRATES.contains(&f.crate_name.as_str()) || f.in_tests_dir {
+            continue;
+        }
+        check_direction_matches(f, diags);
+    }
+    check_registration(files, diags);
+    check_stack_balance(files, ws, diags);
+}
+
+/// One glue hop: which chain operation, on which direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hop {
+    ProcessReq,
+    UnprocessReq,
+    ProcessRep,
+    UnprocessRep,
+}
+
+impl Hop {
+    fn describe(self) -> &'static str {
+        match self {
+            Hop::ProcessReq => "process_chain(Request)",
+            Hop::UnprocessReq => "unprocess_chain(Request)",
+            Hop::ProcessRep => "process_chain(Reply)",
+            Hop::UnprocessRep => "unprocess_chain(Reply)",
+        }
+    }
+}
+
+/// A hop with its source location and owning function (for the oneway
+/// exemption).
+#[derive(Debug, Clone, Copy)]
+struct HopSite {
+    hop: Hop,
+    file: usize,
+    line: u32,
+    owner: usize,
+}
+
+/// The interprocedural stack check.
+fn check_stack_balance(files: &[SourceFile], ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    // Effective hop sequence per fn: direct hops and spliced callees in
+    // token order.
+    let mut memo: Vec<Option<Vec<HopSite>>> = vec![None; ws.fns.len()];
+    let mut active = vec![false; ws.fns.len()];
+    for id in 0..ws.fns.len() {
+        eff_seq(id, files, ws, &mut memo, &mut active);
+    }
+    let eff = |id: usize| memo[id].as_deref().unwrap_or(&[]);
+
+    // Roots: fns with hops that no caller's sequence already covers.
+    let mut findings: Vec<(usize, u32, String)> = Vec::new();
+    for id in 0..ws.fns.len() {
+        if eff(id).is_empty() {
+            continue;
+        }
+        let covered = ws.callers[id].iter().any(|&c| c != id && !eff(c).is_empty());
+        if covered {
+            continue;
+        }
+        validate_path(eff(id), &ws.fns[id].name, ws, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+    findings.dedup();
+    for (file, line, message) in findings {
+        let f = &files[file];
+        if f.allowed(RULE, line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: f.path.clone(),
+            line,
+            rule: RULE,
+            severity: Severity::Deny,
+            message,
+        });
+    }
+}
+
+/// Compute fn `id`'s effective hop sequence (memoized DFS; cycles cut to
+/// empty).
+fn eff_seq(
+    id: usize,
+    files: &[SourceFile],
+    ws: &Workspace,
+    memo: &mut Vec<Option<Vec<HopSite>>>,
+    active: &mut Vec<bool>,
+) -> Vec<HopSite> {
+    if let Some(seq) = &memo[id] {
+        return seq.clone();
+    }
+    if active[id] || ws.fns[id].is_test {
+        return Vec::new();
+    }
+    active[id] = true;
+    let mut seq = Vec::new();
+    for (ci, c) in ws.calls[id].iter().enumerate() {
+        if let Some(hop) = hop_of(files, ws.fns[id].file, c) {
+            seq.push(HopSite { hop, file: ws.fns[id].file, line: c.line, owner: id });
+            continue;
+        }
+        // Splice the first resolved target that carries hops.
+        for &t in &ws.targets[id][ci] {
+            let sub = eff_seq(t, files, ws, memo, active);
+            if !sub.is_empty() {
+                seq.extend(sub);
+                break;
+            }
+        }
+    }
+    active[id] = false;
+    memo[id] = Some(seq.clone());
+    seq
+}
+
+/// Classify a call site as a glue hop: `process_chain`/`unprocess_chain`
+/// with a literal `Direction::Request`/`Direction::Reply` argument.
+fn hop_of(files: &[SourceFile], file: usize, c: &crate::graph::CallSite) -> Option<Hop> {
+    let process = match c.name.as_str() {
+        "process_chain" => true,
+        "unprocess_chain" => false,
+        _ => return None,
+    };
+    let f = &files[file];
+    let toks = &f.tokens;
+    let open = (c.tok + 1..toks.len().min(c.tok + 3)).find(|&j| toks[j].is_punct('('))?;
+    let close = f.close_of.get(&open).copied()?;
+    for j in open + 1..close.saturating_sub(2) {
+        if toks[j].is_ident("Direction")
+            && toks[j + 1].is_punct(':')
+            && toks[j + 2].is_punct(':')
+        {
+            return match toks.get(j + 3).map(|t| t.text.as_str()) {
+                Some("Request") => Some(if process { Hop::ProcessReq } else { Hop::UnprocessReq }),
+                Some("Reply") => Some(if process { Hop::ProcessRep } else { Hop::UnprocessRep }),
+                _ => None,
+            };
+        }
+    }
+    None // direction passed through a variable: out of model
+}
+
+/// Validate one root path's hop sequence as a stack.
+fn validate_path(
+    seq: &[HopSite],
+    root_name: &str,
+    ws: &Workspace,
+    findings: &mut Vec<(usize, u32, String)>,
+) {
+    let mut stack: Vec<HopSite> = Vec::new();
+    for s in seq {
+        match s.hop {
+            Hop::ProcessReq => stack.push(*s),
+            Hop::UnprocessReq => {
+                // Loopback: both endpoints on one path (benchmarks, local
+                // transports) — the unprocess closes the client's own
+                // process of the same direction.
+                if stack.last().is_some_and(|t| t.hop == Hop::ProcessReq) {
+                    stack.pop();
+                } else {
+                    stack.push(*s);
+                }
+            }
+            Hop::ProcessRep => {
+                if stack.last().is_some_and(|t| t.hop == Hop::UnprocessReq) {
+                    stack.pop();
+                } else {
+                    findings.push((s.file, s.line, format!(
+                        "{} with no open server region — no unprocess_chain(Request) \
+                         precedes it on the path from `{root_name}`; the reply glue \
+                         would wrap a request that was never unwrapped",
+                        s.hop.describe()
+                    )));
+                }
+            }
+            Hop::UnprocessRep => {
+                if stack.last().is_some_and(|t| t.hop == Hop::ProcessReq) {
+                    stack.pop();
+                } else {
+                    findings.push((s.file, s.line, format!(
+                        "{} with no matching process_chain(Request) on the path from \
+                         `{root_name}`; it undoes transformations that were never applied",
+                        s.hop.describe()
+                    )));
+                }
+            }
+        }
+    }
+    for s in stack {
+        let owner_name = &ws.fns[s.owner].name;
+        if s.hop == Hop::ProcessReq
+            && (owner_name.contains("oneway") || root_name.contains("oneway"))
+        {
+            continue; // oneway sends legitimately never see a reply
+        }
+        let close = match s.hop {
+            Hop::ProcessReq => "unprocess_chain(Reply)",
+            _ => "process_chain(Reply)",
+        };
+        findings.push((s.file, s.line, format!(
+            "{} is never closed by {} on the path from `{root_name}`; some branch \
+             returns with the glue still applied",
+            s.hop.describe(),
+            close
+        )));
+    }
+}
+
+/// Check: no `_ =>` in matches over `Direction` inside Capability impls.
+fn check_direction_matches(f: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    for i in 0..toks.len() {
+        // `impl Capability for <Type>` (the trait is not generic).
+        if !(toks[i].is_ident("impl")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("Capability"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("for")))
+        {
+            continue;
+        }
+        if f.is_test_tok(i) || f.in_macro_def(i) {
+            continue;
+        }
+        // Find the impl body.
+        let Some(open) = (i + 3..toks.len()).find(|&j| toks[j].is_punct('{')) else { continue };
+        let Some(&close) = f.close_of.get(&open) else { continue };
+
+        let mut j = open + 1;
+        while j < close {
+            if toks[j].is_ident("match") {
+                if let Some((arms_open, arms_close)) = match_arms_block(f, j, close) {
+                    check_one_match(f, arms_open, arms_close, diags);
+                    j = arms_open; // nested matches still visited
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// From a `match` keyword, find the `{` of its arms (the first `{` outside
+/// any parens/brackets opened by the scrutinee expression).
+fn match_arms_block(f: &SourceFile, match_tok: usize, limit: usize) -> Option<(usize, usize)> {
+    let toks = &f.tokens;
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().take(limit).skip(match_tok + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth <= 0 {
+            return f.close_of.get(&j).map(|&c| (j, c));
+        }
+    }
+    None
+}
+
+/// Inside one match-arms block, report a wildcard arm if any arm pattern
+/// names `Direction::…`.
+fn check_one_match(f: &SourceFile, open: usize, close: usize, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.tokens;
+    let mut brace = 0i32;
+    let mut paren = 0i32;
+    let mut has_direction_pattern = false;
+    let mut wildcard_at: Option<usize> = None;
+
+    for j in open + 1..close {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            "(" | "[" => paren += 1,
+            ")" | "]" => paren -= 1,
+            _ => {}
+        }
+        if brace > 0 {
+            continue; // inside an arm body
+        }
+        // `Direction :: X` in pattern position (followed by `=>`, `|` or
+        // `if` guard) at arm level.
+        if t.is_ident("Direction")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 3).map(|t| t.kind) == Some(TokKind::Ident)
+        {
+            let after = toks.get(j + 4);
+            let arrow = after.is_some_and(|t| t.is_punct('='))
+                && toks.get(j + 5).is_some_and(|t| t.is_punct('>'));
+            let alt = after.is_some_and(|t| t.is_punct('|') || t.is_ident("if"));
+            if arrow || alt {
+                has_direction_pattern = true;
+            }
+        }
+        // `_ =>` at arm level.
+        if paren <= 0
+            && t.is_ident("_")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('>'))
+        {
+            wildcard_at = Some(j);
+        }
+    }
+
+    if has_direction_pattern {
+        if let Some(w) = wildcard_at {
+            let line = toks[w].line;
+            if f.allowed(RULE, line) {
+                return;
+            }
+            diags.push(Diagnostic {
+                file: f.path.clone(),
+                line,
+                rule: RULE,
+                severity: Severity::Deny,
+                message: "match on Direction inside a Capability impl uses a `_` wildcard; \
+                          handle Direction::Request and Direction::Reply explicitly"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Check: every capability `NAME` const is registered in
+/// `register_standard`.
+fn check_registration(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // Collect `pub const NAME` declarations from ohpc-caps modules:
+    // module stem -> (file path, line, literal value if found).
+    let mut names: HashMap<String, (String, u32, String)> = HashMap::new();
+    for f in files {
+        if f.crate_name != "ohpc-caps" || f.in_tests_dir {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if !(toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.is_ident("NAME")))
+            {
+                continue;
+            }
+            if f.is_test_tok(i) || f.in_macro_def(i) {
+                continue;
+            }
+            let value = (i + 2..(i + 12).min(toks.len()))
+                .find(|&j| toks[j].kind == TokKind::Str)
+                .map(|j| toks[j].text.clone())
+                .unwrap_or_default();
+            let stem = f
+                .path
+                .rsplit('/')
+                .next()
+                .unwrap_or(&f.path)
+                .trim_end_matches(".rs")
+                .to_string();
+            names.insert(stem, (f.path.clone(), toks[i].line, value));
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+
+    // Find register_standard's body tokens in ohpc-caps.
+    let mut reg: Option<(&SourceFile, usize, usize, u32)> = None;
+    for f in files {
+        if f.crate_name != "ohpc-caps" || f.in_tests_dir {
+            continue;
+        }
+        for (name, fn_tok, open, close) in fn_bodies(f) {
+            if name == "register_standard" && !f.is_test_tok(fn_tok) {
+                reg = Some((f, open, close, f.tokens[fn_tok].line));
+            }
+        }
+    }
+    let Some((reg_file, open, close, reg_line)) = reg else {
+        let (path, line, _) = names.values().next().cloned().unwrap_or_default();
+        diags.push(Diagnostic {
+            file: path,
+            line,
+            rule: RULE,
+            severity: Severity::Deny,
+            message: "ohpc-caps declares capability NAME consts but has no register_standard \
+                      function to install their constructors"
+                .to_string(),
+        });
+        return;
+    };
+
+    // A module is registered when `module :: NAME` appears in the body.
+    let toks = &reg_file.tokens;
+    let mut stems: Vec<&String> = names.keys().collect();
+    stems.sort();
+    for stem in stems {
+        let (path, line, value) = &names[stem];
+        let mut found = false;
+        for j in open..close.saturating_sub(2) {
+            if toks[j].is_ident(stem)
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].is_punct(':')
+                && toks.get(j + 3).is_some_and(|t| t.is_ident("NAME"))
+            {
+                found = true;
+                break;
+            }
+        }
+        if !found && !reg_file.allowed(RULE, reg_line) {
+            diags.push(Diagnostic {
+                file: path.clone(),
+                line: *line,
+                rule: RULE,
+                severity: Severity::Deny,
+                message: format!(
+                    "capability '{}' ({}::NAME) has no registry constructor in \
+                     register_standard; peers cannot build chains that carry it",
+                    value, stem
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps_file(path: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(path, "ohpc-caps", false, src)
+    }
+
+    fn balance_on(src: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::from_source("crates/orb/src/glue.rs", "ohpc-orb", false, src)];
+        let ws = Workspace::build(&files);
+        let mut diags = Vec::new();
+        check_stack_balance(&files, &ws, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn balanced_invoke_path_is_clean() {
+        let diags = balance_on(
+            r#"
+            fn invoke(chain: &CapabilityChain, call: &CallInfo, body: Bytes) -> Result<Bytes, OrbError> {
+                let wire = process_chain(chain, Direction::Request, call, body)?;
+                let reply = send(wire)?;
+                unprocess_chain(chain, Direction::Reply, call, &metas, reply)
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn balanced_server_path_is_clean() {
+        let diags = balance_on(
+            r#"
+            fn handle(chain: &CapabilityChain, call: &CallInfo, wire: Bytes) -> Result<Bytes, OrbError> {
+                let body = unprocess_chain(chain, Direction::Request, call, &metas, wire)?;
+                let reply = dispatch(body)?;
+                process_chain(chain, Direction::Reply, call, reply)
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn loopback_process_unprocess_same_direction_is_clean() {
+        let diags = balance_on(
+            r#"
+            fn measure(chain: &CapabilityChain, call: &CallInfo, body: Bytes) {
+                let wire = process_chain(chain, Direction::Request, call, body).unwrap_err();
+                let back = unprocess_chain(chain, Direction::Request, call, &metas, wire);
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unmatched_reply_unprocess_is_a_deny() {
+        let diags = balance_on(
+            r#"
+            fn broken(chain: &CapabilityChain, call: &CallInfo, reply: Bytes) {
+                let a = unprocess_chain(chain, Direction::Reply, call, &metas, reply);
+            }
+            "#,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("no matching process_chain(Request)"));
+    }
+
+    #[test]
+    fn dangling_request_process_is_a_deny_except_oneway() {
+        let diags = balance_on(
+            r#"
+            fn send_and_forget(chain: &CapabilityChain, call: &CallInfo, body: Bytes) {
+                let wire = process_chain(chain, Direction::Request, call, body);
+                transmit(wire);
+            }
+            fn invoke_oneway(chain: &CapabilityChain, call: &CallInfo, body: Bytes) {
+                let wire = process_chain(chain, Direction::Request, call, body);
+                transmit(wire);
+            }
+            "#,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("never closed"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn hops_are_followed_through_helpers() {
+        let diags = balance_on(
+            r#"
+            fn apply(chain: &CapabilityChain, call: &CallInfo, body: Bytes) -> Bytes {
+                process_chain(chain, Direction::Request, call, body)
+            }
+            fn invoke(chain: &CapabilityChain, call: &CallInfo, body: Bytes) -> Result<Bytes, OrbError> {
+                let wire = apply(chain, call, body);
+                let reply = send(wire)?;
+                unprocess_chain(chain, Direction::Reply, call, &metas, reply)
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    const ONE_SIDED_IMPL: &str = r#"
+        impl Capability for BrokenCap {
+            fn process(&self, dir: Direction, body: Bytes) -> Result<Bytes, CapError> {
+                match dir {
+                    Direction::Request => Ok(transform(body)),
+                    _ => Ok(body),
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn wildcard_direction_arm_is_flagged() {
+        let f = caps_file("crates/caps/src/broken.rs", ONE_SIDED_IMPL);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn explicit_both_arms_is_clean() {
+        let src = r#"
+            impl Capability for GoodCap {
+                fn process(&self, dir: Direction, body: Bytes) -> Result<Bytes, CapError> {
+                    match dir {
+                        Direction::Request => Ok(transform(body)),
+                        Direction::Reply => Ok(body),
+                    }
+                }
+            }
+        "#;
+        let f = caps_file("crates/caps/src/good.rs", src);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wildcard_on_other_enums_is_fine() {
+        let src = r#"
+            impl Capability for OkCap {
+                fn process(&self, dir: Direction, body: Bytes) -> Result<Bytes, CapError> {
+                    match classify(&body) {
+                        Kind::Big => Ok(shrink(body)),
+                        _ => Ok(body),
+                    }
+                }
+            }
+        "#;
+        let f = caps_file("crates/caps/src/okcap.rs", src);
+        let mut diags = Vec::new();
+        check_direction_matches(&f, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unregistered_capability_is_flagged() {
+        let module = caps_file(
+            "crates/caps/src/ghost.rs",
+            r#"pub const NAME: &str = "ghost";"#,
+        );
+        let lib = caps_file(
+            "crates/caps/src/lib.rs",
+            r#"
+            pub const OTHER: u32 = 0;
+            pub fn register_standard(registry: &CapabilityRegistry) {
+                registry.register(logging::NAME, |_| Ok(Box::new(LogCap)));
+            }
+            "#,
+        );
+        let logging = caps_file(
+            "crates/caps/src/logging.rs",
+            r#"pub const NAME: &str = "log";"#,
+        );
+        let mut diags = Vec::new();
+        check_registration(&[module, lib, logging], &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("ghost"), "{}", diags[0].message);
+        assert!(diags[0].file.contains("ghost.rs"));
+    }
+
+    #[test]
+    fn fully_registered_is_clean() {
+        let module = caps_file(
+            "crates/caps/src/timeout.rs",
+            r#"pub const NAME: &str = "timeout";"#,
+        );
+        let lib = caps_file(
+            "crates/caps/src/lib.rs",
+            r#"
+            pub fn register_standard(registry: &CapabilityRegistry) {
+                registry.register(timeout::NAME, |s| TimeoutCap::build(s));
+            }
+            "#,
+        );
+        let mut diags = Vec::new();
+        check_registration(&[module, lib], &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

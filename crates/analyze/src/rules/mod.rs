@@ -2,8 +2,8 @@
 //! rule over the lexed workspace.
 
 pub mod bounded_recv;
-pub mod cap_symmetry;
 pub mod epoch_bump;
+pub mod glue_balance;
 pub mod guard_blocking;
 pub mod lock_order;
 pub mod panic_free;
@@ -11,7 +11,10 @@ pub mod shared_state;
 pub mod telemetry_coverage;
 pub mod transport_unwrap;
 pub mod unbounded_spawn;
-pub mod xdr_pairing;
+pub mod wire_compat;
+pub mod wire_symmetry;
+
+use std::time::{Duration, Instant};
 
 use crate::graph::Workspace;
 use crate::source::SourceFile;
@@ -41,8 +44,8 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`lock-order`, `panic-freedom`, `cap-symmetry`,
-    /// `xdr-pairing`, `annotation`).
+    /// Rule id (`lock-order`, `panic-freedom`, `wire-symmetry`,
+    /// `glue-balance`, `annotation`, …).
     pub rule: &'static str,
     /// Severity after any `--deny-all` promotion.
     pub severity: Severity,
@@ -67,8 +70,9 @@ pub const RULE_ANNOTATION: &str = "annotation";
 pub const ALL_RULES: &[&str] = &[
     lock_order::RULE,
     panic_free::RULE,
-    cap_symmetry::RULE,
-    xdr_pairing::RULE,
+    wire_symmetry::RULE,
+    wire_compat::RULE,
+    glue_balance::RULE,
     transport_unwrap::RULE,
     guard_blocking::RULE,
     bounded_recv::RULE,
@@ -82,52 +86,78 @@ pub const ALL_RULES: &[&str] = &[
 /// Run every rule. With `deny_all`, every finding is promoted to `Deny`
 /// (the CI configuration). `only` optionally restricts to a subset of rules.
 pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Diagnostic> {
+    run_all_timed(files, deny_all, only).0
+}
+
+/// [`run_all`], also returning per-pass wall times so the CI self-time
+/// budget can attribute blame (`--timings`).
+pub fn run_all_timed(
+    files: &[SourceFile],
+    deny_all: bool,
+    only: &[String],
+) -> (Vec<Diagnostic>, Vec<(&'static str, Duration)>) {
     let mut diags = Vec::new();
+    let mut timings: Vec<(&'static str, Duration)> = Vec::new();
     let want = |rule: &str| only.is_empty() || only.iter().any(|r| r == rule);
+    macro_rules! pass {
+        ($name:expr, $body:expr) => {{
+            let t0 = Instant::now();
+            let out = $body;
+            timings.push(($name, t0.elapsed()));
+            out
+        }};
+    }
 
     // The interprocedural rules share one symbol table / call graph.
-    let ws = Workspace::build(files);
+    let ws = pass!("workspace-graph", Workspace::build(files));
 
     if want(lock_order::RULE) {
-        lock_order::run(files, &ws, &mut diags);
+        pass!(lock_order::RULE, lock_order::run(files, &ws, &mut diags));
     }
     if want(panic_free::RULE) {
-        panic_free::run(files, &mut diags);
+        pass!(panic_free::RULE, panic_free::run(files, &mut diags));
     }
-    if want(cap_symmetry::RULE) {
-        cap_symmetry::run(files, &mut diags);
+    if want(wire_symmetry::RULE) || want(wire_compat::RULE) {
+        // Both wire rules read the same codec universe; interpret once.
+        let universe = pass!("wireshape-interp", crate::wireshape::build(files, &ws));
+        if want(wire_symmetry::RULE) {
+            pass!(wire_symmetry::RULE, wire_symmetry::run(files, &universe, &mut diags));
+        }
+        if want(wire_compat::RULE) {
+            pass!(wire_compat::RULE, wire_compat::run(files, &universe, &mut diags));
+        }
     }
-    if want(xdr_pairing::RULE) {
-        xdr_pairing::run(files, &mut diags);
+    if want(glue_balance::RULE) {
+        pass!(glue_balance::RULE, glue_balance::run(files, &ws, &mut diags));
     }
     if want(transport_unwrap::RULE) {
-        transport_unwrap::run(files, &mut diags);
+        pass!(transport_unwrap::RULE, transport_unwrap::run(files, &mut diags));
     }
     if want(guard_blocking::RULE) {
-        guard_blocking::run(files, &ws, &mut diags);
+        pass!(guard_blocking::RULE, guard_blocking::run(files, &ws, &mut diags));
     }
     if want(bounded_recv::RULE) {
-        bounded_recv::run(files, &ws, &mut diags);
+        pass!(bounded_recv::RULE, bounded_recv::run(files, &ws, &mut diags));
     }
     if want(unbounded_spawn::RULE) {
-        unbounded_spawn::run(files, &ws, &mut diags);
+        pass!(unbounded_spawn::RULE, unbounded_spawn::run(files, &ws, &mut diags));
     }
     if want(telemetry_coverage::RULE) {
-        telemetry_coverage::run(files, &ws, &mut diags);
+        pass!(telemetry_coverage::RULE, telemetry_coverage::run(files, &ws, &mut diags));
     }
     if want(shared_state::RULE) || want(epoch_bump::RULE) {
         // Field-access extraction + entry-lockset fixpoint, computed once
         // and shared by both lockset-family rules.
-        let facts = crate::dataflow::field_facts(files, &ws);
+        let facts = pass!("field-facts", crate::dataflow::field_facts(files, &ws));
         if want(shared_state::RULE) {
-            shared_state::run(files, &ws, &facts, &mut diags);
+            pass!(shared_state::RULE, shared_state::run(files, &ws, &facts, &mut diags));
         }
         if want(epoch_bump::RULE) {
-            epoch_bump::run(files, &ws, &facts, &mut diags);
+            pass!(epoch_bump::RULE, epoch_bump::run(files, &ws, &facts, &mut diags));
         }
     }
     if want(RULE_ANNOTATION) {
-        annotation_hygiene(files, only.is_empty(), &mut diags);
+        pass!(RULE_ANNOTATION, annotation_hygiene(files, only.is_empty(), &mut diags));
     }
 
     if deny_all {
@@ -136,7 +166,7 @@ pub fn run_all(files: &[SourceFile], deny_all: bool, only: &[String]) -> Vec<Dia
         }
     }
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    diags
+    (diags, timings)
 }
 
 /// Annotation hygiene: a suppression without a reason is itself a finding —

@@ -1,0 +1,229 @@
+//! Rule `wire-compat`: the wire format must stay evolvable — discriminant
+//! tags unique, unknown tags rejected explicitly, extensions trailing-only.
+//!
+//! Three checks over the [`crate::wireshape`] IR (plus the `fn tag()` maps
+//! it recovers), all deny:
+//!
+//! * **tag collisions** — two arms of a discriminated union sharing a wire
+//!   tag (in a `fn tag()` map, a per-arm `put_u32(<lit>)`, or a decode
+//!   `match`) make frames ambiguous: the decoder resolves the collision
+//!   arbitrarily and the two ends disagree about what was sent.
+//! * **no unknown-tag arm** — a decode `match` over a wire tag without a
+//!   wildcard arm means a frame from a newer peer is a compile error
+//!   waiting to happen (non-exhaustive match) or a silent misparse; the
+//!   protocol's forward-compat story requires an explicit
+//!   `t => Err(InvalidDiscriminant(t))`-style arm.
+//! * **trailing-extension placement** — optional extensions are only
+//!   backward compatible while they are truly trailing: a field written
+//!   after `put_trailing_extension` (or an extension inside a repeated
+//!   group) would be consumed as extension payload by legacy peers, which
+//!   is exactly the corruption the PR 7 trace extension avoided by hand.
+
+use crate::rules::{Diagnostic, Severity};
+use crate::source::SourceFile;
+use crate::wireshape::{CodecUniverse, Op};
+
+/// Rule id.
+pub const RULE: &str = "wire-compat";
+
+/// Entry point.
+pub fn run(files: &[SourceFile], universe: &CodecUniverse, diags: &mut Vec<Diagnostic>) {
+    for (ty, tc) in &universe.types {
+        // Duplicate values in a `fn tag()` map.
+        if let Some((fi, line)) = tc.tag_site {
+            if !files[fi].allowed(RULE, line) {
+                for i in 0..tc.tag_map.len() {
+                    for j in i + 1..tc.tag_map.len() {
+                        if tc.tag_map[i].1 == tc.tag_map[j].1 {
+                            diags.push(Diagnostic {
+                                file: files[fi].path.clone(),
+                                line,
+                                rule: RULE,
+                                severity: Severity::Deny,
+                                message: format!(
+                                    "`{ty}::tag` maps variants `{}` and `{}` to the same wire \
+                                     tag {}; frames carrying them are indistinguishable",
+                                    tc.tag_map[i].0, tc.tag_map[j].0, tc.tag_map[i].1
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (side, is_decode) in [(&tc.encode, false), (&tc.decode, true)] {
+            let Some(side) = side else { continue };
+            let f = &files[side.file];
+            if f.allowed(RULE, side.line) {
+                continue;
+            }
+            check_ops(&side.ops, ty, is_decode, false, f, diags);
+        }
+    }
+}
+
+/// Recursive checks over one op sequence. `in_repeat` marks that we are
+/// inside a repeated group, where a trailing extension can never be
+/// trailing.
+fn check_ops(
+    ops: &[Op],
+    ty: &str,
+    is_decode: bool,
+    in_repeat: bool,
+    f: &SourceFile,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let side = if is_decode { "decode" } else { "encode" };
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::TrailingExt(_, line) => {
+                if in_repeat {
+                    push(diags, f, *line, format!(
+                        "`{ty}` {side} puts a trailing extension inside a repeated group; \
+                         it cannot be trailing there and legacy peers will misparse the \
+                         elements that follow"
+                    ));
+                } else if let Some(next) = ops.get(i + 1) {
+                    push(diags, f, next.line(), format!(
+                        "`{ty}` {side} has {} after the trailing extension (line {line}); \
+                         extensions are only backward compatible as the final field — \
+                         legacy peers treat everything after the base frame as extension \
+                         payload",
+                        next.describe()
+                    ));
+                }
+            }
+            Op::Repeat(body, _) => check_ops(body, ty, is_decode, true, f, diags),
+            Op::Branch(arms, line) => {
+                // Duplicate literal tags across arms.
+                let mut seen: Vec<(u32, u32)> = Vec::new(); // (tag, first line)
+                for arm in arms {
+                    for &t in &arm.tags {
+                        if let Some((_, first)) = seen.iter().find(|(tag, _)| *tag == t) {
+                            push(diags, f, arm.line, format!(
+                                "`{ty}` {side} has two arms for wire tag {t} (first at \
+                                 line {first}); the second can never match and senders/\
+                                 receivers disagree on what the tag means"
+                            ));
+                        } else {
+                            seen.push((t, arm.line));
+                        }
+                    }
+                }
+                // A decode dispatch on a wire tag must reject unknown tags
+                // explicitly.
+                let tag_keyed = arms.iter().any(|a| !a.tags.is_empty() || a.non_literal_tag);
+                if is_decode && tag_keyed && !arms.iter().any(|a| a.wildcard) {
+                    push(diags, f, *line, format!(
+                        "`{ty}` decode matches a wire tag with no unknown-tag arm; a frame \
+                         from a newer peer must fail cleanly (add `t => Err(…)`), not be \
+                         undefined"
+                    ));
+                }
+                for arm in arms {
+                    check_ops(&arm.ops, ty, is_decode, in_repeat, f, diags);
+                }
+            }
+            Op::Prim(..) | Op::Nested(..) => {}
+        }
+    }
+}
+
+fn push(diags: &mut Vec<Diagnostic>, f: &SourceFile, line: u32, message: String) {
+    if f.allowed(RULE, line) {
+        return;
+    }
+    diags.push(Diagnostic {
+        file: f.path.clone(),
+        line,
+        rule: RULE,
+        severity: Severity::Deny,
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+    use crate::wireshape;
+
+    fn run_on(src: &str) -> Vec<Diagnostic> {
+        let files =
+            vec![SourceFile::from_source("crates/xdr/src/meta.rs", "ohpc-xdr", false, src)];
+        let ws = Workspace::build(&files);
+        let universe = wireshape::build(&files, &ws);
+        let mut diags = Vec::new();
+        run(&files, &universe, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn duplicate_decode_tags_and_missing_wildcard_are_denies() {
+        let diags = run_on(
+            r#"
+            impl XdrDecode for Meta {
+                fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                    match r.get_u32()? {
+                        0 => Ok(Meta::A(r.get_string()?)),
+                        0 => Ok(Meta::B(r.get_u64()?)),
+                    }
+                }
+            }
+            "#,
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("two arms for wire tag 0")));
+        assert!(diags.iter().any(|d| d.message.contains("no unknown-tag arm")));
+    }
+
+    #[test]
+    fn duplicate_tag_fn_values_are_a_deny() {
+        let diags = run_on(
+            r#"
+            impl Meta {
+                fn tag(&self) -> u32 {
+                    match self { Meta::A(_) => 1, Meta::B => 1 }
+                }
+            }
+            "#,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("same wire tag 1"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn non_trailing_extension_is_a_deny() {
+        let diags = run_on(
+            r#"
+            impl XdrEncode for Meta {
+                fn encode(&self, w: &mut XdrWriter) {
+                    w.put_u32(self.kind);
+                    w.put_trailing_extension(1, &self.extra);
+                    w.put_u64(self.id);
+                }
+            }
+            "#,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("after the trailing extension"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn clean_tagged_union_passes() {
+        let diags = run_on(
+            r#"
+            impl XdrDecode for Meta {
+                fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                    match r.get_u32()? {
+                        0 => Ok(Meta::A(r.get_string()?)),
+                        1 => Ok(Meta::B(r.get_u64()?)),
+                        t => Err(XdrError::InvalidDiscriminant(t)),
+                    }
+                }
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

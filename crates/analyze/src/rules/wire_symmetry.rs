@@ -1,0 +1,514 @@
+//! Rule `wire-symmetry`: every codec's decode must be the exact mirror of
+//! its encode — same primitive ops, same order, same per-tag arm shapes.
+//!
+//! The wire format only works if `decode(encode(x)) == x` holds for every
+//! type that crosses it, and that property has structure: the abstract
+//! op sequence recovered by [`crate::wireshape`] for the decode side must
+//! mirror the encode side op for op — including inside loop bodies,
+//! trailing-extension payloads, and each arm of a discriminated union,
+//! where the arm's wire tag must also agree with what the encoder writes
+//! (per-arm `put_u32(<lit>)` or a shared `fn tag()` map).
+//!
+//! This subsumes the retired token-scan `xdr-pairing` rule, whose two
+//! shallow checks ride along unchanged:
+//!
+//! * an `XdrEncode` impl without a matching `XdrDecode` (or vice versa) is
+//!   a type only one side of the connection understands (warn);
+//! * a codec pair with no round-trip property test in the wire-format
+//!   suites (`crates/xdr/tests/`, `crates/orb/tests/`, `crates/caps/tests/`)
+//!   is an invariant nobody is checking (warn).
+//!
+//! Shape mismatches are deny: they are exactly the silent-corruption bugs
+//! (swapped fields, missing reads, tag drift) that round-trip tests catch
+//! only for the values they happen to generate.
+
+use std::collections::HashSet;
+
+use crate::lexer::TokKind;
+use crate::rules::{Diagnostic, Severity};
+use crate::source::SourceFile;
+use crate::wireshape::{Arm, CodecUniverse, Op};
+
+/// Rule id.
+pub const RULE: &str = "wire-symmetry";
+
+/// Directories whose test files count as round-trip coverage.
+const ROUNDTRIP_DIRS: &[&str] =
+    &["crates/xdr/tests/", "crates/orb/tests/", "crates/caps/tests/"];
+
+/// Entry point.
+pub fn run(files: &[SourceFile], universe: &CodecUniverse, diags: &mut Vec<Diagnostic>) {
+    // Idents appearing in the round-trip test suites.
+    let mut covered: HashSet<&str> = HashSet::new();
+    for f in files {
+        if !ROUNDTRIP_DIRS.iter().any(|d| f.path.starts_with(d)) {
+            continue;
+        }
+        for t in &f.tokens {
+            if t.kind == TokKind::Ident {
+                covered.insert(t.text.as_str());
+            }
+        }
+    }
+    let have_suites =
+        files.iter().any(|f| ROUNDTRIP_DIRS.iter().any(|d| f.path.starts_with(d)));
+
+    for (ty, tc) in &universe.types {
+        match (&tc.encode, &tc.decode) {
+            (Some(enc), None) => {
+                if !files[enc.file].allowed(RULE, enc.line) {
+                    diags.push(Diagnostic {
+                        file: files[enc.file].path.clone(),
+                        line: enc.line,
+                        rule: RULE,
+                        severity: Severity::Warn,
+                        message: format!(
+                            "`impl XdrEncode for {ty}` has no matching XdrDecode impl; \
+                             receivers cannot read what senders emit"
+                        ),
+                    });
+                }
+            }
+            (None, Some(dec)) => {
+                if !files[dec.file].allowed(RULE, dec.line) {
+                    diags.push(Diagnostic {
+                        file: files[dec.file].path.clone(),
+                        line: dec.line,
+                        rule: RULE,
+                        severity: Severity::Warn,
+                        message: format!(
+                            "`impl XdrDecode for {ty}` has no matching XdrEncode impl; \
+                             nothing can produce these bytes"
+                        ),
+                    });
+                }
+            }
+            (Some(enc), Some(dec)) => {
+                if files[dec.file].allowed(RULE, dec.line)
+                    || files[enc.file].allowed(RULE, enc.line)
+                {
+                    continue;
+                }
+                // Coverage lookup is by base name: a suite naming `Vec`
+                // (e.g. `roundtrip::<Vec<u8>>()`) covers `Vec<u8>`.
+                let base = ty.split('<').next().unwrap_or(ty);
+                if have_suites && !covered.contains(base) {
+                    diags.push(Diagnostic {
+                        file: files[enc.file].path.clone(),
+                        line: enc.line,
+                        rule: RULE,
+                        severity: Severity::Warn,
+                        message: format!(
+                            "XDR codec pair for `{ty}` has no round-trip property test under \
+                             crates/xdr/tests/, crates/orb/tests/, or crates/caps/tests/"
+                        ),
+                    });
+                }
+                if let Some(detail) = compare_seq(&enc.ops, &dec.ops, &tc.tag_map) {
+                    diags.push(Diagnostic {
+                        file: files[dec.file].path.clone(),
+                        line: dec.line,
+                        rule: RULE,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "encode/decode wire shapes for `{ty}` diverge: {detail}"
+                        ),
+                    });
+                }
+            }
+            (None, None) => {} // tag-map-only entry (inherent impl)
+        }
+    }
+}
+
+/// Compare two op sequences in lockstep; `Some(detail)` on the first
+/// mismatch.
+fn compare_seq(enc: &[Op], dec: &[Op], tag_map: &[(String, u32)]) -> Option<String> {
+    for i in 0..enc.len().max(dec.len()) {
+        match (enc.get(i), dec.get(i)) {
+            (Some(e), Some(d)) => {
+                if let Some(m) = compare_op(e, d, tag_map) {
+                    return Some(m);
+                }
+            }
+            (Some(e), None) => {
+                return Some(format!(
+                    "encode writes {} (line {}) past the end of what decode reads",
+                    e.describe(),
+                    e.line()
+                ));
+            }
+            (None, Some(d)) => {
+                return Some(format!(
+                    "decode reads {} (line {}) that encode never writes",
+                    d.describe(),
+                    d.line()
+                ));
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    None
+}
+
+fn compare_op(e: &Op, d: &Op, tag_map: &[(String, u32)]) -> Option<String> {
+    match (e, d) {
+        (Op::Prim(pe, _, le), Op::Prim(pd, _, ld)) => (pe != pd).then(|| {
+            format!(
+                "encode writes {} (line {le}) where decode reads {} (line {ld})",
+                pe.name(),
+                pd.name()
+            )
+        }),
+        (Op::Nested(he, le), Op::Nested(hd, ld)) => {
+            // Empty hints mean "type unknown" — compatible with anything.
+            let disjoint = !he.is_empty()
+                && !hd.is_empty()
+                && !he.iter().any(|h| hd.contains(h));
+            disjoint.then(|| {
+                format!(
+                    "encode nests `{}` (line {le}) where decode nests `{}` (line {ld})",
+                    he.join("/"),
+                    hd.join("/")
+                )
+            })
+        }
+        (Op::Repeat(be, le), Op::Repeat(bd, _)) => compare_seq(be, bd, tag_map)
+            .map(|m| format!("in the repeated group at line {le}: {m}")),
+        (Op::TrailingExt(pe, le), Op::TrailingExt(pd, _)) => match (pe, pd) {
+            (Some(pe), Some(pd)) => compare_seq(pe, pd, tag_map)
+                .map(|m| format!("in the trailing-extension payload (line {le}): {m}")),
+            _ => None, // one payload helper could not be inlined: unknown
+        },
+        (Op::Branch(ae, _), Op::Branch(ad, ld)) => compare_branch(ae, ad, tag_map, *ld),
+        _ => Some(format!(
+            "encode has {} (line {}) where decode has {} (line {})",
+            e.describe(),
+            e.line(),
+            d.describe(),
+            d.line()
+        )),
+    }
+}
+
+/// Align decode arms to encode arms (by shared variant, then by shared
+/// tag) and compare each matched pair: arm body shapes must mirror, and
+/// the tag the decoder matches must be the tag the encoder writes for
+/// those variants (per-arm literal or the `fn tag()` map).
+fn compare_branch(
+    enc_arms: &[Arm],
+    dec_arms: &[Arm],
+    tag_map: &[(String, u32)],
+    branch_line: u32,
+) -> Option<String> {
+    let mut enc_matched = vec![false; enc_arms.len()];
+    for d in dec_arms.iter().filter(|a| !a.wildcard) {
+        let by_variant = enc_arms.iter().position(|e| {
+            !e.wildcard && e.variants.iter().any(|v| d.variants.contains(v))
+        });
+        let by_tag = || {
+            enc_arms.iter().position(|e| {
+                !e.wildcard && encode_tags(e, tag_map).iter().any(|t| d.tags.contains(t))
+            })
+        };
+        let Some(ei) = by_variant.or_else(by_tag) else {
+            // Arms the IR cannot key (no variants, no literal tags, or
+            // const tags) are out of model — skip, don't guess.
+            if d.non_literal_tag || (d.variants.is_empty() && d.tags.is_empty()) {
+                continue;
+            }
+            return Some(format!(
+                "decode arm at line {} (tag {:?}) has no matching encode arm",
+                d.line, d.tags
+            ));
+        };
+        enc_matched[ei] = true;
+        let e = &enc_arms[ei];
+        // When the pair aligned on shared variants, compare only those
+        // variants' tags — a sibling variant in the same OR-pattern arm
+        // must not mask drift on the shared one.
+        let shared_tags: Vec<u32> = e
+            .variants
+            .iter()
+            .filter(|v| d.variants.contains(v))
+            .filter_map(|v| tag_map.iter().find(|(name, _)| name == v).map(|(_, t)| *t))
+            .collect();
+        let exp = if e.tags.is_empty() && !shared_tags.is_empty() {
+            shared_tags
+        } else {
+            encode_tags(e, tag_map)
+        };
+        if !d.tags.is_empty()
+            && !exp.is_empty()
+            && !d.non_literal_tag
+            && !e.non_literal_tag
+            && !exp.iter().any(|t| d.tags.contains(t))
+        {
+            return Some(format!(
+                "decode arm at line {} matches tag {:?} but encode writes tag {:?} for \
+                 the same variant(s)",
+                d.line, d.tags, exp
+            ));
+        }
+        if let Some(m) = compare_seq(&e.ops, &d.ops, tag_map) {
+            return Some(format!("in the arm at line {}: {}", d.line, m));
+        }
+    }
+    for (ei, e) in enc_arms.iter().enumerate() {
+        if enc_matched[ei] || e.wildcard {
+            continue;
+        }
+        if e.variants.is_empty() && e.tags.is_empty() {
+            continue; // unkeyed arm: out of model
+        }
+        return Some(format!(
+            "encode arm at line {} ({}) has no decode arm — receivers cannot parse \
+             frames it produces (match line {branch_line})",
+            e.line,
+            if e.variants.is_empty() {
+                format!("tag {:?}", e.tags)
+            } else {
+                format!("variants {:?}", e.variants)
+            }
+        ));
+    }
+    None
+}
+
+/// Tags an encode arm writes: its factored literals, else its variants
+/// mapped through `fn tag()`.
+fn encode_tags(e: &Arm, tag_map: &[(String, u32)]) -> Vec<u32> {
+    if !e.tags.is_empty() {
+        return e.tags.clone();
+    }
+    e.variants
+        .iter()
+        .filter_map(|v| tag_map.iter().find(|(name, _)| name == v).map(|(_, t)| *t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Workspace;
+    use crate::wireshape;
+
+    fn run_on(srcs: &[(&str, bool, &str)]) -> Vec<Diagnostic> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(path, in_tests, src)| {
+                SourceFile::from_source(path, "ohpc-xdr", *in_tests, src)
+            })
+            .collect();
+        let ws = Workspace::build(&files);
+        let universe = wireshape::build(&files, &ws);
+        let mut diags = Vec::new();
+        run(&files, &universe, &mut diags);
+        diags
+    }
+
+    const SUITE: (&str, bool, &str) =
+        ("crates/xdr/tests/roundtrip.rs", true, "fn t() { roundtrip::<Meta>(); }");
+
+    #[test]
+    fn encode_without_decode_is_flagged() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/traits.rs",
+                false,
+                r#"
+                impl XdrEncode for OneWay { fn encode(&self, w: &mut XdrWriter) { w.put_u32(self.0); } }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("no matching XdrDecode"), "{}", diags[0].message);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn decode_without_encode_is_flagged() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/traits.rs",
+                false,
+                "impl XdrDecode for Phantom { fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> { Ok(Phantom(r.get_u32()?)) } }",
+            ),
+            SUITE,
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("no matching XdrEncode"));
+    }
+
+    #[test]
+    fn missing_roundtrip_coverage_is_flagged() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/traits.rs",
+                false,
+                r#"
+                impl XdrEncode for Quiet { fn encode(&self, w: &mut XdrWriter) { w.put_u32(self.0); } }
+                impl XdrDecode for Quiet { fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> { Ok(Quiet(r.get_u32()?)) } }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("round-trip"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn swapped_fields_are_a_deny() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/meta.rs",
+                false,
+                r#"
+                impl XdrEncode for Meta {
+                    fn encode(&self, w: &mut XdrWriter) {
+                        w.put_string(&self.name);
+                        w.put_u64(self.id);
+                    }
+                }
+                impl XdrDecode for Meta {
+                    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                        let id = r.get_u64()?;
+                        let name = r.get_string()?;
+                        Ok(Meta { id, name })
+                    }
+                }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("diverge"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("string"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn mirrored_tagged_union_is_clean() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/meta.rs",
+                false,
+                r#"
+                impl Meta {
+                    fn tag(&self) -> u32 {
+                        match self { Meta::A(_) => 0, Meta::B => 1 }
+                    }
+                }
+                impl XdrEncode for Meta {
+                    fn encode(&self, w: &mut XdrWriter) {
+                        w.put_u32(self.tag());
+                        match self {
+                            Meta::A(s) => w.put_string(s),
+                            Meta::B => {}
+                        }
+                    }
+                }
+                impl XdrDecode for Meta {
+                    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                        match r.get_u32()? {
+                            0 => Ok(Meta::A(r.get_string()?)),
+                            1 => Ok(Meta::B),
+                            t => Err(XdrError::InvalidDiscriminant(t)),
+                        }
+                    }
+                }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn tag_drift_between_encode_and_decode_is_a_deny() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/meta.rs",
+                false,
+                r#"
+                impl Meta {
+                    fn tag(&self) -> u32 {
+                        match self { Meta::A(_) => 0, Meta::B => 2 }
+                    }
+                }
+                impl XdrEncode for Meta {
+                    fn encode(&self, w: &mut XdrWriter) {
+                        w.put_u32(self.tag());
+                        match self {
+                            Meta::A(s) => w.put_string(s),
+                            Meta::B => {}
+                        }
+                    }
+                }
+                impl XdrDecode for Meta {
+                    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                        match r.get_u32()? {
+                            0 => Ok(Meta::A(r.get_string()?)),
+                            1 => Ok(Meta::B),
+                            t => Err(XdrError::InvalidDiscriminant(t)),
+                        }
+                    }
+                }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Deny);
+        assert!(diags[0].message.contains("tag"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn missing_read_in_one_arm_is_a_deny() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/meta.rs",
+                false,
+                r#"
+                impl XdrEncode for Meta {
+                    fn encode(&self, w: &mut XdrWriter) {
+                        match self {
+                            Meta::A(s) => { w.put_u32(0); w.put_string(s); w.put_u64(0); }
+                            Meta::B => { w.put_u32(1); }
+                        }
+                    }
+                }
+                impl XdrDecode for Meta {
+                    fn decode(r: &mut XdrReader<'_>) -> Result<Self, XdrError> {
+                        match r.get_u32()? {
+                            0 => Ok(Meta::A(r.get_string()?)),
+                            1 => Ok(Meta::B),
+                            t => Err(XdrError::InvalidDiscriminant(t)),
+                        }
+                    }
+                }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("arm"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn allow_suppresses_the_pairing_warning() {
+        let diags = run_on(&[
+            (
+                "crates/xdr/src/traits.rs",
+                false,
+                r#"
+                // ohpc-analyze: allow(wire-symmetry) — encode-only by design
+                impl XdrEncode for OneWay { fn encode(&self, w: &mut XdrWriter) { w.put_u32(self.0); } }
+                "#,
+            ),
+            SUITE,
+        ]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -375,8 +375,8 @@ mod tests {
 
     #[test]
     fn hyphen_reason_accepted() {
-        let src = "// ohpc-analyze: allow(xdr-pairing) -- encode-only by design\nimpl X {}";
+        let src = "// ohpc-analyze: allow(wire-symmetry) -- encode-only by design\nimpl X {}";
         let f = SourceFile::from_source("a.rs", "c", false, src);
-        assert!(f.allowed("xdr-pairing", 2));
+        assert!(f.allowed("wire-symmetry", 2));
     }
 }

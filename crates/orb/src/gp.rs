@@ -479,24 +479,22 @@ impl GlobalPointer {
                     self.rebind(*new_or);
                     continue;
                 }
-                ReplyStatus::Exception(msg) => return Err(OrbError::RemoteException(msg)),
-                ReplyStatus::NoSuchObject => return Err(OrbError::NoSuchObject(object)),
-                ReplyStatus::NoSuchMethod(m) => return Err(OrbError::NoSuchMethod(m)),
-                ReplyStatus::CapabilityDenied(msg) => {
-                    return Err(OrbError::Capability(crate::capability::CapError::Denied(msg)));
-                }
-                ReplyStatus::UnknownGlue(id) => return Err(OrbError::UnknownGlue(id)),
-                ReplyStatus::Overloaded(msg) => {
-                    // The server shed before executing; the retry loop
-                    // above backs off and re-offers (possibly to another
-                    // replica once selection consults breakers).
-                    ohpc_telemetry::inc("orb_overloaded_replies_total", &[]);
-                    ohpc_telemetry::trace_event("server_overloaded", &[]);
-                    return Err(OrbError::Overloaded(msg));
-                }
-                ReplyStatus::DeadlineExpired(msg) => {
-                    ohpc_telemetry::inc("orb_deadline_expired_replies_total", &[]);
-                    return Err(OrbError::DeadlineExpired(msg));
+                status => {
+                    match &status {
+                        ReplyStatus::Overloaded(_) => {
+                            // The server shed before executing; the retry
+                            // loop above backs off and re-offers (possibly
+                            // to another replica once selection consults
+                            // breakers).
+                            ohpc_telemetry::inc("orb_overloaded_replies_total", &[]);
+                            ohpc_telemetry::trace_event("server_overloaded", &[]);
+                        }
+                        ReplyStatus::DeadlineExpired(_) => {
+                            ohpc_telemetry::inc("orb_deadline_expired_replies_total", &[]);
+                        }
+                        _ => {}
+                    }
+                    return Err(status.into_orb_error(object));
                 }
             }
         }

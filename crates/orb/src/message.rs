@@ -251,6 +251,42 @@ impl ReplyStatus {
             ReplyStatus::DeadlineExpired(_) => 8,
         }
     }
+
+    /// The wire discriminant this status encodes as.
+    ///
+    /// Public so tests (and operators debugging captures) can audit the
+    /// tag assignment without round-tripping through the codec. Tags are
+    /// wire protocol: they never change meaning, and new variants take
+    /// fresh values.
+    pub fn wire_tag(&self) -> u32 {
+        self.tag()
+    }
+
+    /// Maps a failure status to the client-side [`OrbError`] it surfaces as.
+    ///
+    /// This is the single source of truth for status → error conversion, so
+    /// the invoke loop and tests cannot drift apart. `Ok` and `Moved` are
+    /// not errors — the invoke loop consumes them before calling this — so
+    /// they map to [`OrbError::Protocol`] rather than panicking on a path
+    /// that handles hostile input.
+    pub fn into_orb_error(self, object: ObjectId) -> crate::error::OrbError {
+        use crate::error::OrbError;
+        match self {
+            ReplyStatus::Ok => OrbError::Protocol("Ok reply status reached error conversion".into()),
+            ReplyStatus::Moved(_) => {
+                OrbError::Protocol("Moved reply status reached error conversion".into())
+            }
+            ReplyStatus::Exception(m) => OrbError::RemoteException(m),
+            ReplyStatus::NoSuchObject => OrbError::NoSuchObject(object),
+            ReplyStatus::NoSuchMethod(m) => OrbError::NoSuchMethod(m),
+            ReplyStatus::CapabilityDenied(m) => {
+                OrbError::Capability(crate::capability::CapError::Denied(m))
+            }
+            ReplyStatus::UnknownGlue(id) => OrbError::UnknownGlue(id),
+            ReplyStatus::Overloaded(m) => OrbError::Overloaded(m),
+            ReplyStatus::DeadlineExpired(m) => OrbError::DeadlineExpired(m),
+        }
+    }
 }
 
 impl XdrEncode for ReplyStatus {

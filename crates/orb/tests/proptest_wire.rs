@@ -6,6 +6,7 @@ use bytes::Bytes;
 use ohpc_orb::message::{CapWireMeta, GlueWire, ReplyMessage, ReplyStatus, RequestMessage};
 use ohpc_orb::objref::{ObjectReference, ProtoData, ProtoEntry};
 use ohpc_orb::{CapabilitySpec, Location, ObjectId, ProtocolId, RequestId};
+use ohpc_xdr::{XdrDecode, XdrError, XdrReader, XdrWriter};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = CapabilitySpec> {
@@ -69,6 +70,8 @@ fn arb_status() -> impl Strategy<Value = ReplyStatus> {
         any::<u32>().prop_map(ReplyStatus::NoSuchMethod),
         "[ -~]{0,60}".prop_map(ReplyStatus::CapabilityDenied),
         any::<u64>().prop_map(ReplyStatus::UnknownGlue),
+        "[ -~]{0,60}".prop_map(ReplyStatus::Overloaded),
+        "[ -~]{0,60}".prop_map(ReplyStatus::DeadlineExpired),
     ]
 }
 
@@ -145,4 +148,63 @@ proptest! {
             prop_assert!(it.any(|e| e == kept), "restricted entry not in original order");
         }
     }
+
+    /// Any tag outside the assigned range is an explicit decode error —
+    /// never silently aliased onto an existing variant, never a panic.
+    #[test]
+    fn unknown_status_tag_is_rejected(tag in 9u32..=u32::MAX) {
+        let mut w = XdrWriter::new();
+        w.put_u32(tag);
+        let bytes = w.finish();
+        let mut r = XdrReader::new(&bytes);
+        prop_assert_eq!(
+            ReplyStatus::decode(&mut r).unwrap_err(),
+            XdrError::InvalidDiscriminant(tag)
+        );
+    }
+
+    /// Every strict prefix of a valid reply frame fails to decode. (Replies
+    /// carry no trailing extension, so unlike requests there is no prefix
+    /// that is also a legal frame.)
+    #[test]
+    fn truncated_reply_frames_are_errors(
+        rid: u64,
+        status in arb_status(),
+        glue in proptest::option::of(arb_glue_wire()),
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let reply = ReplyMessage { request_id: RequestId(rid), status, glue, body: Bytes::from(body) };
+        let frame = reply.to_frame();
+        let cut = cut.index(frame.len());
+        prop_assert!(
+            ReplyMessage::from_frame(&frame[..cut]).is_err(),
+            "strict prefix of length {cut}/{} decoded successfully", frame.len()
+        );
+    }
+}
+
+/// A frame hand-built the way a pre-tracing encoder would emit it — base
+/// fields only, no trailing extension — still decodes, with `trace: None`.
+/// This is the compatibility promise of the trailing-extension scheme: old
+/// bytes must stay valid forever.
+#[test]
+fn legacy_traceless_request_frame_decodes() {
+    let mut w = XdrWriter::new();
+    w.put_u64(11); // request_id
+    w.put_u64(22); // object
+    w.put_u32(3); // method slot
+    w.put_bool(true); // oneway
+    w.put_bool(false); // glue: absent
+    w.put_opaque(&[0xDE, 0xAD, 0xBE, 0xEF]); // body
+    let frame = w.finish();
+
+    let req = RequestMessage::from_frame(&frame).expect("legacy frame must decode");
+    assert_eq!(req.request_id, RequestId(11));
+    assert_eq!(req.object, ObjectId(22));
+    assert_eq!(req.method, 3);
+    assert!(req.oneway);
+    assert_eq!(req.glue, None);
+    assert_eq!(&req.body[..], &[0xDE, 0xAD, 0xBE, 0xEF]);
+    assert_eq!(req.trace, None, "absent extension must read as traceless, not an error");
 }

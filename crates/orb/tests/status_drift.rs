@@ -1,0 +1,137 @@
+//! Drift audit for [`ReplyStatus`]: wire tags, decode arms, and the
+//! client-side error/retry mapping must move in lockstep when a variant is
+//! added. The `assert_covers` match fails to **compile** when a variant is
+//! added without extending `all_statuses`, and each test then fails loudly
+//! on whichever axis was forgotten (tag assignment, decoder, or mapping).
+
+use ohpc_orb::objref::{ObjectReference, ProtoEntry};
+use ohpc_orb::{CapError, Location, ObjectId, OrbError, ProtocolId, ReplyStatus};
+use ohpc_resilience::ErrorClass;
+use ohpc_xdr::{XdrDecode, XdrEncode, XdrError, XdrReader, XdrWriter};
+
+fn sample_or() -> ObjectReference {
+    ObjectReference {
+        object: ObjectId(7),
+        type_name: "Matrix".into(),
+        location: Location::new(3, 0),
+        protocols: vec![ProtoEntry::endpoint(ProtocolId::TCP, "tcp://h:1")],
+    }
+}
+
+/// One sample of every variant, in tag order.
+fn all_statuses() -> Vec<ReplyStatus> {
+    vec![
+        ReplyStatus::Ok,
+        ReplyStatus::Exception("kaboom".into()),
+        ReplyStatus::Moved(Box::new(sample_or())),
+        ReplyStatus::NoSuchObject,
+        ReplyStatus::NoSuchMethod(4),
+        ReplyStatus::CapabilityDenied("mac mismatch".into()),
+        ReplyStatus::UnknownGlue(99),
+        ReplyStatus::Overloaded("512 in flight".into()),
+        ReplyStatus::DeadlineExpired("50 ms gone".into()),
+    ]
+}
+
+/// Compile-time completeness guard: no wildcard arm, so adding a
+/// `ReplyStatus` variant breaks this build until `all_statuses` (and with
+/// it every assertion below) covers the newcomer.
+fn assert_covers(s: &ReplyStatus) {
+    match s {
+        ReplyStatus::Ok
+        | ReplyStatus::Exception(_)
+        | ReplyStatus::Moved(_)
+        | ReplyStatus::NoSuchObject
+        | ReplyStatus::NoSuchMethod(_)
+        | ReplyStatus::CapabilityDenied(_)
+        | ReplyStatus::UnknownGlue(_)
+        | ReplyStatus::Overloaded(_)
+        | ReplyStatus::DeadlineExpired(_) => {}
+    }
+}
+
+#[test]
+fn wire_tags_are_unique_and_stable() {
+    let all = all_statuses();
+    let tags: Vec<u32> = all.iter().map(ReplyStatus::wire_tag).collect();
+    let mut dedup = tags.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), all.len(), "duplicate wire tag in {tags:?}");
+    // Tags are wire protocol: pin the published assignment so a reorder of
+    // the enum (or a "helpful" renumbering) cannot slip through.
+    assert_eq!(tags, (0..9).collect::<Vec<u32>>());
+}
+
+#[test]
+fn every_variant_has_a_decode_arm() {
+    for status in all_statuses() {
+        assert_covers(&status);
+        let mut w = XdrWriter::new();
+        status.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = XdrReader::new(&bytes);
+        let back = ReplyStatus::decode(&mut r)
+            .unwrap_or_else(|e| panic!("{status:?} did not decode: {e}"));
+        assert_eq!(back, status);
+        assert!(r.is_empty(), "{status:?} left {} bytes unread", r.remaining());
+    }
+}
+
+#[test]
+fn unknown_tag_is_an_explicit_decode_error() {
+    let next_free = all_statuses().iter().map(ReplyStatus::wire_tag).max().unwrap() + 1;
+    let mut w = XdrWriter::new();
+    w.put_u32(next_free);
+    let bytes = w.finish();
+    let mut r = XdrReader::new(&bytes);
+    assert_eq!(
+        ReplyStatus::decode(&mut r).unwrap_err(),
+        XdrError::InvalidDiscriminant(next_free),
+        "an unassigned tag must fail decode, not alias an existing variant"
+    );
+}
+
+#[test]
+fn error_and_retry_mapping_is_exhaustive() {
+    let object = ObjectId(42);
+    for status in all_statuses() {
+        let err = status.clone().into_orb_error(object);
+        let class = err.retry_class();
+        match &status {
+            // Not errors: the invoke loop consumes these before conversion,
+            // so the mapping degrades to a protocol violation, never a panic.
+            ReplyStatus::Ok | ReplyStatus::Moved(_) => {
+                assert!(matches!(err, OrbError::Protocol(_)), "{status:?} -> {err:?}");
+            }
+            ReplyStatus::Exception(_) => {
+                assert!(matches!(err, OrbError::RemoteException(_)), "{err:?}");
+                assert_eq!(class, ErrorClass::Permanent);
+            }
+            ReplyStatus::NoSuchObject => {
+                assert_eq!(err, OrbError::NoSuchObject(object));
+                assert_eq!(class, ErrorClass::Permanent);
+            }
+            ReplyStatus::NoSuchMethod(m) => {
+                assert_eq!(err, OrbError::NoSuchMethod(*m));
+                assert_eq!(class, ErrorClass::Permanent);
+            }
+            ReplyStatus::CapabilityDenied(_) => {
+                assert!(matches!(err, OrbError::Capability(CapError::Denied(_))), "{err:?}");
+                assert_eq!(class, ErrorClass::Permanent);
+            }
+            ReplyStatus::UnknownGlue(id) => {
+                assert_eq!(err, OrbError::UnknownGlue(*id));
+                assert_eq!(class, ErrorClass::Permanent);
+            }
+            ReplyStatus::Overloaded(_) => {
+                assert!(matches!(err, OrbError::Overloaded(_)), "{err:?}");
+                assert_eq!(class, ErrorClass::Retryable, "an admission shed never ran; retry is safe");
+            }
+            ReplyStatus::DeadlineExpired(_) => {
+                assert!(matches!(err, OrbError::DeadlineExpired(_)), "{err:?}");
+                assert_eq!(class, ErrorClass::Permanent, "a deadline shed only gets staler on retry");
+            }
+        }
+    }
+}

@@ -112,6 +112,12 @@ impl<'a> XdrReader<'a> {
                 limit: self.length_limit as u64,
             });
         }
+        // A declared length the rest of the buffer cannot possibly satisfy
+        // is a corrupt prefix; reject it here, before any caller sizes an
+        // allocation from it.
+        if len as usize > self.remaining() {
+            return Err(XdrError::Truncated { needed: len as usize, available: self.remaining() });
+        }
         Ok(len as usize)
     }
 
@@ -138,10 +144,20 @@ impl<'a> XdrReader<'a> {
         std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| XdrError::InvalidUtf8)
     }
 
-    /// Decodes an array length prefix, applying the length limit.
+    /// Decodes an array length prefix, applying the length limit and
+    /// bounding the count against the bytes actually left.
+    ///
+    /// Every XDR array element occupies at least one 4-byte word, so a
+    /// count beyond `remaining() / 4` cannot be satisfied by any suffix of
+    /// the frame — a corrupt prefix must not become a giant
+    /// `Vec::with_capacity`.
     pub fn get_array_len(&mut self) -> Result<usize, XdrError> {
         let len = self.get_u32()?;
-        self.check_len(len)
+        let n = self.check_len(len)?;
+        if n > self.remaining() / 4 {
+            return Err(XdrError::Truncated { needed: n * 4, available: self.remaining() });
+        }
+        Ok(n)
     }
 
     /// Decodes a *trailing extension*: the backward-compatible way to append
@@ -216,5 +232,34 @@ mod tests {
         let bytes = expected.to_bits().to_be_bytes();
         let mut r = XdrReader::new(&bytes);
         assert_eq!(r.get_f32().unwrap(), expected);
+    }
+
+    #[test]
+    fn adversarial_opaque_length_is_rejected_up_front() {
+        // Declared length 0xFFFF is under the default limit but the frame
+        // only carries 4 more bytes; the prefix itself must be the error.
+        let mut r = XdrReader::new(&[0, 0, 0xff, 0xff, 1, 2, 3, 4]);
+        let err = r.get_opaque().unwrap_err();
+        assert_eq!(err, XdrError::Truncated { needed: 0xffff, available: 4 });
+        // Nothing past the prefix was consumed.
+        assert_eq!(r.position(), 4);
+    }
+
+    #[test]
+    fn adversarial_array_count_is_rejected_up_front() {
+        // 8 declared elements fit the byte-count check (8 bytes remain) but
+        // cannot fit 8 words; the reader must not hand callers a count they
+        // would turn into a large reservation.
+        let mut r = XdrReader::new(&[0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let err = r.get_array_len().unwrap_err();
+        assert_eq!(err, XdrError::Truncated { needed: 32, available: 8 });
+    }
+
+    #[test]
+    fn limit_check_precedes_remaining_check() {
+        // A wildly overlong prefix still reports LengthOverflow, not
+        // Truncated, so operators can tell policy rejections from framing.
+        let mut r = XdrReader::with_length_limit(&[0xff, 0xff, 0xff, 0xff], 16);
+        assert!(matches!(r.get_opaque().unwrap_err(), XdrError::LengthOverflow { .. }));
     }
 }
